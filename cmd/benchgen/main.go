@@ -1,0 +1,109 @@
+// benchgen generates synthetic legalization benchmarks in the .mcl text
+// format: either a parameterized instance or one of the paper's suites.
+//
+// Usage:
+//
+//	benchgen -cells 5000 -density 0.7 -fences 2 -routability -o design.mcl
+//	benchgen -suite contest -name fft_a_md2 -scale 0.1 -o fft_a_md2.mcl
+//	benchgen -suite ispd -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mclegal"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "", "output file (default stdout)")
+		suite       = flag.String("suite", "", "generate from a paper suite: contest | ispd")
+		name        = flag.String("name", "", "benchmark name within the suite")
+		list        = flag.Bool("list", false, "list the suite's benchmarks and exit")
+		scale       = flag.Float64("scale", 0.1, "cell-count scale for suite benchmarks")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		cells       = flag.Int("cells", 2000, "single-height cell count")
+		dbl         = flag.Int("h2", -1, "double-height cells (-1: cells/10)")
+		tpl         = flag.Int("h3", -1, "triple-height cells (-1: cells/50)")
+		quad        = flag.Int("h4", -1, "quadruple-height cells (-1: cells/100)")
+		density     = flag.Float64("density", 0.6, "target utilization")
+		fences      = flag.Int("fences", 0, "number of fence regions")
+		ioPins      = flag.Int("iopins", 0, "number of IO pins")
+		routability = flag.Bool("routability", false, "add P/G rails and rail-sensitive pins")
+	)
+	flag.Parse()
+
+	var d *mclegal.Design
+	switch *suite {
+	case "contest", "ispd":
+		benches := mclegal.ContestBenches()
+		if *suite == "ispd" {
+			benches = mclegal.ISPDBenches()
+		}
+		if *list {
+			for _, b := range benches {
+				fmt.Printf("%-20s cells=%7d density=%.1f%% fences=%d\n",
+					b.Name, b.Counts[0]+b.Counts[1]+b.Counts[2]+b.Counts[3],
+					b.Density*100, b.Fences)
+			}
+			return
+		}
+		var found bool
+		for _, b := range benches {
+			if b.Name == *name {
+				if *suite == "contest" {
+					d = mclegal.ContestDesign(b, *scale)
+				} else {
+					d = mclegal.ISPDDesign(b, *scale)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("benchmark %q not in suite %q (use -list)", *name, *suite)
+		}
+	case "":
+		c2, c3, c4 := *dbl, *tpl, *quad
+		if c2 < 0 {
+			c2 = *cells / 10
+		}
+		if c3 < 0 {
+			c3 = *cells / 50
+		}
+		if c4 < 0 {
+			c4 = *cells / 100
+		}
+		d = mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+			Name:        "generated",
+			Seed:        *seed,
+			Counts:      [4]int{*cells, c2, c3, c4},
+			Density:     *density,
+			NumFences:   *fences,
+			FenceFrac:   0.6,
+			NetFrac:     0.5,
+			IOPins:      *ioPins,
+			Routability: *routability,
+		})
+	default:
+		log.Fatalf("unknown suite %q", *suite)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := mclegal.WriteDesign(w, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d cells, %dx%d sites\n",
+		d.Name, len(d.Cells), d.Tech.NumSites, d.Tech.NumRows)
+}

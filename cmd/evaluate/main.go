@@ -1,0 +1,92 @@
+// evaluate audits and scores a .mcl design's current placement without
+// modifying it.
+//
+// Usage:
+//
+//	evaluate -i legal.mcl [-gp gp.mcl]
+//
+// With -gp, HPWL degradation is measured against the GP-position HPWL
+// of the given (usually pre-legalization) design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mclegal"
+)
+
+func readDesign(path string) *mclegal.Design {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	d, err := mclegal.ReadDesign(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func main() {
+	in := flag.String("i", "", "design to evaluate (required)")
+	gp := flag.String("gp", "", "reference design for HPWL-before (optional)")
+	svg := flag.String("svg", "", "write an SVG rendering of the placement (optional)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := readDesign(*in)
+	violations, err := mclegal.Audit(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(violations) == 0 {
+		fmt.Println("legality      OK")
+	} else {
+		fmt.Printf("legality      %d violations\n", len(violations))
+		for i, v := range violations {
+			if i == 10 {
+				fmt.Printf("  ... and %d more\n", len(violations)-10)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	}
+
+	before := mclegal.HPWL(d)
+	if *gp != "" {
+		ref := readDesign(*gp)
+		ref.ResetToGP()
+		before = mclegal.HPWL(ref)
+	}
+	res := mclegal.Evaluate(d, before)
+	fmt.Printf("cells         %d movable\n", d.MovableCount())
+	fmt.Printf("avg disp      %.4f rows\n", res.Metrics.AvgDisp)
+	fmt.Printf("max disp      %.1f rows\n", res.Metrics.MaxDisp)
+	fmt.Printf("total (sites) %.0f\n", res.Metrics.TotalDispSites)
+	fmt.Printf("HPWL          %d (before: %d)\n", res.HPWLAfter, res.HPWLBefore)
+	fmt.Printf("pin short     %d\n", res.Violations.PinShort)
+	fmt.Printf("pin access    %d\n", res.Violations.PinAccess)
+	fmt.Printf("edge spacing  %d\n", res.Violations.EdgeSpacing)
+	fmt.Printf("score         %.4f\n", res.Score)
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := mclegal.WriteSVG(f, d, mclegal.PlotOptions{
+			Displacement: true, Rails: true, HighlightType: -1,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("svg           %s\n", *svg)
+	}
+}

@@ -1,0 +1,297 @@
+// experiments regenerates the paper's evaluation tables and figures on
+// the synthetic benchmark suites (see DESIGN.md for the experiment
+// index and the documented substitutions).
+//
+// Usage:
+//
+//	experiments -table 1 [-scale 0.02]   # ours vs contest champion
+//	experiments -table 2 [-scale 0.02]   # ours vs MLL-Imp / [7] / [9]
+//	experiments -table 3 [-scale 0.02]   # post-processing ablation
+//	experiments -fig 6   [-scale 0.05]   # matching before/after scatter
+//	experiments -bench fft_a_md2 ...     # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mclegal"
+	"mclegal/internal/baseline"
+	"mclegal/internal/eval"
+	"mclegal/internal/maxdisp"
+	"mclegal/internal/model"
+)
+
+var (
+	table   = flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
+	fig     = flag.Int("fig", 0, "paper figure to regenerate (6)")
+	scale   = flag.Float64("scale", 0.02, "cell-count scale vs published sizes")
+	only    = flag.String("bench", "", "restrict to one benchmark name")
+	workers = flag.Int("workers", 0, "MGL workers (0 = all cores)")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *table == 1:
+		table1()
+	case *table == 2:
+		table2()
+	case *table == 3:
+		table3()
+	case *fig == 6:
+		figure6()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func keep(name string) bool { return *only == "" || *only == name }
+
+func mustLegal(d *mclegal.Design) {
+	if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
+		log.Fatalf("%s: illegal result (%v): %v", d.Name, err, v[:min(len(v), 3)])
+	}
+}
+
+// table1 compares the full routability-aware flow against the contest
+// champion stand-in on the ICCAD 2017 suite (paper Table 1).
+func table1() {
+	fmt.Printf("Table 1: ours vs ICCAD 2017 champion stand-in (scale %.3f)\n\n", *scale)
+	fmt.Printf("%-20s %7s %5s | %7s %7s | %6s %6s | %5s %5s | %4s %4s | %7s %7s | %7s %7s\n",
+		"benchmark", "#cells", "dens", "avg.1st", "avg.our", "max.1st", "max.our",
+		"Np.1st", "Np.our", "Ne.1", "Ne.o", "S.1st", "S.ours", "t.1st", "t.ours")
+	var rAvg, rMax, rScore, rTime ratio
+	for _, b := range mclegal.ContestBenches() {
+		if !keep(b.Name) {
+			continue
+		}
+		ours := mclegal.ContestDesign(b, *scale)
+		champ := ours.Clone()
+		hpwlGP := mclegal.HPWL(ours)
+
+		t0 := time.Now()
+		if err := baseline.Champion(champ, *workers); err != nil {
+			log.Fatalf("%s champion: %v", b.Name, err)
+		}
+		tChamp := time.Since(t0)
+		mustLegal(champ)
+		resChamp := mclegal.Evaluate(champ, hpwlGP)
+
+		t0 = time.Now()
+		resOurs, err := mclegal.Legalize(ours, mclegal.Options{Routability: true, Workers: *workers})
+		if err != nil {
+			log.Fatalf("%s ours: %v", b.Name, err)
+		}
+		tOurs := time.Since(t0)
+		mustLegal(ours)
+
+		fmt.Printf("%-20s %7d %4.0f%% | %7.3f %7.3f | %6.1f %6.1f | %5d %5d | %4d %4d | %7.3f %7.3f | %6.1fs %6.1fs\n",
+			b.Name, ours.MovableCount(), b.Density*100,
+			resChamp.Metrics.AvgDisp, resOurs.Metrics.AvgDisp,
+			resChamp.Metrics.MaxDisp, resOurs.Metrics.MaxDisp,
+			resChamp.Violations.Pin(), resOurs.Violations.Pin(),
+			resChamp.Violations.EdgeSpacing, resOurs.Violations.EdgeSpacing,
+			resChamp.Score, resOurs.Score,
+			tChamp.Seconds(), tOurs.Seconds())
+		rAvg.add(resChamp.Metrics.AvgDisp, resOurs.Metrics.AvgDisp)
+		rMax.add(resChamp.Metrics.MaxDisp, resOurs.Metrics.MaxDisp)
+		rScore.add(resChamp.Score, resOurs.Score)
+		rTime.add(tChamp.Seconds(), tOurs.Seconds())
+	}
+	fmt.Printf("\nNorm. avg (ours = 1.00): champion avg disp %.2f, max disp %.2f, score %.2f, runtime %.2f\n",
+		rAvg.mean(), rMax.mean(), rScore.mean(), rTime.mean())
+}
+
+// table2 compares total displacement against the reimplemented
+// state-of-the-art baselines on the ISPD suite (paper Table 2).
+func table2() {
+	fmt.Printf("Table 2: total displacement (sites) vs state of the art (scale %.3f)\n\n", *scale)
+	fmt.Printf("%-16s %7s %5s | %9s %9s %9s %9s | %6s %6s %6s %6s\n",
+		"benchmark", "#cells", "dens", "[12]-Imp", "[7]", "[9]", "ours",
+		"t.12", "t.7", "t.9", "t.our")
+	var r12, r7, r9, t12, t7, t9 ratio
+	for _, b := range mclegal.ISPDBenches() {
+		if !keep(b.Name) {
+			continue
+		}
+		base := mclegal.ISPDDesign(b, *scale)
+
+		run := func(f func(*mclegal.Design) error) (float64, float64) {
+			d := base.Clone()
+			t0 := time.Now()
+			if err := f(d); err != nil {
+				log.Fatalf("%s: %v", b.Name, err)
+			}
+			dt := time.Since(t0).Seconds()
+			mustLegal(d)
+			return eval.Measure(d).TotalDispSites, dt
+		}
+
+		d12, s12 := run(func(d *mclegal.Design) error { return baseline.MLLImp(d, *workers) })
+		d7, s7 := run(baseline.AbacusExt)
+		d9, s9 := run(baseline.ChenLike)
+		dOurs, sOurs := run(func(d *mclegal.Design) error {
+			_, err := mclegal.Legalize(d, mclegal.Options{
+				TotalDisplacement: true, Workers: *workers,
+			})
+			return err
+		})
+
+		fmt.Printf("%-16s %7d %4.0f%% | %9.0f %9.0f %9.0f %9.0f | %5.1fs %5.1fs %5.1fs %5.1fs\n",
+			b.Name, base.MovableCount(), b.Density*100, d12, d7, d9, dOurs, s12, s7, s9, sOurs)
+		r12.add(d12, dOurs)
+		r7.add(d7, dOurs)
+		r9.add(d9, dOurs)
+		t12.add(s12, sOurs)
+		t7.add(s7, sOurs)
+		t9.add(s9, sOurs)
+	}
+	fmt.Printf("\nNorm. avg total disp (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
+		r12.mean(), r7.mean(), r9.mean())
+	fmt.Printf("Norm. avg runtime   (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
+		t12.mean(), t7.mean(), t9.mean())
+}
+
+// table3 isolates the two post-processing stages (paper Table 3).
+func table3() {
+	fmt.Printf("Table 3: effect of the post-processing stages (scale %.3f)\n\n", *scale)
+	fmt.Printf("%-20s | %9s %9s | %9s %9s\n",
+		"benchmark", "avg.bef", "avg.aft", "max.bef", "max.aft")
+	var rAvg, rMax ratio
+	for _, b := range mclegal.ContestBenches() {
+		if !keep(b.Name) {
+			continue
+		}
+		before := mclegal.ContestDesign(b, *scale)
+		after := before.Clone()
+		rb, err := mclegal.Legalize(before, mclegal.Options{
+			Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", b.Name, err)
+		}
+		ra, err := mclegal.Legalize(after, mclegal.Options{Routability: true, Workers: *workers})
+		if err != nil {
+			log.Fatalf("%s: %v", b.Name, err)
+		}
+		mustLegal(before)
+		mustLegal(after)
+		fmt.Printf("%-20s | %9.3f %9.3f | %9.1f %9.1f\n",
+			b.Name, rb.Metrics.AvgDisp, ra.Metrics.AvgDisp,
+			rb.Metrics.MaxDisp, ra.Metrics.MaxDisp)
+		rAvg.add(rb.Metrics.AvgDisp, ra.Metrics.AvgDisp)
+		rMax.add(rb.Metrics.MaxDisp, ra.Metrics.MaxDisp)
+	}
+	fmt.Printf("\nNorm. avg (after = 1.00): before avg %.2f, before max %.2f\n",
+		rAvg.mean(), rMax.mean())
+}
+
+// figure6 reports the displacement distribution of the largest same-type
+// cell group before and after the matching stage (paper Figure 6).
+func figure6() {
+	name := *only
+	if name == "" {
+		name = "des_perf_a_md2"
+	}
+	var bench mclegal.Bench
+	for _, b := range mclegal.ContestBenches() {
+		if b.Name == name {
+			bench = b
+		}
+	}
+	if bench.Name == "" {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	d := mclegal.ContestDesign(bench, *scale)
+	if _, err := mclegal.Legalize(d, mclegal.Options{
+		Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Largest (type,fence) group.
+	groups := map[[2]int32][]model.CellID{}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		groups[[2]int32{int32(c.Type), int32(c.Fence)}] =
+			append(groups[[2]int32{int32(c.Type), int32(c.Fence)}], model.CellID(i))
+	}
+	var big []model.CellID
+	for _, g := range groups {
+		if len(g) > len(big) {
+			big = g
+		}
+	}
+	hist := func() (h [8]int, maxD float64) {
+		for _, id := range big {
+			dd := d.DispRows(id)
+			if dd > maxD {
+				maxD = dd
+			}
+			b := int(dd / 5)
+			if b > 7 {
+				b = 7
+			}
+			h[b]++
+		}
+		return
+	}
+	writeSVG := func(path string) {
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		_ = mclegal.WriteSVG(f, d, mclegal.PlotOptions{
+			Displacement:  true,
+			HighlightType: d.Cells[big[0]].Type,
+		})
+	}
+	hb, maxBefore := hist()
+	writeSVG("fig6_before.svg")
+	st := maxdisp.Optimize(d, maxdisp.Options{})
+	ha, maxAfter := hist()
+	writeSVG("fig6_after.svg")
+
+	fmt.Printf("Figure 6: matching stage on %s (scale %.3f), largest group: %d cells of type %s\n\n",
+		bench.Name, *scale, len(big), d.Types[d.Cells[big[0]].Type].Name)
+	fmt.Printf("%-14s %8s %8s\n", "disp (rows)", "before", "after")
+	labels := []string{"0-5", "5-10", "10-15", "15-20", "20-25", "25-30", "30-35", "35+"}
+	for i, l := range labels {
+		fmt.Printf("%-14s %8d %8d\n", l, hb[i], ha[i])
+	}
+	fmt.Printf("\nmax displacement in group: %.1f -> %.1f rows\n", maxBefore, maxAfter)
+	fmt.Printf("matching stats: %d groups solved, %d cells swapped\n", st.Groups, st.Swapped)
+	fmt.Println("wrote fig6_before.svg and fig6_after.svg")
+}
+
+// ratio accumulates per-benchmark normalized columns.
+type ratio struct {
+	sum float64
+	n   int
+}
+
+func (r *ratio) add(other, ours float64) {
+	if ours > 0 {
+		r.sum += other / ours
+		r.n++
+	}
+}
+
+func (r *ratio) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

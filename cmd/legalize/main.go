@@ -1,0 +1,88 @@
+// legalize runs the three-stage legalization pipeline on a .mcl design.
+//
+// Usage:
+//
+//	legalize -i design.mcl -o legal.mcl [-routability] [-total] [-workers N]
+//	         [-skip-maxdisp] [-skip-refine] [-delta0 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mclegal"
+)
+
+func main() {
+	var (
+		in          = flag.String("i", "", "input .mcl design (required)")
+		out         = flag.String("o", "", "output .mcl with legal positions (optional)")
+		routability = flag.Bool("routability", false, "enable pin/rail-aware legalization")
+		total       = flag.Bool("total", false, "optimize total instead of height-averaged displacement")
+		workers     = flag.Int("workers", 0, "MGL worker threads (0 = all cores)")
+		skipMatch   = flag.Bool("skip-maxdisp", false, "skip the matching stage")
+		skipRefine  = flag.Bool("skip-refine", false, "skip the fixed-order refinement")
+		delta0      = flag.Float64("delta0", 0, "phi threshold in rows (0 = default)")
+		globalPlace = flag.Bool("globalplace", false, "derive GP positions from the netlist first (quadratic placer)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := mclegal.ReadDesign(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *globalPlace {
+		mclegal.GlobalPlace(d, mclegal.GPOptions{})
+		fmt.Printf("global placement  HPWL %d\n", mclegal.HPWL(d))
+	}
+
+	res, err := mclegal.Legalize(d, mclegal.Options{
+		Routability:       *routability,
+		TotalDisplacement: *total,
+		Workers:           *workers,
+		SkipMaxDisp:       *skipMatch,
+		SkipRefine:        *skipRefine,
+		Delta0Rows:        *delta0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
+		log.Fatalf("result is not legal (%v): %v", err, v)
+	}
+
+	fmt.Printf("design           %s (%d cells)\n", d.Name, d.MovableCount())
+	fmt.Printf("avg displacement %.4f rows\n", res.Metrics.AvgDisp)
+	fmt.Printf("max displacement %.1f rows\n", res.Metrics.MaxDisp)
+	fmt.Printf("total (sites)    %.0f\n", res.Metrics.TotalDispSites)
+	fmt.Printf("HPWL             %d -> %d\n", res.HPWLBefore, res.HPWLAfter)
+	fmt.Printf("pin violations   %d (short %d, access %d)\n",
+		res.Violations.Pin(), res.Violations.PinShort, res.Violations.PinAccess)
+	fmt.Printf("edge violations  %d\n", res.Violations.EdgeSpacing)
+	fmt.Printf("contest score    %.4f\n", res.Score)
+	fmt.Printf("runtime          %v (MGL %v, matching %v, refine %v)\n",
+		res.Total, res.MGLTime, res.MaxDispTime, res.RefineTime)
+
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer g.Close()
+		if err := mclegal.WriteDesign(g, d); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

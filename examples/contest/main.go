@@ -1,0 +1,75 @@
+// Contest: generate one ICCAD-2017-style benchmark, run the paper's
+// flow against the contest-champion stand-in, and print a Table-1-style
+// comparison row (displacement, violations, score).
+//
+//	go run ./examples/contest [-bench fft_a_md2] [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mclegal"
+	"mclegal/internal/baseline"
+	"mclegal/internal/eval"
+)
+
+func main() {
+	benchName := flag.String("bench", "fft_a_md2", "contest benchmark name")
+	scale := flag.Float64("scale", 0.05, "cell-count scale vs the published size")
+	flag.Parse()
+
+	var bench mclegal.Bench
+	found := false
+	for _, b := range mclegal.ContestBenches() {
+		if b.Name == *benchName {
+			bench, found = b, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+
+	ours := mclegal.ContestDesign(bench, *scale)
+	champ := ours.Clone()
+	hpwlGP := mclegal.HPWL(ours)
+	fmt.Printf("benchmark %s at scale %.2f: %d cells, density %.1f%%\n\n",
+		bench.Name, *scale, ours.MovableCount(), bench.Density*100)
+
+	t0 := time.Now()
+	res, err := mclegal.Legalize(ours, mclegal.Options{Routability: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oursTime := time.Since(t0)
+
+	t0 = time.Now()
+	if err := baseline.Champion(champ, 0); err != nil {
+		log.Fatal(err)
+	}
+	champTime := time.Since(t0)
+	champRes := mclegal.Evaluate(champ, hpwlGP)
+
+	row := func(name string, r mclegal.Result, rt time.Duration) {
+		fmt.Printf("%-10s avg=%6.3f max=%6.1f hpwl=%.3fe6 pins=%4d edge=%4d score=%6.3f  %6.2fs\n",
+			name, r.Metrics.AvgDisp, r.Metrics.MaxDisp,
+			float64(r.HPWLAfter)/1e6, r.Violations.Pin(), r.Violations.EdgeSpacing,
+			r.Score, rt.Seconds())
+	}
+	fmt.Println("               Avg.D   Max.D  HPWL      Np    Ne   Score    Runtime")
+	row("champion", champRes, champTime)
+	row("ours", res, oursTime)
+
+	m := eval.Measure(ours)
+	_ = m
+	fmt.Println()
+	if res.Metrics.AvgDisp < champRes.Metrics.AvgDisp {
+		fmt.Printf("ours is %.0f%% better on average displacement\n",
+			100*(1-res.Metrics.AvgDisp/champRes.Metrics.AvgDisp))
+	}
+	if res.Violations.Pin() < champRes.Violations.Pin() {
+		fmt.Printf("pin violations reduced %d -> %d\n", champRes.Violations.Pin(), res.Violations.Pin())
+	}
+}

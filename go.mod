@@ -1,0 +1,3 @@
+module mclegal
+
+go 1.22

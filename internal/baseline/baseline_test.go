@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+	"mclegal/internal/flow"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func smallInstance(seed int64, density float64) *model.Design {
+	return bmark.Generate(bmark.Params{
+		Name: "bl", Seed: seed,
+		Counts:  [4]int{400, 40, 10, 4},
+		Density: density,
+		NetFrac: 0.4,
+	})
+}
+
+func audit(t *testing.T, d *model.Design) {
+	t.Helper()
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v (of %d)", v[0], len(v))
+	}
+}
+
+func TestMLLLegalizes(t *testing.T) {
+	d := smallInstance(1, 0.6)
+	if err := MLL(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	audit(t, d)
+}
+
+func TestMLLImpImproves(t *testing.T) {
+	d1 := smallInstance(2, 0.6)
+	d2 := d1.Clone()
+	if err := MLL(d1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := MLLImp(d2, 1); err != nil {
+		t.Fatal(err)
+	}
+	audit(t, d2)
+	m1, m2 := eval.Measure(d1), eval.Measure(d2)
+	if m2.TotalDispSites > m1.TotalDispSites {
+		t.Errorf("refinement worsened MLL: %v -> %v", m1.TotalDispSites, m2.TotalDispSites)
+	}
+}
+
+func TestAbacusExtLegalizes(t *testing.T) {
+	d := smallInstance(3, 0.6)
+	if err := AbacusExt(d); err != nil {
+		t.Fatal(err)
+	}
+	audit(t, d)
+}
+
+func TestChenLikeBeatsAbacus(t *testing.T) {
+	var wins int
+	for seed := int64(10); seed < 15; seed++ {
+		d1 := smallInstance(seed, 0.55)
+		d2 := d1.Clone()
+		if err := AbacusExt(d1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ChenLike(d2); err != nil {
+			t.Fatal(err)
+		}
+		audit(t, d2)
+		if eval.Measure(d2).TotalDispSites <= eval.Measure(d1).TotalDispSites {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Errorf("ChenLike beat AbacusExt on only %d/5 seeds", wins)
+	}
+}
+
+func TestChampionProducesViolations(t *testing.T) {
+	// On a routability-enabled instance the champion stand-in must be
+	// legal but produce edge/pin violations that our flow avoids.
+	d1 := bmark.ContestDesign(bmark.ContestBenches()[9], 0.03) // fft_a_md2 (low density)
+	d2 := d1.Clone()
+	if err := Champion(d1, 2); err != nil {
+		t.Fatal(err)
+	}
+	audit(t, d1)
+	champ := flow.Evaluate(d1, eval.HPWL(d2))
+	res, err := flow.Run(d2, flow.Options{Routability: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if champ.Violations.Pin()+champ.Violations.EdgeSpacing == 0 {
+		t.Errorf("champion stand-in produced no violations; instance too easy")
+	}
+	if res.Violations.EdgeSpacing > 0 {
+		t.Errorf("our flow has %d edge violations", res.Violations.EdgeSpacing)
+	}
+	if res.Violations.Pin() >= champ.Violations.Pin() {
+		t.Errorf("our flow should have fewer pin violations: ours=%d champ=%d",
+			res.Violations.Pin(), champ.Violations.Pin())
+	}
+}
+
+// Figure 3's claim: measuring displacement from GP positions (MGL)
+// yields smaller final GP displacement than measuring from current
+// positions (MLL). Verified statistically over random instances.
+func TestFigure3MGLBeatsMLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var mglTotal, mllTotal float64
+	strict := 0
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Int63()
+		d1 := bmark.Generate(bmark.Params{
+			Name: "f3", Seed: seed, Counts: [4]int{500, 50, 12, 0}, Density: 0.75, NetFrac: 0,
+		})
+		d2 := d1.Clone()
+		res, err := flow.Run(d1, flow.Options{Workers: 1, TotalDisplacement: true,
+			SkipMaxDisp: true, SkipRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := MLL(d2, 1); err != nil {
+			t.Fatal(err)
+		}
+		audit(t, d1)
+		audit(t, d2)
+		mgl := res.Metrics.TotalDispSites
+		mll := eval.Measure(d2).TotalDispSites
+		mglTotal += mgl
+		mllTotal += mll
+		if mgl < mll {
+			strict++
+		}
+	}
+	if mglTotal >= mllTotal {
+		t.Errorf("MGL total %.0f not better than MLL total %.0f", mglTotal, mllTotal)
+	}
+	if strict < 5 {
+		t.Errorf("MGL strictly better on only %d/8 instances", strict)
+	}
+	t.Logf("MGL %.0f vs MLL %.0f sites (%d/8 strict wins)", mglTotal, mllTotal, strict)
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func greedyDesign() *model.Design {
+	return &model.Design{
+		Name: "g",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: 40, NumRows: 4},
+		Types: []model.CellType{
+			{Name: "S", Width: 3, Height: 1},
+			{Name: "D", Width: 4, Height: 2},
+		},
+	}
+}
+
+func TestRowOccInsertSorted(t *testing.T) {
+	var r rowOcc
+	r.insert(geom.Interval{Lo: 20, Hi: 23})
+	r.insert(geom.Interval{Lo: 5, Hi: 8})
+	r.insert(geom.Interval{Lo: 10, Hi: 14})
+	for i := 1; i < len(r.ivs); i++ {
+		if r.ivs[i].Lo < r.ivs[i-1].Lo {
+			t.Fatalf("not sorted: %v", r.ivs)
+		}
+	}
+}
+
+func TestNearestSlotPicksClosest(t *testing.T) {
+	d := greedyDesign()
+	d.Cells = append(d.Cells, model.Cell{Name: "t", Type: 0, GX: 12, GY: 0})
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]rowOcc, d.Tech.NumRows)
+	// Occupy [10,16) in row 0: the GP spot is blocked.
+	occ[0].insert(geom.Interval{Lo: 10, Hi: 16})
+	x, ok := nearestSlot(d, grid, occ, 0, 0)
+	if !ok {
+		t.Fatal("no slot found")
+	}
+	// Closest feasible: left gap ends at 10 (x=7, dist 5) vs right gap
+	// starts at 16 (dist 4): expect 16.
+	if x != 16 {
+		t.Errorf("nearestSlot = %d, want 16", x)
+	}
+}
+
+func TestNearestSlotRespectsFence(t *testing.T) {
+	d := greedyDesign()
+	d.Fences = []model.Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(20, 0, 10, 2)}}}
+	d.Cells = append(d.Cells, model.Cell{Name: "t", Type: 0, Fence: 1, GX: 2, GY: 0})
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]rowOcc, d.Tech.NumRows)
+	x, ok := nearestSlot(d, grid, occ, 0, 0)
+	if !ok || x < 20 || x+3 > 30 {
+		t.Errorf("fence cell slot = %d ok=%v, want inside [20,30)", x, ok)
+	}
+}
+
+func TestFrontierSlotAppendsOnly(t *testing.T) {
+	d := greedyDesign()
+	d.Cells = append(d.Cells, model.Cell{Name: "t", Type: 1, GX: 0, GY: 0})
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := make([]int, d.Tech.NumRows)
+	frontier[0] = 12
+	frontier[1] = 8
+	// Double-height span rows 0-1: must start at max(frontier) = 12
+	// even though the GP is at 0 (order preservation).
+	x, ok := frontierSlot(d, grid, frontier, 0, 0)
+	if !ok || x != 12 {
+		t.Errorf("frontierSlot = %d ok=%v, want 12", x, ok)
+	}
+}
+
+func TestFrontierSlotFailsWhenFull(t *testing.T) {
+	d := greedyDesign()
+	d.Cells = append(d.Cells, model.Cell{Name: "t", Type: 0, GX: 0, GY: 0})
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := make([]int, d.Tech.NumRows)
+	frontier[0] = 39 // only 1 site left, cell needs 3
+	if _, ok := frontierSlot(d, grid, frontier, 0, 0); ok {
+		t.Errorf("slot found in a full row")
+	}
+}

@@ -1,0 +1,232 @@
+package bmark
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/flow"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "x", Seed: 7, Counts: [4]int{500, 40, 10, 5},
+		Density: 0.6, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.5, IOPins: 8, Routability: true}
+	d1 := Generate(p)
+	d2 := Generate(p)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("generator is not deterministic")
+	}
+	if err := d1.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	p := Params{Name: "x", Seed: 3, Counts: [4]int{1000, 100, 20, 10},
+		Density: 0.55, NumFences: 3, FenceFrac: 0.7, NetFrac: 0.5, IOPins: 10, Routability: true}
+	d := Generate(p)
+	byH := map[int]int{}
+	var area int64
+	fenceCells := 0
+	for i := range d.Cells {
+		ct := d.Types[d.Cells[i].Type]
+		byH[ct.Height]++
+		area += int64(ct.Width * ct.Height)
+		if d.Cells[i].Fence != 0 {
+			fenceCells++
+		}
+	}
+	if byH[1] != 1000 || byH[2] != 100 || byH[3] != 20 || byH[4] != 10 {
+		t.Errorf("height mix = %v", byH)
+	}
+	coreArea := int64(d.Tech.NumSites) * int64(d.Tech.NumRows)
+	util := float64(area) / float64(coreArea)
+	if util < 0.40 || util > 0.60 {
+		t.Errorf("utilization = %.3f, want near 0.55", util)
+	}
+	if len(d.Fences) != 3 {
+		t.Errorf("fences = %d", len(d.Fences))
+	}
+	if fenceCells == 0 {
+		t.Errorf("no cells assigned to fences")
+	}
+	if len(d.Nets) == 0 || len(d.IOPins) != 10 {
+		t.Errorf("nets=%d iopins=%d", len(d.Nets), len(d.IOPins))
+	}
+	if _, err := seg.Build(d); err != nil {
+		t.Fatalf("segmentation failed: %v", err)
+	}
+}
+
+func TestGeneratedInstanceLegalizes(t *testing.T) {
+	p := Params{Name: "small", Seed: 11, Counts: [4]int{600, 60, 15, 8},
+		Density: 0.7, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.5, IOPins: 8, Routability: true}
+	d := Generate(p)
+	res, err := flow.Run(d, flow.Options{Routability: true, Workers: 2})
+	if err != nil {
+		t.Fatalf("flow: %v", err)
+	}
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("illegal after flow: %v", v[0])
+	}
+	if res.Metrics.AvgDisp <= 0 {
+		t.Errorf("no displacement measured: %+v", res.Metrics)
+	}
+	if res.Violations.EdgeSpacing != 0 {
+		t.Errorf("edge-spacing violations with routability on: %d", res.Violations.EdgeSpacing)
+	}
+}
+
+func TestHighDensityInstanceLegalizes(t *testing.T) {
+	// des_perf_1-like: ~90% utilization, single height dominant.
+	p := Params{Name: "dense", Seed: 5, Counts: [4]int{1500, 120, 20, 0},
+		Density: 0.9, NetFrac: 0.3, Routability: false}
+	d := Generate(p)
+	if _, err := flow.Run(d, flow.Options{Workers: 2, TotalDisplacement: true}); err != nil {
+		t.Fatalf("dense instance failed: %v", err)
+	}
+}
+
+func TestSuitesEnumerate(t *testing.T) {
+	cb := ContestBenches()
+	if len(cb) != 16 {
+		t.Errorf("contest suite has %d benches", len(cb))
+	}
+	ib := ISPDBenches()
+	if len(ib) != 20 {
+		t.Errorf("ISPD suite has %d benches", len(ib))
+	}
+	for _, b := range cb {
+		if b.Density <= 0 || b.Density > 1 || b.Counts[0] == 0 {
+			t.Errorf("bad contest bench %+v", b)
+		}
+	}
+	// Scaled generation sanity for one from each suite.
+	d := ContestDesign(cb[9], 0.02) // fft_a_md2, low density
+	if err := d.Validate(); err != nil {
+		t.Errorf("contest design: %v", err)
+	}
+	if len(d.Fences) == 0 || d.Tech.HRailPeriod == 0 {
+		t.Errorf("contest design missing fences or rails")
+	}
+	d = ISPDDesign(ib[6], 0.02) // fft_a
+	if err := d.Validate(); err != nil {
+		t.Errorf("ispd design: %v", err)
+	}
+	if len(d.Fences) != 0 || d.Tech.HRailPeriod != 0 {
+		t.Errorf("ispd design should have no fences or rails")
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	c := scaleCounts([4]int{100000, 10000, 1000, 0}, 0.01)
+	if c[0] != 1000 || c[1] != 100 || c[2] != 24 || c[3] != 0 {
+		t.Errorf("scaleCounts = %v", c)
+	}
+	c = scaleCounts([4]int{1000, 0, 0, 0}, 0.001)
+	if c[0] != 400 {
+		t.Errorf("floor not applied: %v", c)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p := Params{Name: "rt", Seed: 9, Counts: [4]int{120, 20, 6, 3},
+		Density: 0.6, NumFences: 1, FenceFrac: 0.8, NetFrac: 0.6, IOPins: 4, Routability: true}
+	d := Generate(p)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"BOGUS 9",
+		"MCLEGAL 1\nname x\ntech 10 80\n",
+		"MCLEGAL 1\nname x\ntech 10 80 100 10 0\nrails 0 0 0 0 0 0 0\nspacing 0\ntypes 1\ntype T 0 0 0 0 0\nfences 0\nblockages 0\niopins 0\ncells 0\nnets 0\n",
+	}
+	for i, s := range cases {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	d := Generate(Params{Name: "c", Seed: 1, Counts: [4]int{10, 0, 0, 0}, Density: 0.3})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	noisy := "# header comment\n\n" + strings.Replace(buf.String(), "cells", "# about to list cells\ncells", 1)
+	got, err := Read(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "c" || len(got.Cells) != 10 {
+		t.Errorf("noisy parse wrong: %s %d", got.Name, len(got.Cells))
+	}
+}
+
+func TestMacrosGeneratedAndAvoided(t *testing.T) {
+	p := Params{Name: "mac", Seed: 15, Counts: [4]int{700, 60, 15, 6},
+		Density: 0.62, Macros: 4, NetFrac: 0.3, Routability: true}
+	d := Generate(p)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	macros := 0
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			macros++
+		}
+	}
+	if macros != 4 {
+		t.Fatalf("want 4 macros, got %d", macros)
+	}
+	res, err := flow.Run(d, flow.Options{Routability: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+	// No movable cell overlaps a macro.
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			continue
+		}
+		ri := d.CellRect(model.CellID(i))
+		for j := range d.Cells {
+			if !d.Cells[j].Fixed {
+				continue
+			}
+			if ri.Overlaps(d.CellRect(model.CellID(j))) {
+				t.Fatalf("cell %d overlaps macro %d", i, j)
+			}
+		}
+	}
+	if res.MGLStats.Placed != d.MovableCount() {
+		t.Errorf("placed %d of %d", res.MGLStats.Placed, d.MovableCount())
+	}
+}

@@ -1,0 +1,285 @@
+package bmark
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+// The .mcl plain-text design format. Line-oriented, whitespace
+// separated, deterministic ordering, version-tagged.
+
+const formatMagic = "MCLEGAL 1"
+
+// Write serializes d to w in .mcl format.
+func Write(w io.Writer, d *model.Design) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+	t := &d.Tech
+	p("%s\n", formatMagic)
+	p("name %s\n", d.Name)
+	flip := 0
+	if t.FlipOddRows {
+		flip = 1
+	}
+	p("tech %d %d %d %d %d %d\n", t.SiteW, t.RowH, t.NumSites, t.NumRows, t.EvenBottomParity, flip)
+	p("rails %d %d %d %d %d %d %d\n", t.HRailLayer, t.HRailHalfW, t.HRailPeriod,
+		t.VRailLayer, t.VRailPitch, t.VRailW, t.VRailOffset)
+	p("spacing %d\n", len(t.EdgeSpacing))
+	for _, row := range t.EdgeSpacing {
+		for i, v := range row {
+			if i > 0 {
+				p(" ")
+			}
+			p("%d", v)
+		}
+		p("\n")
+	}
+	p("types %d\n", len(d.Types))
+	for i := range d.Types {
+		ct := &d.Types[i]
+		p("type %s %d %d %d %d %d\n", ct.Name, ct.Width, ct.Height, ct.EdgeL, ct.EdgeR, len(ct.Pins))
+		for _, pin := range ct.Pins {
+			p("pin %s %d %d %d %d %d\n", pin.Name, pin.Layer,
+				pin.Box.XLo, pin.Box.YLo, pin.Box.XHi, pin.Box.YHi)
+		}
+	}
+	p("fences %d\n", len(d.Fences))
+	for i := range d.Fences {
+		f := &d.Fences[i]
+		p("fence %s %d\n", f.Name, len(f.Rects))
+		for _, r := range f.Rects {
+			p("rect %d %d %d %d\n", r.XLo, r.YLo, r.XHi, r.YHi)
+		}
+	}
+	p("blockages %d\n", len(d.Blockages))
+	for _, r := range d.Blockages {
+		p("rect %d %d %d %d\n", r.XLo, r.YLo, r.XHi, r.YHi)
+	}
+	p("iopins %d\n", len(d.IOPins))
+	for i := range d.IOPins {
+		io := &d.IOPins[i]
+		p("io %s %d %d %d %d %d\n", io.Name, io.Layer,
+			io.Box.XLo, io.Box.YLo, io.Box.XHi, io.Box.YHi)
+	}
+	p("cells %d\n", len(d.Cells))
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		fx := 0
+		if c.Fixed {
+			fx = 1
+		}
+		p("cell %s %d %d %d %d %d %d %d\n", c.Name, c.Type, c.Fence, c.GX, c.GY, c.X, c.Y, fx)
+	}
+	p("nets %d\n", len(d.Nets))
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		p("net %s %d\n", n.Name, len(n.Pins))
+		for _, pin := range n.Pins {
+			p("pinref %d %d %d\n", pin.Cell, pin.DX, pin.DY)
+		}
+	}
+	return bw.Flush()
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (p *parser) next() ([]string, error) {
+	for p.sc.Scan() {
+		p.line++
+		s := strings.TrimSpace(p.sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		return strings.Fields(s), nil
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("bmark: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// expect reads a line, checks the keyword, and scans the remaining
+// fields into dst (pointers to int or *string).
+func (p *parser) expect(keyword string, dst ...any) error {
+	f, err := p.next()
+	if err != nil {
+		return err
+	}
+	if f[0] != keyword {
+		return p.errf("want %q, got %q", keyword, f[0])
+	}
+	if len(f)-1 != len(dst) {
+		return p.errf("%s: want %d fields, got %d", keyword, len(dst), len(f)-1)
+	}
+	for i, d := range dst {
+		switch v := d.(type) {
+		case *string:
+			*v = f[i+1]
+		case *int:
+			if _, err := fmt.Sscanf(f[i+1], "%d", v); err != nil {
+				return p.errf("%s: bad int %q", keyword, f[i+1])
+			}
+		default:
+			panic("bmark: bad expect target")
+		}
+	}
+	return nil
+}
+
+// Read parses a .mcl design.
+func Read(r io.Reader) (*model.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &parser{sc: sc}
+
+	f, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if strings.Join(f, " ") != formatMagic {
+		return nil, p.errf("bad magic %q", strings.Join(f, " "))
+	}
+	d := &model.Design{}
+	if err := p.expect("name", &d.Name); err != nil {
+		return nil, err
+	}
+	t := &d.Tech
+	var flip int
+	if err := p.expect("tech", &t.SiteW, &t.RowH, &t.NumSites, &t.NumRows, &t.EvenBottomParity, &flip); err != nil {
+		return nil, err
+	}
+	t.FlipOddRows = flip != 0
+	if err := p.expect("rails", &t.HRailLayer, &t.HRailHalfW, &t.HRailPeriod,
+		&t.VRailLayer, &t.VRailPitch, &t.VRailW, &t.VRailOffset); err != nil {
+		return nil, err
+	}
+	var n int
+	if err := p.expect("spacing", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		f, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if len(f) != n {
+			return nil, p.errf("spacing row %d: want %d entries, got %d", i, n, len(f))
+		}
+		row := make([]int, n)
+		for j, s := range f {
+			if _, err := fmt.Sscanf(s, "%d", &row[j]); err != nil {
+				return nil, p.errf("bad spacing %q", s)
+			}
+		}
+		t.EdgeSpacing = append(t.EdgeSpacing, row)
+	}
+	if err := p.expect("types", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var ct model.CellType
+		var el, er, np int
+		if err := p.expect("type", &ct.Name, &ct.Width, &ct.Height, &el, &er, &np); err != nil {
+			return nil, err
+		}
+		ct.EdgeL, ct.EdgeR = uint8(el), uint8(er)
+		for j := 0; j < np; j++ {
+			var pin model.PinShape
+			if err := p.expect("pin", &pin.Name, &pin.Layer,
+				&pin.Box.XLo, &pin.Box.YLo, &pin.Box.XHi, &pin.Box.YHi); err != nil {
+				return nil, err
+			}
+			ct.Pins = append(ct.Pins, pin)
+		}
+		d.Types = append(d.Types, ct)
+	}
+	if err := p.expect("fences", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var fe model.Fence
+		var nr int
+		if err := p.expect("fence", &fe.Name, &nr); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nr; j++ {
+			var r geom.Rect
+			if err := p.expect("rect", &r.XLo, &r.YLo, &r.XHi, &r.YHi); err != nil {
+				return nil, err
+			}
+			fe.Rects = append(fe.Rects, r)
+		}
+		d.Fences = append(d.Fences, fe)
+	}
+	if err := p.expect("blockages", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var r geom.Rect
+		if err := p.expect("rect", &r.XLo, &r.YLo, &r.XHi, &r.YHi); err != nil {
+			return nil, err
+		}
+		d.Blockages = append(d.Blockages, r)
+	}
+	if err := p.expect("iopins", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var io model.IOPin
+		if err := p.expect("io", &io.Name, &io.Layer,
+			&io.Box.XLo, &io.Box.YLo, &io.Box.XHi, &io.Box.YHi); err != nil {
+			return nil, err
+		}
+		d.IOPins = append(d.IOPins, io)
+	}
+	if err := p.expect("cells", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var c model.Cell
+		var ti, fi, fx int
+		if err := p.expect("cell", &c.Name, &ti, &fi, &c.GX, &c.GY, &c.X, &c.Y, &fx); err != nil {
+			return nil, err
+		}
+		c.Type = model.CellTypeID(ti)
+		c.Fence = model.FenceID(fi)
+		c.Fixed = fx != 0
+		d.Cells = append(d.Cells, c)
+	}
+	if err := p.expect("nets", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var net model.Net
+		var np int
+		if err := p.expect("net", &net.Name, &np); err != nil {
+			return nil, err
+		}
+		for j := 0; j < np; j++ {
+			var pin model.NetPin
+			var ci int
+			if err := p.expect("pinref", &ci, &pin.DX, &pin.DY); err != nil {
+				return nil, err
+			}
+			pin.Cell = model.CellID(ci)
+			net.Pins = append(net.Pins, pin)
+		}
+		d.Nets = append(d.Nets, net)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bmark: parsed design invalid: %w", err)
+	}
+	return d, nil
+}

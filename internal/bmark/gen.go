@@ -1,0 +1,389 @@
+// Package bmark generates synthetic legalization benchmarks with the
+// published statistics of the ICCAD 2017 contest [16] and ISPD 2015
+// [17] suites (the originals are proprietary LEF/DEF; DESIGN.md records
+// the substitution), and provides a plain-text design format for the
+// command-line tools.
+//
+// Instances are fully deterministic in their seed: clustered
+// quasi-global-placement positions with controlled hotspot overlap,
+// a mixed-height library with pins that are sensitive to horizontal
+// rails (row choice), vertical stripes (x choice), or neither, fence
+// regions for the *_md variants, locality-aware nets for HPWL, and IO
+// pins along the core edges.
+package bmark
+
+import (
+	"math"
+	"math/rand"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+// Params controls one generated instance.
+type Params struct {
+	Name string
+	Seed int64
+	// Counts[h] is the number of cells of height h+1 (h in 0..3).
+	Counts [4]int
+	// Density is total cell area over core area (utilization).
+	Density float64
+	// NumFences drawn fence regions; 0 for the ISPD-style instances.
+	NumFences int
+	// FenceFrac is the probability that an eligible cell with its GP
+	// inside a fence is assigned to it.
+	FenceFrac float64
+	// NetFrac scales the net count (nets ≈ NetFrac * cells). Zero
+	// disables net generation.
+	NetFrac float64
+	// IOPins is the number of IO pin shapes along the core edges.
+	IOPins int
+	// Routability adds P/G rail geometry and rail-sensitive pins to
+	// the library.
+	Routability bool
+	// Clusters is the number of GP hotspots (0 = automatic).
+	Clusters int
+	// Macros places this many pre-placed fixed blocks (hard macros);
+	// the legalizer must route cells around them.
+	Macros int
+}
+
+// Generate builds the design for p.
+func Generate(p Params) *model.Design {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.Density <= 0 || p.Density > 0.92 {
+		if p.Density > 0.92 {
+			p.Density = 0.92
+		} else {
+			p.Density = 0.5
+		}
+	}
+
+	d := &model.Design{Name: p.Name}
+	var railSensitive []bool
+	d.Types, railSensitive = buildLibrary(p.Routability)
+
+	// Core sizing: rows are 8x taller than sites are wide, so a
+	// physically square core has numSites = 8 * numRows.
+	var totalArea int64
+	typesByH := map[int][]model.CellTypeID{}
+	for i := range d.Types {
+		typesByH[d.Types[i].Height] = append(typesByH[d.Types[i].Height], model.CellTypeID(i))
+	}
+	avgW := map[int]float64{1: 3.5, 2: 4.0, 3: 6.0, 4: 7.0}
+	for h := 1; h <= 4; h++ {
+		totalArea += int64(float64(p.Counts[h-1]) * avgW[h] * float64(h))
+	}
+	coreArea := float64(totalArea) / p.Density
+	numRows := int(math.Ceil(math.Sqrt(coreArea/8))) + 2
+	if numRows < 12 {
+		numRows = 12
+	}
+	numRows += numRows % 2 // even, so P/G parity rows exist everywhere
+	numSites := int(math.Ceil(coreArea/float64(numRows))) + 8
+
+	d.Tech = model.Tech{
+		SiteW: 10, RowH: 80,
+		NumSites: numSites, NumRows: numRows,
+		EvenBottomParity: 0,
+	}
+	if p.Routability {
+		d.Tech.HRailLayer = model.LayerM2
+		d.Tech.HRailHalfW = 4
+		d.Tech.HRailPeriod = 2
+		d.Tech.VRailLayer = model.LayerM3
+		d.Tech.VRailPitch = 30
+		d.Tech.VRailW = 12
+		d.Tech.VRailOffset = 15
+		d.Tech.EdgeSpacing = [][]int{{0, 0}, {0, 1}}
+	}
+
+	// Fences.
+	var fenceRects []geom.Rect
+	for f := 0; f < p.NumFences; f++ {
+		for try := 0; try < 50; try++ {
+			fw := numSites/8 + rng.Intn(numSites/8+1)
+			fh := 4 + rng.Intn(numRows/4+1)
+			fx := rng.Intn(maxi(1, numSites-fw))
+			fy := rng.Intn(maxi(1, numRows-fh))
+			r := geom.RectWH(fx, fy, fw, fh)
+			ok := true
+			for _, o := range fenceRects {
+				if r.Expand(2).Overlaps(o) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				fenceRects = append(fenceRects, r)
+				d.Fences = append(d.Fences, model.Fence{Name: "fence", Rects: []geom.Rect{r}})
+				break
+			}
+		}
+	}
+
+	// Hard macros: fixed cells on legal positions, clear of fences and
+	// of each other. Their types are appended to the library.
+	var macroRects []geom.Rect
+	if p.Macros > 0 {
+		sizes := [][2]int{{numSites / 10, 3}, {numSites / 14, 4}, {numSites / 8, 2}}
+		for m := 0; m < p.Macros; m++ {
+			sz := sizes[m%len(sizes)]
+			mw, mh := maxi(4, sz[0]), sz[1]
+			ti := len(d.Types)
+			d.Types = append(d.Types, model.CellType{
+				Name: "MACRO" + cellName(m)[1:], Width: mw, Height: mh,
+			})
+			railSensitive = append(railSensitive, false)
+			for try := 0; try < 80; try++ {
+				mx := rng.Intn(maxi(1, numSites-mw))
+				my := rng.Intn(maxi(1, numRows-mh))
+				r := geom.RectWH(mx, my, mw, mh)
+				bad := false
+				for _, fr := range fenceRects {
+					if r.Expand(1).Overlaps(fr) {
+						bad = true
+						break
+					}
+				}
+				for _, or := range macroRects {
+					if r.Expand(2).Overlaps(or) {
+						bad = true
+						break
+					}
+				}
+				if bad {
+					continue
+				}
+				macroRects = append(macroRects, r)
+				d.Cells = append(d.Cells, model.Cell{
+					Name: "macro" + cellName(m)[1:], Type: model.CellTypeID(ti),
+					GX: mx, GY: my, X: mx, Y: my, Fixed: true,
+				})
+				break
+			}
+		}
+	}
+
+	// GP clusters.
+	nc := p.Clusters
+	total := p.Counts[0] + p.Counts[1] + p.Counts[2] + p.Counts[3]
+	if nc <= 0 {
+		nc = maxi(4, total/2500)
+	}
+	type cluster struct{ cx, cy, sx, sy float64 }
+	clusters := make([]cluster, nc)
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx: rng.Float64() * float64(numSites),
+			cy: rng.Float64() * float64(numRows),
+			sx: float64(numSites) * (0.04 + rng.Float64()*0.10),
+			sy: float64(numRows) * (0.04 + rng.Float64()*0.10),
+		}
+	}
+
+	// Cells.
+	fenceUsed := make([]int64, len(fenceRects))
+	for h := 1; h <= 4; h++ {
+		for k := 0; k < p.Counts[h-1]; k++ {
+			ti := typesByH[h][rng.Intn(len(typesByH[h]))]
+			ct := &d.Types[ti]
+			var gx, gy int
+			if rng.Float64() < 0.3 {
+				gx = rng.Intn(maxi(1, numSites-ct.Width))
+				gy = rng.Intn(maxi(1, numRows-ct.Height))
+			} else {
+				c := clusters[rng.Intn(nc)]
+				gx = clampi(int(c.cx+rng.NormFloat64()*c.sx), 0, numSites-ct.Width)
+				gy = clampi(int(c.cy+rng.NormFloat64()*c.sy), 0, numRows-ct.Height)
+			}
+			fence := model.DefaultFence
+			for fi, fr := range fenceRects {
+				if !fr.ContainsPt(geom.Pt{X: gx, Y: gy}) {
+					continue
+				}
+				// Rail-sensitive types lose candidate rows or x ranges;
+				// inside a small fence that can starve capacity, so only
+				// clean types join fences.
+				capArea := int64(fr.Area()) * 55 / 100
+				if !railSensitive[ti] && ct.Height < fr.H() && rng.Float64() < p.FenceFrac &&
+					fenceUsed[fi]+int64(ct.Width*ct.Height) <= capArea {
+					fence = model.FenceID(fi + 1)
+					fenceUsed[fi] += int64(ct.Width * ct.Height)
+				}
+				break
+			}
+			d.Cells = append(d.Cells, model.Cell{
+				Name: cellName(len(d.Cells)), Type: ti, Fence: fence,
+				GX: gx, GY: gy, X: gx, Y: gy,
+			})
+		}
+	}
+
+	// Locality-aware nets: order cells along a coarse space-filling
+	// curve and connect consecutive runs.
+	if p.NetFrac > 0 && len(d.Cells) >= 2 {
+		order := make([]int, len(d.Cells))
+		for i := range order {
+			order[i] = i
+		}
+		band := maxi(2, numRows/16)
+		sortByCurve(d, order, band)
+		nNets := int(p.NetFrac * float64(len(d.Cells)))
+		pos := 0
+		for n := 0; n < nNets && pos+1 < len(order); n++ {
+			k := 2 + rng.Intn(4)
+			if pos+k > len(order) {
+				k = len(order) - pos
+			}
+			net := model.Net{Name: netName(n)}
+			for j := 0; j < k; j++ {
+				ci := order[pos+j]
+				ct := &d.Types[d.Cells[ci].Type]
+				net.Pins = append(net.Pins, model.NetPin{
+					Cell: model.CellID(ci),
+					DX:   ct.Width * d.Tech.SiteW / 2,
+					DY:   ct.Height * d.Tech.RowH / 2,
+				})
+			}
+			d.Nets = append(d.Nets, net)
+			pos += k - 1 // share one cell between consecutive nets
+		}
+	}
+
+	// Fences are filled below the global density (cells are assigned
+	// only when their GP falls inside), which squeezes the default
+	// region. Widen the core so the default region's utilization stays
+	// at the target; widening to the right keeps every placed fence and
+	// GP coordinate valid.
+	var fenceArea, macroArea, fenceCellArea, totalCellArea int64
+	for _, fr := range fenceRects {
+		fenceArea += fr.Area()
+	}
+	for _, mr := range macroRects {
+		macroArea += mr.Area()
+	}
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			continue
+		}
+		ct := &d.Types[d.Cells[i].Type]
+		a := int64(ct.Width * ct.Height)
+		totalCellArea += a
+		if d.Cells[i].Fence != model.DefaultFence {
+			fenceCellArea += a
+		}
+	}
+	defaultCellArea := totalCellArea - fenceCellArea
+	defaultCap := int64(d.Tech.NumSites)*int64(d.Tech.NumRows) - fenceArea - macroArea
+	if need := int64(float64(defaultCellArea) / p.Density); need > defaultCap {
+		extra := (need - defaultCap + int64(d.Tech.NumRows) - 1) / int64(d.Tech.NumRows)
+		d.Tech.NumSites += int(extra)
+		numSites = d.Tech.NumSites
+	}
+
+	// IO pins on the bottom and top core edges (M2).
+	for i := 0; i < p.IOPins; i++ {
+		x := rng.Intn(maxi(1, numSites-2)) * d.Tech.SiteW
+		y := 0
+		if i%2 == 1 {
+			y = (numRows-1)*d.Tech.RowH + d.Tech.RowH/2
+		}
+		d.IOPins = append(d.IOPins, model.IOPin{
+			Name:  ioName(i),
+			Layer: model.LayerM2,
+			Box:   geom.RectWH(x, y, 2*d.Tech.SiteW, d.Tech.RowH/2),
+		})
+	}
+	return d
+}
+
+// buildLibrary returns the mixed-height cell library. With routability
+// enabled, some types carry rail-sensitive pins:
+//
+//   - a low M2 pin (shorts against horizontal rails on rail rows),
+//   - a low M1 pin (access conflict under horizontal rails),
+//   - a wide mid M2 pin (access conflict under vertical stripes).
+//
+// The second return marks types whose pins are rail-sensitive.
+func buildLibrary(routability bool) ([]model.CellType, []bool) {
+	mk := func(name string, w, h int, el, er uint8, pins ...model.PinShape) model.CellType {
+		return model.CellType{Name: name, Width: w, Height: h, EdgeL: el, EdgeR: er, Pins: pins}
+	}
+	mid := func(w, h int) model.PinShape {
+		// Centered pin, nudged off the mid row boundary for even
+		// heights so the "clean" types never collide with a horizontal
+		// rail (h*RowH/2 is a rail position when h is even).
+		y := h*80/2 - 6
+		if h%2 == 0 {
+			y -= 20
+		}
+		return model.PinShape{Name: "A", Layer: model.LayerM1,
+			Box: geom.RectWH(w*10/2-4, y, 8, 12)}
+	}
+	lowM2 := func() model.PinShape {
+		return model.PinShape{Name: "B", Layer: model.LayerM2, Box: geom.RectWH(4, 0, 8, 6)}
+	}
+	lowM1 := func() model.PinShape {
+		return model.PinShape{Name: "C", Layer: model.LayerM1, Box: geom.RectWH(4, 0, 8, 6)}
+	}
+	wideM2 := func(w int) model.PinShape {
+		return model.PinShape{Name: "D", Layer: model.LayerM2,
+			Box: geom.RectWH(2, 30, w*10-4, 10)}
+	}
+	lib := []model.CellType{
+		mk("INV_X1", 2, 1, 0, 0, mid(2, 1)),
+		mk("BUF_X2", 3, 1, 0, 0, mid(3, 1)),
+		mk("NAND2", 3, 1, 0, 1, mid(3, 1)),
+		mk("AOI22", 4, 1, 1, 0, mid(4, 1)),
+		mk("OAI21", 4, 1, 0, 0, mid(4, 1)),
+		mk("XOR2", 6, 1, 0, 0, mid(6, 1)),
+		mk("DFF2", 3, 2, 0, 0, mid(3, 2)),
+		mk("DFFR2", 4, 2, 0, 0, mid(4, 2)),
+		mk("MUX4_2", 5, 2, 1, 1, mid(5, 2)),
+		mk("MBFF3", 5, 3, 0, 0, mid(5, 3)),
+		mk("CLKBUF3", 7, 3, 0, 0, mid(7, 3)),
+		mk("MBFF4", 6, 4, 0, 0, mid(6, 4)),
+		mk("PLL4", 8, 4, 0, 0, mid(8, 4)),
+	}
+	sensitive := make([]bool, len(lib))
+	if routability {
+		// Sensitize a minority of the library so routability matters
+		// without starving placement capacity (a row-sensitive type
+		// loses half of all rows).
+		lib[2].Pins = append(lib[2].Pins, lowM1())   // NAND2: row-sensitive access
+		lib[4].Pins = append(lib[4].Pins, wideM2(4)) // OAI21: x-sensitive access
+		lib[5].Pins = append(lib[5].Pins, lowM2())   // XOR2: row-sensitive short
+		lib[8].Pins = append(lib[8].Pins, wideM2(5)) // MUX4_2: x-sensitive
+		lib[9].Pins = append(lib[9].Pins, lowM2())   // MBFF3: row-sensitive short
+		for _, i := range []int{2, 4, 5, 8, 9} {
+			sensitive[i] = true
+		}
+	}
+	return lib, sensitive
+}
+
+// sortByCurve orders cell indices along horizontal bands (a coarse
+// boustrophedon space-filling curve) for net locality.
+func sortByCurve(d *model.Design, order []int, band int) {
+	cells := d.Cells
+	lessKey := func(i int) (int, int) {
+		b := cells[i].GY / band
+		x := cells[i].GX
+		if b%2 == 1 {
+			x = -x
+		}
+		return b, x
+	}
+	sortSlice(order, func(a, b int) bool {
+		ba, xa := lessKey(a)
+		bb, xb := lessKey(b)
+		if ba != bb {
+			return ba < bb
+		}
+		if xa != xb {
+			return xa < xb
+		}
+		return a < b
+	})
+}

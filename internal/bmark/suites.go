@@ -1,0 +1,126 @@
+package bmark
+
+import "mclegal/internal/model"
+
+// Bench names one suite instance with its published statistics.
+type Bench struct {
+	Name    string
+	Counts  [4]int // cells of heights 1..4
+	Density float64
+	Fences  int
+}
+
+// ContestBenches lists the 16 ICCAD 2017 instances of Table 1 with
+// their published cell counts (multi-height columns approximated from
+// the table) and design densities.
+func ContestBenches() []Bench {
+	return []Bench{
+		{"des_perf_1", [4]int{99516, 11313, 1815, 0}, 0.906, 4},
+		{"des_perf_a_md1", [4]int{98890, 4699, 0, 0}, 0.551, 4},
+		{"des_perf_a_md2", [4]int{101772, 1086, 1086, 1086}, 0.559, 4},
+		{"des_perf_b_md1", [4]int{100920, 5862, 0, 0}, 0.550, 4},
+		{"des_perf_b_md2", [4]int{91172, 6781, 2260, 1695}, 0.647, 4},
+		{"edit_dist_1_md1", [4]int{105349, 7994, 2664, 1998}, 0.674, 4},
+		{"edit_dist_a_md2", [4]int{105318, 7799, 1949, 0}, 0.594, 4},
+		{"edit_dist_a_md3", [4]int{111819, 2599, 2599, 2599}, 0.572, 4},
+		{"fft_2_md2", [4]int{25579, 2117, 705, 529}, 0.827, 2},
+		{"fft_a_md2", [4]int{24237, 2018, 672, 504}, 0.323, 2},
+		{"fft_a_md3", [4]int{26593, 672, 672, 672}, 0.312, 2},
+		{"pci_bridge32_a_md1", [4]int{23843, 1792, 597, 448}, 0.495, 2},
+		{"pci_bridge32_a_md2", [4]int{20961, 2090, 1194, 994}, 0.577, 2},
+		{"pci_bridge32_b_md1", [4]int{25110, 585, 439, 0}, 0.266, 2},
+		{"pci_bridge32_b_md2", [4]int{27162, 292, 292, 292}, 0.183, 2},
+		{"pci_bridge32_b_md3", [4]int{25990, 292, 585, 585}, 0.222, 2},
+	}
+}
+
+// ISPDBenches lists the 20 ISPD 2015-derived instances of Table 2
+// (10% of cells converted to double height, half width) with their
+// published cell counts and densities.
+func ISPDBenches() []Bench {
+	mix := func(total int) [4]int {
+		dbl := total / 10
+		return [4]int{total - dbl, dbl, 0, 0}
+	}
+	return []Bench{
+		{"des_perf_1", mix(112644), 0.9058, 0},
+		{"des_perf_a", mix(108292), 0.4290, 0},
+		{"des_perf_b", mix(112644), 0.4971, 0},
+		{"edit_dist_a", mix(127419), 0.4554, 0},
+		{"fft_1", mix(32281), 0.8355, 0},
+		{"fft_2", mix(32281), 0.4997, 0},
+		{"fft_a", mix(30631), 0.2509, 0},
+		{"fft_b", mix(30631), 0.2819, 0},
+		{"matrix_mult_1", mix(155325), 0.8024, 0},
+		{"matrix_mult_2", mix(155325), 0.7903, 0},
+		{"matrix_mult_a", mix(149655), 0.4195, 0},
+		{"matrix_mult_b", mix(146442), 0.3090, 0},
+		{"matrix_mult_c", mix(146442), 0.3083, 0},
+		{"pci_bridge32_a", mix(29521), 0.3839, 0},
+		{"pci_bridge32_b", mix(28920), 0.1430, 0},
+		{"superblue11_a", mix(927074), 0.4292, 0},
+		{"superblue12", mix(1287037), 0.4472, 0},
+		{"superblue14", mix(612583), 0.5578, 0},
+		{"superblue16_a", mix(680869), 0.4785, 0},
+		{"superblue19", mix(506383), 0.5233, 0},
+	}
+}
+
+// scaleCounts shrinks the published cell counts by scale, keeping the
+// height mix and a floor so instances stay meaningful.
+func scaleCounts(c [4]int, scale float64) [4]int {
+	var out [4]int
+	for i := range c {
+		out[i] = int(float64(c[i]) * scale)
+	}
+	if out[0] < 400 && c[0] > 0 {
+		out[0] = 400
+	}
+	for i := 1; i < 4; i++ {
+		if c[i] > 0 && out[i] < 24 {
+			out[i] = 24
+		}
+	}
+	return out
+}
+
+// ContestDesign generates one Table 1 instance at the given scale
+// (1.0 = published size), with fences, rails and IO pins.
+func ContestDesign(b Bench, scale float64) *model.Design {
+	return Generate(Params{
+		Name:        b.Name,
+		Seed:        seedOf(b.Name),
+		Counts:      scaleCounts(b.Counts, scale),
+		Density:     b.Density,
+		NumFences:   b.Fences,
+		FenceFrac:   0.6,
+		NetFrac:     0.5,
+		IOPins:      32,
+		Routability: true,
+	})
+}
+
+// ISPDDesign generates one Table 2 instance at the given scale: no
+// fences, no rails (the second experiment ignores routability).
+func ISPDDesign(b Bench, scale float64) *model.Design {
+	return Generate(Params{
+		Name:    b.Name,
+		Seed:    seedOf(b.Name) ^ 0x5f5f,
+		Counts:  scaleCounts(b.Counts, scale),
+		Density: b.Density,
+		NetFrac: 0.5,
+	})
+}
+
+// seedOf derives a stable seed from a benchmark name.
+func seedOf(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

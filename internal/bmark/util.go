@@ -1,0 +1,34 @@
+package bmark
+
+import (
+	"sort"
+	"strconv"
+)
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampi(x, lo, hi int) int {
+	if hi < lo {
+		return lo
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func cellName(i int) string { return "c" + strconv.Itoa(i) }
+func netName(i int) string  { return "n" + strconv.Itoa(i) }
+func ioName(i int) string   { return "io" + strconv.Itoa(i) }
+
+func sortSlice(xs []int, less func(a, b int) bool) {
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}

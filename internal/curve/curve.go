@@ -1,0 +1,258 @@
+// Package curve implements the piecewise-linear displacement curves at
+// the heart of MGL (paper Section 3.1, Figure 4).
+//
+// For a candidate insertion point, every local cell contributes a curve
+// of one of four types over the target cell's x-coordinate:
+//
+//	Type A: flat, then rising   — right-side cell at/right of its GP
+//	Type B: falling, then flat  — left-side cell at/left of its GP
+//	Type C: flat, falling, rising — right-side cell left of its GP
+//	Type D: falling, rising, flat (mirrored C) — left-side cell right of its GP
+//
+// The target cell itself contributes the V-shaped |x - x'| curve. The
+// sum of all curves is scanned at its breakpoints for the optimum,
+// exactly as the paper does (it skips the MCF pre-pass that Theorem 1
+// would need to guarantee convexity, so the scan must not assume it).
+package curve
+
+import "sort"
+
+type breakpoint struct {
+	x  int64
+	ds int64 // slope increase at x
+}
+
+// Curve is a piecewise-linear function of an integer coordinate. The
+// zero value is the constant 0 function.
+type Curve struct {
+	vref   int64 // value at xref
+	xref   int64
+	slope0 int64 // slope left of every breakpoint
+	breaks []breakpoint
+	sorted bool
+}
+
+// Const returns the constant curve f(x) = c.
+func Const(c int64) *Curve { return &Curve{vref: c} }
+
+// Abs returns f(x) = w*|x-g| + c, the target cell's own curve (w is the
+// per-unit displacement cost, c a constant such as the y-displacement).
+func Abs(g, w, c int64) *Curve {
+	return &Curve{
+		vref: c, xref: g, slope0: -w,
+		breaks: []breakpoint{{x: g, ds: 2 * w}},
+		sorted: true,
+	}
+}
+
+// PushRight returns f(x) = w*|max(cur, x+off) - g|: the displacement of
+// a right-side local cell whose position is max(cur, x+off) when the
+// target sits at x. cur is the cell's current position, g its GP
+// position, off the chain offset (target width plus the widths and
+// spacings between). Yields type A when cur >= g, type C otherwise.
+func PushRight(cur, g, off, w int64) *Curve {
+	if cur >= g {
+		// (cur-g) for x <= cur-off, then rising.
+		return &Curve{
+			vref: w * (cur - g), xref: cur - off,
+			breaks: []breakpoint{{x: cur - off, ds: w}},
+			sorted: true,
+		}
+	}
+	// Type C: flat (g-cur), falling to 0 at g-off, rising after.
+	return &Curve{
+		vref: w * (g - cur), xref: cur - off,
+		breaks: []breakpoint{
+			{x: cur - off, ds: -w},
+			{x: g - off, ds: 2 * w},
+		},
+		sorted: true,
+	}
+}
+
+// PushLeft returns f(x) = w*|min(cur, x-off) - g|: the displacement of a
+// left-side local cell whose position is min(cur, x-off). Yields type B
+// when cur <= g, type D otherwise.
+func PushLeft(cur, g, off, w int64) *Curve {
+	if cur <= g {
+		// Falling toward the critical position cur+off, then flat at
+		// (g-cur).
+		return &Curve{
+			vref: w * (g - cur), xref: cur + off,
+			slope0: -w,
+			breaks: []breakpoint{{x: cur + off, ds: w}},
+			sorted: true,
+		}
+	}
+	// Type D: rising region ends at cur+off with value (cur-g); flat
+	// after; falling before g+off.
+	return &Curve{
+		vref: w * (cur - g), xref: cur + off,
+		slope0: -w,
+		breaks: []breakpoint{
+			{x: g + off, ds: 2 * w},
+			{x: cur + off, ds: -w},
+		},
+		sorted: true,
+	}
+}
+
+// Add accumulates o into c.
+func (c *Curve) Add(o *Curve) {
+	c.vref += o.Eval(c.xref)
+	c.slope0 += o.slope0
+	c.breaks = append(c.breaks, o.breaks...)
+	c.sorted = false
+}
+
+// AddConst adds a constant to the curve.
+func (c *Curve) AddConst(v int64) { c.vref += v }
+
+func (c *Curve) ensureSorted() {
+	if c.sorted {
+		return
+	}
+	if len(c.breaks) <= 24 {
+		// Insertion sort: breakpoint lists are tiny and this is on the
+		// legalizer's hot path.
+		for i := 1; i < len(c.breaks); i++ {
+			for j := i; j > 0 && c.breaks[j].x < c.breaks[j-1].x; j-- {
+				c.breaks[j], c.breaks[j-1] = c.breaks[j-1], c.breaks[j]
+			}
+		}
+	} else {
+		sort.Slice(c.breaks, func(i, j int) bool { return c.breaks[i].x < c.breaks[j].x })
+	}
+	c.sorted = true
+}
+
+// integrate returns the integral of the slope function over [a, b],
+// a <= b. The slope is right-continuous: a breakpoint at x changes the
+// slope on [x, next).
+func (c *Curve) integrate(a, b int64) int64 {
+	c.ensureSorted()
+	var total int64
+	s := c.slope0
+	prev := a
+	for _, bp := range c.breaks {
+		if bp.x <= a {
+			s += bp.ds
+			continue
+		}
+		if bp.x >= b {
+			break
+		}
+		total += s * (bp.x - prev)
+		prev = bp.x
+		s += bp.ds
+	}
+	total += s * (b - prev)
+	return total
+}
+
+// Eval returns f(x).
+func (c *Curve) Eval(x int64) int64 {
+	if x >= c.xref {
+		return c.vref + c.integrate(c.xref, x)
+	}
+	return c.vref - c.integrate(x, c.xref)
+}
+
+// Breakpoints returns the sorted breakpoint positions (with duplicates
+// collapsed).
+func (c *Curve) Breakpoints() []int64 {
+	c.ensureSorted()
+	out := make([]int64, 0, len(c.breaks))
+	for _, b := range c.breaks {
+		if n := len(out); n > 0 && out[n-1] == b.x {
+			continue
+		}
+		out = append(out, b.x)
+	}
+	return out
+}
+
+// MinOn scans the curve on [lo, hi] and returns the minimizing x and
+// value. Candidates are the interval endpoints, every breakpoint
+// inside, and prefer itself; ties prefer the x closest to prefer (then
+// the smaller x) so results are deterministic. The interval must
+// satisfy lo <= hi. The scan is a single O(breaks) sweep.
+func (c *Curve) MinOn(lo, hi, prefer int64) (bestX, bestV int64) {
+	c.ensureSorted()
+	bestX, bestV = lo, c.Eval(lo)
+	better := func(x, v int64) {
+		if v < bestV {
+			bestX, bestV = x, v
+			return
+		}
+		if v > bestV {
+			return
+		}
+		dNew, dOld := abs64(x-prefer), abs64(bestX-prefer)
+		if dNew < dOld || (dNew == dOld && x < bestX) {
+			bestX = x
+		}
+	}
+	// Sweep from lo: maintain the running value and slope.
+	v := bestV
+	s := c.slope0
+	prev := lo
+	preferDone := prefer <= lo || prefer > hi
+	for _, b := range c.breaks {
+		if b.x <= lo {
+			s += b.ds
+			continue
+		}
+		if b.x > hi {
+			break
+		}
+		if !preferDone && prefer < b.x {
+			better(prefer, v+s*(prefer-prev))
+			preferDone = true
+		}
+		v += s * (b.x - prev)
+		prev = b.x
+		s += b.ds
+		better(b.x, v)
+	}
+	if !preferDone {
+		better(prefer, v+s*(prefer-prev))
+	}
+	better(hi, v+s*(hi-prev))
+	return bestX, bestV
+}
+
+// IsConvex reports whether every breakpoint slope change is
+// non-negative after merging co-located breaks, i.e. the curve is
+// convex. Theorem 1 of the paper states the summed curve is convex when
+// all local cells start at optimal positions.
+func (c *Curve) IsConvex() bool {
+	c.ensureSorted()
+	for i := 0; i < len(c.breaks); {
+		j := i
+		var ds int64
+		for j < len(c.breaks) && c.breaks[j].x == c.breaks[i].x {
+			ds += c.breaks[j].ds
+			j++
+		}
+		if ds < 0 {
+			return false
+		}
+		i = j
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (c *Curve) Clone() *Curve {
+	nc := *c
+	nc.breaks = append([]breakpoint(nil), c.breaks...)
+	return &nc
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,129 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genCurve builds a random curve plus an equivalent closure for
+// reference evaluation.
+func genCurve(rng *rand.Rand) (*Curve, func(int64) int64) {
+	kind := rng.Intn(4)
+	cur := int64(rng.Intn(60) - 30)
+	g := int64(rng.Intn(60) - 30)
+	off := int64(rng.Intn(12))
+	w := int64(1 + rng.Intn(4))
+	c0 := int64(rng.Intn(10))
+	switch kind {
+	case 0:
+		return Abs(g, w, c0), func(x int64) int64 { return w*abs64(x-g) + c0 }
+	case 1:
+		return PushRight(cur, g, off, w), func(x int64) int64 {
+			p := cur
+			if x+off > p {
+				p = x + off
+			}
+			return w * abs64(p-g)
+		}
+	case 2:
+		return PushLeft(cur, g, off, w), func(x int64) int64 {
+			p := cur
+			if x-off < p {
+				p = x - off
+			}
+			return w * abs64(p-g)
+		}
+	default:
+		return Const(c0), func(int64) int64 { return c0 }
+	}
+}
+
+// Property: summing k random curves evaluates pointwise to the sum of
+// the parts over a wide scan range.
+func TestQuickSumPointwise(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%6) + 1
+		sum := Const(0)
+		var refs []func(int64) int64
+		for i := 0; i < k; i++ {
+			c, ref := genCurve(rng)
+			sum.Add(c)
+			refs = append(refs, ref)
+		}
+		for x := int64(-50); x <= 50; x += 3 {
+			var want int64
+			for _, r := range refs {
+				want += r(x)
+			}
+			if sum.Eval(x) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinOn returns the true minimum over the integer range.
+func TestQuickMinOnIsMinimum(t *testing.T) {
+	f := func(seed int64, loRaw int16, span uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sum := Const(0)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			c, _ := genCurve(rng)
+			sum.Add(c)
+		}
+		lo := int64(loRaw % 40)
+		hi := lo + int64(span%60)
+		prefer := lo + int64(span)%maxi64(1, hi-lo+1)
+		x, v := sum.MinOn(lo, hi, prefer)
+		if x < lo || x > hi || sum.Eval(x) != v {
+			return false
+		}
+		for q := lo; q <= hi; q++ {
+			if sum.Eval(q) < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sum of convex curves (types A and B only, the MLL
+// setting) is always convex.
+func TestQuickMLLCurvesConvex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sum := Const(0)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			cur := int64(rng.Intn(40) - 20)
+			off := int64(rng.Intn(10))
+			w := int64(1 + rng.Intn(3))
+			// MLL semantics: g == cur, so PushRight is type A and
+			// PushLeft type B.
+			if rng.Intn(2) == 0 {
+				sum.Add(PushRight(cur, cur, off, w))
+			} else {
+				sum.Add(PushLeft(cur, cur, off, w))
+			}
+		}
+		return sum.IsConvex()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

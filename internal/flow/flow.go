@@ -1,0 +1,166 @@
+// Package flow runs the paper's complete three-stage legalization
+// pipeline (Figure 2): multi-row global legalization, matching-based
+// maximum-displacement optimization, and fixed-row-and-order MCF
+// refinement, with optional routability handling (Section 3.4)
+// threaded through every stage.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/maxdisp"
+	"mclegal/internal/mgl"
+	"mclegal/internal/model"
+	"mclegal/internal/refine"
+	"mclegal/internal/route"
+	"mclegal/internal/seg"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Routability enables the Section 3.4 handling: pin-aware row and
+	// x steering in MGL, IO penalties, and rail-safe feasible ranges
+	// in the refinement.
+	Routability bool
+	// TotalDisplacement switches the refinement to uniform weights
+	// (the Table 2 objective) instead of the contest S_am weights.
+	TotalDisplacement bool
+	// SkipMaxDisp and SkipRefine disable post-processing stages
+	// (Table 3 ablation).
+	SkipMaxDisp, SkipRefine bool
+	// Workers is the MGL thread count (0 = GOMAXPROCS).
+	Workers int
+	// Delta0Rows is the φ threshold of the matching stage.
+	Delta0Rows float64
+	// MaxDispWeight is n_0 of the refinement; 0 picks a default
+	// proportional to the summed cell weights.
+	MaxDispWeight int64
+	// MGL allows overriding low-level legalizer options; Workers and
+	// Rules are filled in by the pipeline.
+	MGL mgl.Options
+}
+
+// Result reports the pipeline outcome.
+type Result struct {
+	Metrics    eval.Metrics
+	Violations route.Violations
+	HPWLBefore int64
+	HPWLAfter  int64
+	Score      float64
+
+	MGLTime, MaxDispTime, RefineTime time.Duration
+	Total                            time.Duration
+
+	MGLStats     mgl.Stats
+	MaxDispStats maxdisp.Stats
+	RefineReport refine.Report
+}
+
+// Run legalizes d in place and returns the evaluation of the result.
+func Run(d *model.Design, opt Options) (Result, error) {
+	var res Result
+	if err := d.Validate(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	res.HPWLBefore = eval.HPWL(d)
+
+	grid, err := seg.Build(d)
+	if err != nil {
+		return res, err
+	}
+
+	var rules *route.Rules
+	checker := route.NewChecker(d)
+	mglOpt := opt.MGL
+	mglOpt.Workers = opt.Workers
+	if opt.Routability {
+		rules = route.NewRules(checker)
+		mglOpt.Rules = rules
+	}
+
+	// Stage 1: MGL (Section 3.1).
+	t0 := time.Now()
+	leg := mgl.New(d, grid, mglOpt)
+	if err := leg.Run(); err != nil {
+		return res, fmt.Errorf("flow: MGL: %w", err)
+	}
+	res.MGLStats = leg.Stats
+	res.MGLTime = time.Since(t0)
+
+	// Stage 2: maximum-displacement optimization (Section 3.2). Under
+	// a pure total-displacement objective (the Table 2 configuration)
+	// φ must stay in its linear regime, where the matching minimizes
+	// the plain total displacement.
+	if !opt.SkipMaxDisp {
+		t0 = time.Now()
+		mdOpt := maxdisp.Options{Delta0Rows: opt.Delta0Rows}
+		if opt.TotalDisplacement && mdOpt.Delta0Rows == 0 {
+			mdOpt.Delta0Rows = 1e9
+		}
+		res.MaxDispStats = maxdisp.Optimize(d, mdOpt)
+		res.MaxDispTime = time.Since(t0)
+	}
+
+	// Stage 3: fixed row & order refinement (Section 3.3).
+	if !opt.SkipRefine {
+		t0 = time.Now()
+		rOpt := refine.Options{MaxDispWeight: opt.MaxDispWeight}
+		if opt.TotalDisplacement {
+			rOpt.Weights = refine.WeightUniform
+		} else {
+			rOpt.Weights = refine.WeightHeightAverage
+		}
+		if rOpt.MaxDispWeight == 0 && !opt.TotalDisplacement {
+			// Default n_0: two orders of magnitude below the summed
+			// displacement weights, so the max-displacement terms can
+			// win local trades without dominating the average. A pure
+			// total-displacement objective keeps n_0 = 0.
+			rOpt.MaxDispWeight = 1 + 4*int64(d.MovableCount())/100
+		}
+		if opt.Routability && rules != nil {
+			rOpt.Ranges = rules.RangeProvider(grid)
+		}
+		rep, err := refine.Optimize(d, grid, rOpt)
+		if err != nil {
+			return res, fmt.Errorf("flow: refine: %w", err)
+		}
+		res.RefineReport = rep
+		res.RefineTime = time.Since(t0)
+	}
+
+	res.Total = time.Since(start)
+	res.Metrics = eval.Measure(d)
+	res.Violations = checker.Count()
+	res.HPWLAfter = eval.HPWL(d)
+	res.Score = eval.Score(eval.ScoreInput{
+		Metrics:        res.Metrics,
+		HPWLBefore:     res.HPWLBefore,
+		HPWLAfter:      res.HPWLAfter,
+		PinViolations:  res.Violations.Pin(),
+		EdgeViolations: res.Violations.EdgeSpacing,
+		Cells:          d.MovableCount(),
+	})
+	return res, nil
+}
+
+// Evaluate scores an already-legalized design (used for baselines),
+// with hpwlBefore measured at GP positions by the caller.
+func Evaluate(d *model.Design, hpwlBefore int64) Result {
+	var res Result
+	res.HPWLBefore = hpwlBefore
+	res.HPWLAfter = eval.HPWL(d)
+	res.Metrics = eval.Measure(d)
+	res.Violations = route.NewChecker(d).Count()
+	res.Score = eval.Score(eval.ScoreInput{
+		Metrics:        res.Metrics,
+		HPWLBefore:     res.HPWLBefore,
+		HPWLAfter:      res.HPWLAfter,
+		PinViolations:  res.Violations.Pin(),
+		EdgeViolations: res.Violations.EdgeSpacing,
+		Cells:          d.MovableCount(),
+	})
+	return res
+}

@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+)
+
+func TestDelta0Passthrough(t *testing.T) {
+	// A tiny δ0 makes the matching stage attack the maximum harder
+	// than a huge δ0 (which degenerates to plain total-displacement
+	// matching).
+	d1 := bmark.Generate(bmark.Params{
+		Name: "d0", Seed: 31, Counts: [4]int{900, 90, 20, 8}, Density: 0.75,
+	})
+	d2 := d1.Clone()
+	r1, err := Run(d1, Options{Workers: 1, Delta0Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(d2, Options{Workers: 1, Delta0Rows: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.MaxDisp > r2.Metrics.MaxDisp {
+		t.Errorf("tight δ0 should not worsen max disp: %.1f vs %.1f",
+			r1.Metrics.MaxDisp, r2.Metrics.MaxDisp)
+	}
+}
+
+func TestMaxDispWeightOverride(t *testing.T) {
+	d1 := bmark.Generate(bmark.Params{
+		Name: "n0", Seed: 37, Counts: [4]int{700, 70, 16, 6}, Density: 0.7,
+	})
+	d2 := d1.Clone()
+	// Huge n0: the refinement all but ignores the average.
+	r1, err := Run(d1, Options{Workers: 1, MaxDispWeight: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(d2, Options{Workers: 1, MaxDispWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same placement before refine, so the n0-heavy run must end with
+	// max displacement <= the n0-light run (up to the shared stages).
+	if r1.Metrics.MaxDisp > r2.Metrics.MaxDisp+1e-9 {
+		t.Errorf("large n0 worsened max: %.2f vs %.2f", r1.Metrics.MaxDisp, r2.Metrics.MaxDisp)
+	}
+}
+
+func TestSkipStagesIndependently(t *testing.T) {
+	base := bmark.Generate(bmark.Params{
+		Name: "skip", Seed: 41, Counts: [4]int{500, 50, 10, 4}, Density: 0.7,
+	})
+	for _, tc := range []struct {
+		name                string
+		skipMax, skipRefine bool
+	}{
+		{"maxdisp-only", false, true},
+		{"refine-only", true, false},
+	} {
+		d := base.Clone()
+		res, err := Run(d, Options{Workers: 1, SkipMaxDisp: tc.skipMax, SkipRefine: tc.skipRefine})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.skipMax && res.MaxDispStats.Groups != 0 {
+			t.Errorf("%s: matching ran", tc.name)
+		}
+		if tc.skipRefine && res.RefineReport.Nodes != 0 {
+			t.Errorf("%s: refine ran", tc.name)
+		}
+		if !tc.skipRefine && res.RefineReport.Nodes == 0 {
+			t.Errorf("%s: refine did not run", tc.name)
+		}
+		m := eval.Measure(d)
+		if m.AvgDisp <= 0 {
+			t.Errorf("%s: no work done", tc.name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package flow
+
+import (
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+	"mclegal/internal/seg"
+)
+
+// A mid-scale end-to-end stress run (~5k cells with fences, rails and
+// nets) proving the full pipeline holds up beyond toy sizes. Skipped in
+// -short mode.
+func TestStressMidScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping stress test in short mode")
+	}
+	d := bmark.Generate(bmark.Params{
+		Name: "stress", Seed: 77,
+		Counts:      [4]int{4400, 360, 70, 24},
+		Density:     0.62,
+		NumFences:   3,
+		FenceFrac:   0.6,
+		NetFrac:     0.5,
+		IOPins:      24,
+		Routability: true,
+	})
+	res, err := Run(d, Options{Routability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("illegal: %v (of %d)", v[0], len(v))
+	}
+	if res.Violations.EdgeSpacing != 0 {
+		t.Errorf("%d edge violations", res.Violations.EdgeSpacing)
+	}
+	if res.MGLStats.Placed != d.MovableCount() {
+		t.Errorf("placed %d/%d", res.MGLStats.Placed, d.MovableCount())
+	}
+	t.Logf("stress: %d cells, avg %.3f rows, max %.1f rows, pins %d, total %v",
+		d.MovableCount(), res.Metrics.AvgDisp, res.Metrics.MaxDisp,
+		res.Violations.Pin(), res.Total)
+}

@@ -1,0 +1,183 @@
+// Package geom provides the small integer geometry vocabulary shared by
+// the legalizer: points, half-open intervals and rectangles on the
+// site/row grid, and piecewise helpers used throughout the flow.
+//
+// All coordinates are integers. Horizontal units are placement sites and
+// vertical units are placement rows unless a caller documents otherwise;
+// the database-unit scaling lives in the model package.
+package geom
+
+import "fmt"
+
+// Pt is an integer point (X in sites, Y in rows by convention).
+type Pt struct {
+	X, Y int
+}
+
+// Add returns p translated by q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// L1 returns the Manhattan distance between p and q.
+func (p Pt) L1(q Pt) int { return Abs(p.X-q.X) + Abs(p.Y-q.Y) }
+
+func (p Pt) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Interval is the half-open integer interval [Lo, Hi).
+// An interval with Hi <= Lo is empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the length of the interval, never negative.
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x int) bool { return x >= iv.Lo && x < iv.Hi }
+
+// ContainsIv reports whether o is entirely inside iv. The empty interval
+// is contained in everything.
+func (iv Interval) ContainsIv(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.Lo >= iv.Lo && o.Hi <= iv.Hi
+}
+
+// Overlaps reports whether the two half-open intervals share any point.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi && !iv.Empty() && !o.Empty()
+}
+
+// Intersect returns the common part of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{Lo: max(iv.Lo, o.Lo), Hi: min(iv.Hi, o.Hi)}
+}
+
+// Clamp returns x moved to the nearest point of [Lo, Hi-1]; it requires
+// a non-empty interval.
+func (iv Interval) Clamp(x int) int {
+	if x < iv.Lo {
+		return iv.Lo
+	}
+	if x >= iv.Hi {
+		return iv.Hi - 1
+	}
+	return x
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// Rect is a half-open integer rectangle [XLo,XHi) x [YLo,YHi).
+type Rect struct {
+	XLo, YLo, XHi, YHi int
+}
+
+// RectWH builds a rectangle from an origin and a width/height.
+func RectWH(x, y, w, h int) Rect { return Rect{XLo: x, YLo: y, XHi: x + w, YHi: y + h} }
+
+// W returns the rectangle width (never negative).
+func (r Rect) W() int {
+	if r.XHi <= r.XLo {
+		return 0
+	}
+	return r.XHi - r.XLo
+}
+
+// H returns the rectangle height (never negative).
+func (r Rect) H() int {
+	if r.YHi <= r.YLo {
+		return 0
+	}
+	return r.YHi - r.YLo
+}
+
+// Empty reports whether the rectangle has no area.
+func (r Rect) Empty() bool { return r.XHi <= r.XLo || r.YHi <= r.YLo }
+
+// Area returns the rectangle area.
+func (r Rect) Area() int64 { return int64(r.W()) * int64(r.H()) }
+
+// Overlaps reports whether two rectangles share interior area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.XLo < o.XHi && o.XLo < r.XHi && r.YLo < o.YHi && o.YLo < r.YHi &&
+		!r.Empty() && !o.Empty()
+}
+
+// Contains reports whether o lies entirely inside r. Empty rectangles
+// are contained everywhere.
+func (r Rect) Contains(o Rect) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.XLo >= r.XLo && o.XHi <= r.XHi && o.YLo >= r.YLo && o.YHi <= r.YHi
+}
+
+// ContainsPt reports whether the point lies in the half-open rectangle.
+func (r Rect) ContainsPt(p Pt) bool {
+	return p.X >= r.XLo && p.X < r.XHi && p.Y >= r.YLo && p.Y < r.YHi
+}
+
+// Intersect returns the overlap of two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		XLo: max(r.XLo, o.XLo), YLo: max(r.YLo, o.YLo),
+		XHi: min(r.XHi, o.XHi), YHi: min(r.YHi, o.YHi),
+	}
+}
+
+// Union returns the bounding box of two rectangles; empty inputs are
+// ignored.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		XLo: min(r.XLo, o.XLo), YLo: min(r.YLo, o.YLo),
+		XHi: max(r.XHi, o.XHi), YHi: max(r.YHi, o.YHi),
+	}
+}
+
+// Expand grows the rectangle by d on every side (shrinks when d < 0).
+func (r Rect) Expand(d int) Rect {
+	return Rect{XLo: r.XLo - d, YLo: r.YLo - d, XHi: r.XHi + d, YHi: r.YHi + d}
+}
+
+// XIv returns the horizontal extent as an interval.
+func (r Rect) XIv() Interval { return Interval{Lo: r.XLo, Hi: r.XHi} }
+
+// YIv returns the vertical extent as an interval.
+func (r Rect) YIv() Interval { return Interval{Lo: r.YLo, Hi: r.YHi} }
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.XLo, r.XHi, r.YLo, r.YHi)
+}
+
+// Abs returns |x|.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Abs64 returns |x| for int64.
+func Abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

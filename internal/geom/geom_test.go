@@ -1,0 +1,201 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPtArith(t *testing.T) {
+	p := Pt{3, -2}
+	q := Pt{-1, 5}
+	if got := p.Add(q); got != (Pt{2, 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Pt{4, -7}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.L1(q); got != 11 {
+		t.Errorf("L1 = %d, want 11", got)
+	}
+	if p.L1(p) != 0 {
+		t.Errorf("L1 self = %d", p.L1(p))
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 7}
+	if iv.Len() != 5 || iv.Empty() {
+		t.Fatalf("Len/Empty wrong: %v", iv)
+	}
+	if !iv.Contains(2) || iv.Contains(7) || iv.Contains(1) {
+		t.Errorf("Contains half-open semantics broken")
+	}
+	empty := Interval{5, 5}
+	if !empty.Empty() || empty.Len() != 0 {
+		t.Errorf("empty interval misbehaves")
+	}
+	if iv.Overlaps(empty) || empty.Overlaps(iv) {
+		t.Errorf("empty interval must not overlap")
+	}
+	rev := Interval{9, 3}
+	if rev.Len() != 0 || !rev.Empty() {
+		t.Errorf("reversed interval should be empty")
+	}
+}
+
+func TestIntervalContainsIv(t *testing.T) {
+	iv := Interval{0, 10}
+	cases := []struct {
+		o    Interval
+		want bool
+	}{
+		{Interval{0, 10}, true},
+		{Interval{3, 7}, true},
+		{Interval{-1, 5}, false},
+		{Interval{5, 11}, false},
+		{Interval{4, 4}, true}, // empty contained everywhere
+	}
+	for _, c := range cases {
+		if got := iv.ContainsIv(c.o); got != c.want {
+			t.Errorf("ContainsIv(%v) = %v, want %v", c.o, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIntersectClamp(t *testing.T) {
+	a := Interval{0, 10}
+	b := Interval{5, 15}
+	got := a.Intersect(b)
+	if got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if a.Intersect(Interval{20, 30}).Len() != 0 {
+		t.Errorf("disjoint intersect should be empty")
+	}
+	if a.Clamp(-3) != 0 || a.Clamp(10) != 9 || a.Clamp(4) != 4 {
+		t.Errorf("Clamp wrong")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(2, 3, 4, 2) // [2,6)x[3,5)
+	if r.W() != 4 || r.H() != 2 || r.Area() != 8 {
+		t.Fatalf("dims wrong: %v", r)
+	}
+	if !r.ContainsPt(Pt{2, 3}) || r.ContainsPt(Pt{6, 3}) || r.ContainsPt(Pt{2, 5}) {
+		t.Errorf("ContainsPt half-open semantics broken")
+	}
+	o := RectWH(5, 4, 3, 3)
+	if !r.Overlaps(o) {
+		t.Errorf("should overlap")
+	}
+	touch := RectWH(6, 3, 1, 1) // touching edge only
+	if r.Overlaps(touch) {
+		t.Errorf("touching rects must not overlap")
+	}
+	if got := r.Intersect(o); got != (Rect{5, 4, 6, 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := r.Union(o); got != (Rect{2, 3, 8, 7}) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestRectEmptyUnion(t *testing.T) {
+	r := RectWH(0, 0, 3, 3)
+	empty := Rect{5, 5, 5, 9}
+	if got := r.Union(empty); got != r {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := empty.Union(r); got != r {
+		t.Errorf("empty.Union = %v", got)
+	}
+	if !r.Contains(empty) {
+		t.Errorf("empty rect should be contained anywhere")
+	}
+	if empty.Overlaps(r) {
+		t.Errorf("empty rect must not overlap")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := RectWH(2, 2, 2, 2)
+	if got := r.Expand(1); got != (Rect{1, 1, 5, 5}) {
+		t.Errorf("Expand = %v", got)
+	}
+	if got := r.Expand(-1); !got.Empty() {
+		t.Errorf("over-shrunk rect should be empty: %v", got)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(-4) != 4 || Abs(4) != 4 || Abs(0) != 0 {
+		t.Errorf("Abs wrong")
+	}
+	if Abs64(-1<<40) != 1<<40 {
+		t.Errorf("Abs64 wrong")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestQuickIntersect(t *testing.T) {
+	f := func(a, b Rect) bool {
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if !i1.Empty() || !i2.Empty() {
+			if i1 != i2 {
+				return false
+			}
+			if !a.Contains(i1) || !b.Contains(i1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overlap is symmetric and equivalent to a non-empty
+// intersection.
+func TestQuickOverlapIffIntersect(t *testing.T) {
+	f := func(a, b Rect) bool {
+		ov := a.Overlaps(b)
+		if ov != b.Overlaps(a) {
+			return false
+		}
+		return ov == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands.
+func TestQuickUnionContains(t *testing.T) {
+	f := func(a, b Rect) bool {
+		u := a.Union(b)
+		return u.Contains(a) || a.Empty() || u.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: L1 is a metric (symmetry + triangle inequality) on small
+// coordinates.
+func TestQuickL1Metric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt{int(ax), int(ay)}
+		b := Pt{int(bx), int(by)}
+		c := Pt{int(cx), int(cy)}
+		if a.L1(b) != b.L1(a) {
+			return false
+		}
+		return a.L1(c) <= a.L1(b)+b.L1(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package gp is a small quadratic global placer: it derives the GP
+// positions that the legalizer consumes from the netlist alone, making
+// the repository usable end-to-end (netlist -> global placement ->
+// legalization). It is a substrate, not a contribution of the paper —
+// the paper assumes a GP solution as input.
+//
+// The algorithm is classic quadratic placement with density spreading:
+// nets become quadratic springs (clique model for small nets, chain
+// model for large ones), the two independent linear systems (x and y)
+// are solved by conjugate gradient, and overfull density bins push
+// their cells' anchor targets outward between solves.
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mclegal/internal/model"
+)
+
+// Options tunes the placer.
+type Options struct {
+	// Rounds of solve+spread (default 8).
+	Rounds int
+	// CGIters per linear solve (default 60).
+	CGIters int
+	// BinRows is the density-bin height in rows (default 2).
+	BinRows int
+	// AnchorWeight pulls cells toward their spread targets (default 0.4).
+	AnchorWeight float64
+	// Seed randomizes the initial placement (default 1).
+	Seed int64
+	// MaxBinUtil is the spreading target utilization per bin
+	// (default 0.8).
+	MaxBinUtil float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 8
+	}
+	if o.CGIters <= 0 {
+		o.CGIters = 60
+	}
+	if o.BinRows <= 0 {
+		o.BinRows = 2
+	}
+	if o.AnchorWeight <= 0 {
+		o.AnchorWeight = 0.4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxBinUtil <= 0 {
+		o.MaxBinUtil = 0.8
+	}
+	return o
+}
+
+// edge is one quadratic spring between two movable cells (or a cell and
+// a fixed position).
+type edge struct {
+	a, b int // movable indices; b < 0 means fixed point (fx, fy)
+	w    float64
+	fx   float64
+	fy   float64
+}
+
+// Place computes GP positions for every movable cell of d from its
+// netlist and writes them to GX/GY (and X/Y). Fixed cells are anchors.
+// Positions are clamped to the core and rounded to sites/rows; the
+// result is generally NOT legal — that is the legalizer's job.
+func Place(d *model.Design, opt Options) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	t := &d.Tech
+	aspect := float64(t.RowH) / float64(t.SiteW)
+
+	// Movable indexing.
+	var ids []model.CellID
+	idx := make(map[model.CellID]int)
+	for i := range d.Cells {
+		if !d.Cells[i].Fixed {
+			idx[model.CellID(i)] = len(ids)
+			ids = append(ids, model.CellID(i))
+		}
+	}
+	n := len(ids)
+	if n == 0 {
+		return
+	}
+
+	// Centers in site units (y scaled by the row aspect so that the
+	// quadratic metric is isotropic in DBU).
+	cx := make([]float64, n)
+	cy := make([]float64, n)
+	for k, id := range ids {
+		ct := &d.Types[d.Cells[id].Type]
+		cx[k] = rng.Float64()*float64(t.NumSites-ct.Width) + float64(ct.Width)/2
+		cy[k] = (rng.Float64()*float64(t.NumRows-ct.Height) + float64(ct.Height)/2) * aspect
+	}
+
+	// Springs from nets.
+	center := func(id model.CellID) (float64, float64, bool) {
+		c := &d.Cells[id]
+		ct := &d.Types[c.Type]
+		if c.Fixed {
+			return float64(c.X) + float64(ct.Width)/2,
+				(float64(c.Y) + float64(ct.Height)/2) * aspect, true
+		}
+		return 0, 0, false
+	}
+	var edges []edge
+	addSpring := func(p, q model.CellID, w float64) {
+		pi, pm := idx[p]
+		qi, qm := idx[q]
+		switch {
+		case pm && qm:
+			edges = append(edges, edge{a: pi, b: qi, w: w})
+		case pm:
+			fx, fy, _ := center(q)
+			edges = append(edges, edge{a: pi, b: -1, w: w, fx: fx, fy: fy})
+		case qm:
+			fx, fy, _ := center(p)
+			edges = append(edges, edge{a: qi, b: -1, w: w, fx: fx, fy: fy})
+		}
+	}
+	for ni := range d.Nets {
+		pins := d.Nets[ni].Pins
+		k := len(pins)
+		if k < 2 {
+			continue
+		}
+		if k <= 4 {
+			w := 2.0 / float64(k)
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					addSpring(pins[i].Cell, pins[j].Cell, w)
+				}
+			}
+		} else {
+			// Chain model for big nets.
+			for i := 1; i < k; i++ {
+				addSpring(pins[i-1].Cell, pins[i].Cell, 1)
+			}
+		}
+	}
+
+	// Density bins sized in scaled units.
+	binH := float64(opt.BinRows) * aspect
+	binW := binH // square bins in the scaled metric
+	nbx := int(math.Ceil(float64(t.NumSites) / binW))
+	nby := int(math.Ceil(float64(t.NumRows) * aspect / binH))
+	if nbx < 1 {
+		nbx = 1
+	}
+	if nby < 1 {
+		nby = 1
+	}
+	area := make([]float64, n)
+	for k, id := range ids {
+		ct := &d.Types[d.Cells[id].Type]
+		area[k] = float64(ct.Width) * float64(ct.Height) * aspect
+	}
+	binCap := binW * binH * opt.MaxBinUtil
+
+	ax := make([]float64, n) // anchor targets
+	ay := make([]float64, n)
+	hasAnchor := make([]bool, n)
+
+	for round := 0; round < opt.Rounds; round++ {
+		aw := 0.0
+		if round > 0 {
+			aw = opt.AnchorWeight * float64(round) / float64(opt.Rounds-0)
+		}
+		solveCG(n, edges, cx, ax, hasAnchor, aw, opt.CGIters, func(e *edge) float64 { return e.fx })
+		solveCG(n, edges, cy, ay, hasAnchor, aw, opt.CGIters, func(e *edge) float64 { return e.fy })
+		clampAll(d, ids, cx, cy, aspect)
+		spread(d, ids, cx, cy, area, ax, ay, hasAnchor, nbx, nby, binW, binH, binCap, aspect)
+	}
+
+	// Round to sites/rows and write back.
+	for k, id := range ids {
+		c := &d.Cells[id]
+		ct := &d.Types[c.Type]
+		gx := int(math.Round(cx[k] - float64(ct.Width)/2))
+		gy := int(math.Round(cy[k]/aspect - float64(ct.Height)/2))
+		gx = clampInt(gx, 0, t.NumSites-ct.Width)
+		gy = clampInt(gy, 0, t.NumRows-ct.Height)
+		c.GX, c.GY = gx, gy
+		c.X, c.Y = gx, gy
+	}
+}
+
+// solveCG minimizes sum w((v_a - v_b)^2) + aw*sum (v - anchor)^2 over
+// one coordinate via conjugate gradient on the (regularized) Laplacian.
+// fixedCoord selects the coordinate of a fixed-point spring (fx for the
+// x solve, fy for the y solve).
+func solveCG(n int, edges []edge, v, anchor []float64, hasAnchor []bool,
+	aw float64, iters int, fixedCoord func(*edge) float64) {
+	const eps = 1e-6
+	// A*x where A = L + D_anchor + D_fixed + eps*I.
+	mul := func(x, out []float64) {
+		for i := range out {
+			a := eps
+			if aw > 0 && hasAnchor[i] {
+				a += aw
+			}
+			out[i] = a * x[i]
+		}
+		for i := range edges {
+			e := &edges[i]
+			if e.b >= 0 {
+				d := x[e.a] - x[e.b]
+				out[e.a] += e.w * d
+				out[e.b] -= e.w * d
+			} else {
+				out[e.a] += e.w * x[e.a]
+			}
+		}
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		if aw > 0 && hasAnchor[i] {
+			rhs[i] = aw * anchor[i]
+		}
+	}
+	for i := range edges {
+		e := &edges[i]
+		if e.b < 0 {
+			rhs[e.a] += e.w * fixedCoord(e)
+		}
+	}
+	cg(mul, rhs, v, iters)
+}
+
+// cg runs conjugate gradient for mul(x) = rhs starting from x.
+func cg(mul func(x, out []float64), rhs, x []float64, iters int) {
+	n := len(rhs)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	apv := make([]float64, n)
+	mul(x, r)
+	for i := range r {
+		r[i] = rhs[i] - r[i]
+		p[i] = r[i]
+	}
+	rr := dot(r, r)
+	for it := 0; it < iters && rr > 1e-9; it++ {
+		mul(p, apv)
+		pap := dot(p, apv)
+		if pap <= 0 {
+			break
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * apv[i]
+		}
+		rr2 := dot(r, r)
+		beta := rr2 / rr
+		rr = rr2
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func clampAll(d *model.Design, ids []model.CellID, cx, cy []float64, aspect float64) {
+	t := &d.Tech
+	for k, id := range ids {
+		ct := &d.Types[d.Cells[id].Type]
+		loX := float64(ct.Width) / 2
+		hiX := float64(t.NumSites) - loX
+		loY := float64(ct.Height) / 2 * aspect
+		hiY := float64(t.NumRows)*aspect - loY
+		cx[k] = clampF(cx[k], loX, hiX)
+		cy[k] = clampF(cy[k], loY, hiY)
+	}
+}
+
+// spread updates anchor targets: cells in overfull bins are pulled
+// toward the nearest underfull bin along a distance-sorted scan.
+func spread(d *model.Design, ids []model.CellID, cx, cy, area, ax, ay []float64,
+	hasAnchor []bool, nbx, nby int, binW, binH, binCap, aspect float64) {
+	nb := nbx * nby
+	util := make([]float64, nb)
+	members := make([][]int, nb)
+	binOf := func(k int) int {
+		bx := int(cx[k] / binW)
+		by := int(cy[k] / binH)
+		bx = clampInt(bx, 0, nbx-1)
+		by = clampInt(by, 0, nby-1)
+		return by*nbx + bx
+	}
+	for k := range ids {
+		b := binOf(k)
+		util[b] += area[k]
+		members[b] = append(members[b], k)
+	}
+	type binPos struct{ bx, by int }
+	pos := func(b int) binPos { return binPos{bx: b % nbx, by: b / nbx} }
+	free := make([]float64, nb)
+	for b := range free {
+		free[b] = binCap - util[b]
+	}
+	for b := 0; b < nb; b++ {
+		over := util[b] - binCap
+		if over <= 0 {
+			continue
+		}
+		// Push the cells farthest from the bin center first.
+		ms := append([]int(nil), members[b]...)
+		bp := pos(b)
+		bcx := (float64(bp.bx) + 0.5) * binW
+		bcy := (float64(bp.by) + 0.5) * binH
+		sort.Slice(ms, func(i, j int) bool {
+			di := sq(cx[ms[i]]-bcx) + sq(cy[ms[i]]-bcy)
+			dj := sq(cx[ms[j]]-bcx) + sq(cy[ms[j]]-bcy)
+			if di != dj {
+				return di > dj
+			}
+			return ms[i] < ms[j]
+		})
+		for _, k := range ms {
+			if over <= 0 {
+				break
+			}
+			// Nearest bin with free capacity, ring search.
+			best, bestD := -1, math.MaxFloat64
+			for o := 0; o < nb; o++ {
+				if free[o] < area[k] {
+					continue
+				}
+				op := pos(o)
+				dd := sq((float64(op.bx)+0.5)*binW-cx[k]) + sq((float64(op.by)+0.5)*binH-cy[k])
+				if dd < bestD {
+					best, bestD = o, dd
+				}
+			}
+			if best < 0 {
+				break
+			}
+			op := pos(best)
+			ax[k] = (float64(op.bx) + 0.5) * binW
+			ay[k] = (float64(op.by) + 0.5) * binH
+			hasAnchor[k] = true
+			free[best] -= area[k]
+			over -= area[k]
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func clampF(x, lo, hi float64) float64 {
+	if hi < lo {
+		return lo
+	}
+	return math.Min(math.Max(x, lo), hi)
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,174 @@
+package gp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+	"mclegal/internal/flow"
+	"mclegal/internal/model"
+)
+
+// netted returns a design with locality-destroyed GP (random positions)
+// but a meaningful netlist.
+func netted(seed int64, n int) *model.Design {
+	d := bmark.Generate(bmark.Params{
+		Name: "gp", Seed: seed,
+		Counts:  [4]int{n, n / 10, n / 40, 0},
+		Density: 0.5,
+		NetFrac: 0.8,
+	})
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		c.GX = rng.Intn(d.Tech.NumSites - ct.Width)
+		c.GY = rng.Intn(d.Tech.NumRows - ct.Height)
+		c.X, c.Y = c.GX, c.GY
+	}
+	return d
+}
+
+func TestPlaceReducesHPWL(t *testing.T) {
+	d := netted(3, 600)
+	before := eval.HPWL(d)
+	Place(d, Options{})
+	after := eval.HPWL(d)
+	if after >= before/2 {
+		t.Errorf("HPWL %d -> %d: expected at least 2x reduction", before, after)
+	}
+	t.Logf("HPWL %d -> %d (%.1fx)", before, after, float64(before)/float64(after))
+}
+
+func TestPlaceInCore(t *testing.T) {
+	d := netted(5, 300)
+	Place(d, Options{})
+	core := d.Tech.CoreRect()
+	for i := range d.Cells {
+		if !core.Contains(d.GPRect(model.CellID(i))) {
+			t.Fatalf("cell %d placed out of core: %v", i, d.GPRect(model.CellID(i)))
+		}
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	d1 := netted(7, 300)
+	d2 := netted(7, 300)
+	Place(d1, Options{})
+	Place(d2, Options{})
+	if !reflect.DeepEqual(d1.Cells, d2.Cells) {
+		t.Fatalf("GP not deterministic")
+	}
+}
+
+func TestPlaceSpreads(t *testing.T) {
+	d := netted(9, 800)
+	Place(d, Options{})
+	// No density bin should hold more than ~3x its fair share of cell
+	// area (quadratic GP without spreading collapses to a point, which
+	// would put everything in a couple of bins).
+	const binRows = 2
+	aspect := d.Tech.RowH / d.Tech.SiteW
+	binW := binRows * aspect
+	nbx := (d.Tech.NumSites + binW - 1) / binW
+	nby := (d.Tech.NumRows + binRows - 1) / binRows
+	util := make([]float64, nbx*nby)
+	var total float64
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		bx := min(c.GX/binW, nbx-1)
+		by := min(c.GY/binRows, nby-1)
+		a := float64(ct.Width * ct.Height)
+		util[bx+by*nbx] += a
+		total += a
+	}
+	fair := total / float64(len(util))
+	var worst float64
+	for _, u := range util {
+		if u > worst {
+			worst = u
+		}
+	}
+	if worst > 6*fair {
+		t.Errorf("worst bin %.1f vs fair share %.1f: not spread", worst, fair)
+	}
+}
+
+func TestPlaceRespectsFixedAnchors(t *testing.T) {
+	// Two movable cells tied to a fixed macro by 2-pin nets must land
+	// near the macro, not at the core center.
+	d := &model.Design{
+		Name: "anchor",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: 200, NumRows: 40},
+		Types: []model.CellType{
+			{Name: "S", Width: 2, Height: 1},
+			{Name: "MAC", Width: 10, Height: 4},
+		},
+	}
+	d.Cells = []model.Cell{
+		{Name: "m", Type: 1, X: 170, Y: 30, GX: 170, GY: 30, Fixed: true},
+		{Name: "a", Type: 0, X: 0, Y: 0},
+		{Name: "b", Type: 0, X: 0, Y: 0},
+	}
+	d.Nets = []model.Net{
+		{Name: "n1", Pins: []model.NetPin{{Cell: 0}, {Cell: 1}}},
+		{Name: "n2", Pins: []model.NetPin{{Cell: 0}, {Cell: 2}}},
+		{Name: "n3", Pins: []model.NetPin{{Cell: 1}, {Cell: 2}}},
+	}
+	Place(d, Options{})
+	for _, i := range []int{1, 2} {
+		if d.Cells[i].GX < 120 || d.Cells[i].GY < 20 {
+			t.Errorf("cell %d at (%d,%d): not pulled toward the fixed macro",
+				i, d.Cells[i].GX, d.Cells[i].GY)
+		}
+	}
+}
+
+func TestPlaceEmptyAndDegenerate(t *testing.T) {
+	d := &model.Design{
+		Name:  "empty",
+		Tech:  model.Tech{SiteW: 10, RowH: 80, NumSites: 20, NumRows: 4},
+		Types: []model.CellType{{Name: "S", Width: 2, Height: 1}},
+	}
+	Place(d, Options{}) // no movable cells: no-op
+	d.Cells = []model.Cell{{Name: "a", Type: 0}}
+	Place(d, Options{}) // one cell, no nets: stays in core
+	if d.Cells[0].GX < 0 || d.Cells[0].GX > 18 {
+		t.Errorf("degenerate placement out of core: %d", d.Cells[0].GX)
+	}
+}
+
+// End to end: GP output must be legalizable and the legalized result
+// should retain most of the HPWL improvement.
+func TestPlaceThenLegalize(t *testing.T) {
+	d := netted(11, 500)
+	Place(d, Options{})
+	gpHPWL := eval.HPWL(d)
+	res, err := legalizeForTest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > gpHPWL*3/2 {
+		t.Errorf("legalization destroyed GP quality: HPWL %d -> %d", gpHPWL, res)
+	}
+}
+
+func legalizeForTest(d *model.Design) (int64, error) {
+	res, err := flow.Run(d, flow.Options{Workers: 1, TotalDisplacement: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.HPWLAfter, nil
+}
+
+func BenchmarkGlobalPlace(b *testing.B) {
+	base := netted(13, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := base.Clone()
+		Place(d, Options{})
+	}
+}

@@ -1,0 +1,102 @@
+// Package matching solves min-cost perfect bipartite matching, the
+// engine behind the paper's maximum-displacement optimization
+// (Section 3.2): cells of one type inside one fence region are
+// re-assigned to the multiset of their current positions so that the
+// total φ-cost is minimized.
+//
+// The solver is the classic successive-shortest-augmenting-path
+// (Hungarian/Jonker-Volgenant) algorithm with potentials, an instance of
+// the min-cost-flow formulation the paper references [20], specialized
+// to assignment problems for an O(n^3) bound.
+package matching
+
+import "math"
+
+// Forbidden marks a pair that must not be matched. It is large enough
+// to dominate any realistic total yet leaves headroom against overflow
+// when n Forbidden entries are summed.
+const Forbidden = int64(math.MaxInt64) / (1 << 20)
+
+// MinCostPerfect computes a minimum-cost perfect matching between n
+// "rows" (cells) and n "columns" (positions). cost(i,j) is the cost of
+// assigning row i to column j; return Forbidden to rule a pair out.
+//
+// It returns assign with assign[i] = column matched to row i and the
+// total cost. ok is false if no perfect matching avoiding Forbidden
+// pairs exists.
+func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64, ok bool) {
+	if n == 0 {
+		return nil, 0, true
+	}
+	const inf = int64(math.MaxInt64) / 4
+	// 1-based arrays in the classic formulation; index 0 is virtual.
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (0 = free)
+	way := make([]int, n+1) // way[j]: previous column on the shortest path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 1; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || delta >= inf/2 {
+				return nil, 0, false // no augmenting path
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign = make([]int, n)
+	for j := 1; j <= n; j++ {
+		assign[p[j]-1] = j - 1
+		c := cost(p[j]-1, j-1)
+		if c >= Forbidden {
+			return nil, 0, false
+		}
+		total += c
+	}
+	return assign, total, true
+}
+
+// MinCostPerfectMatrix is MinCostPerfect over an explicit cost matrix.
+func MinCostPerfectMatrix(cost [][]int64) (assign []int, total int64, ok bool) {
+	n := len(cost)
+	return MinCostPerfect(n, func(i, j int) int64 { return cost[i][j] })
+}

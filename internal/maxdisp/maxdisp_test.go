@@ -1,0 +1,206 @@
+package maxdisp
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func newDesign() *model.Design {
+	return &model.Design{
+		Name: "t",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: 100, NumRows: 10},
+		Types: []model.CellType{
+			{Name: "A", Width: 2, Height: 1},
+			{Name: "B", Width: 2, Height: 1},
+		},
+	}
+}
+
+func place(d *model.Design, ti model.CellTypeID, gx, gy, x, y int, f model.FenceID) model.CellID {
+	d.Cells = append(d.Cells, model.Cell{Name: "c", Type: ti, Fence: f, GX: gx, GY: gy, X: x, Y: y})
+	return model.CellID(len(d.Cells) - 1)
+}
+
+func TestPhi(t *testing.T) {
+	// Linear region.
+	if Phi(5, 10) != 5 || Phi(10, 10) != 10 {
+		t.Errorf("phi linear region wrong")
+	}
+	// Superlinear: δ=20, δ0=10: 20^5/10^4 = 320.
+	if got := Phi(20, 10); got != 320 {
+		t.Errorf("phi(20,10) = %d, want 320", got)
+	}
+	// Clamp never overflows.
+	if got := Phi(1<<40, 10); got <= 0 {
+		t.Errorf("phi clamp broken: %d", got)
+	}
+	// Monotone.
+	prev := int64(-1)
+	for dd := int64(0); dd < 100; dd++ {
+		v := Phi(dd, 10)
+		if v < prev {
+			t.Fatalf("phi not monotone at %d", dd)
+		}
+		prev = v
+	}
+}
+
+func TestSwapRestoresGP(t *testing.T) {
+	d := newDesign()
+	// Two same-type cells sitting exactly at each other's GP.
+	a := place(d, 0, 10, 2, 50, 7, 0)
+	b := place(d, 0, 50, 7, 10, 2, 0)
+	st := Optimize(d, Options{})
+	if st.Swapped != 2 {
+		t.Fatalf("Swapped = %d, want 2", st.Swapped)
+	}
+	if d.Cells[a].X != 10 || d.Cells[a].Y != 2 || d.Cells[b].X != 50 || d.Cells[b].Y != 7 {
+		t.Errorf("swap not applied: a=(%d,%d) b=(%d,%d)",
+			d.Cells[a].X, d.Cells[a].Y, d.Cells[b].X, d.Cells[b].Y)
+	}
+	if st.CostAfter != 0 {
+		t.Errorf("CostAfter = %d, want 0", st.CostAfter)
+	}
+}
+
+func TestDifferentTypesNeverSwap(t *testing.T) {
+	d := newDesign()
+	a := place(d, 0, 10, 2, 50, 7, 0)
+	b := place(d, 1, 50, 7, 10, 2, 0)
+	Optimize(d, Options{})
+	if d.Cells[a].X != 50 || d.Cells[b].X != 10 {
+		t.Errorf("different-type cells were swapped")
+	}
+}
+
+func TestDifferentFencesNeverSwap(t *testing.T) {
+	d := newDesign()
+	d.Fences = []model.Fence{
+		{Name: "f1", Rects: []geom.Rect{geom.RectWH(0, 0, 100, 5)}},
+		{Name: "f2", Rects: []geom.Rect{geom.RectWH(0, 5, 100, 5)}},
+	}
+	a := place(d, 0, 10, 2, 50, 2, 1)
+	b := place(d, 0, 50, 7, 10, 7, 2)
+	Optimize(d, Options{})
+	if d.Cells[a].Y != 2 || d.Cells[b].Y != 7 {
+		t.Errorf("cells crossed fence boundaries")
+	}
+}
+
+func TestMaxDispReduced(t *testing.T) {
+	d := newDesign()
+	// A cell far from its GP plus a chain of cells near their GPs, one
+	// of which sits close to the outlier's GP.
+	place(d, 0, 10, 0, 90, 9, 0) // outlier: wants (10,0), sits at (90,9)
+	place(d, 0, 88, 9, 12, 0, 0) // partner: wants (88,9), sits at (12,0)
+	place(d, 0, 40, 4, 40, 4, 0) // already perfect
+	before := eval.Measure(d)
+	st := Optimize(d, Options{Delta0Rows: 2})
+	after := eval.Measure(d)
+	if after.MaxDisp >= before.MaxDisp {
+		t.Errorf("max disp not reduced: %v -> %v", before.MaxDisp, after.MaxDisp)
+	}
+	if st.CostAfter >= st.CostBefore {
+		t.Errorf("cost did not improve: %d -> %d", st.CostBefore, st.CostAfter)
+	}
+	// The untouched perfect cell must stay.
+	if d.Cells[2].X != 40 || d.Cells[2].Y != 4 {
+		t.Errorf("perfect cell moved")
+	}
+}
+
+func TestPositionsArePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := newDesign()
+	// 30 same-type cells with random legal (disjoint) positions and
+	// random GPs.
+	used := map[geom.Pt]bool{}
+	for len(d.Cells) < 30 {
+		p := geom.Pt{X: rng.Intn(49) * 2, Y: rng.Intn(10)}
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		place(d, 0, rng.Intn(98), rng.Intn(10), p.X, p.Y, 0)
+	}
+	beforePos := d.SnapshotXY()
+	Optimize(d, Options{Delta0Rows: 1, MaxGroup: 8})
+	// Multiset of positions must be unchanged.
+	afterUsed := map[geom.Pt]int{}
+	for i := range d.Cells {
+		afterUsed[geom.Pt{X: d.Cells[i].X, Y: d.Cells[i].Y}]++
+	}
+	for _, p := range beforePos {
+		afterUsed[p]--
+	}
+	for p, n := range afterUsed {
+		if n != 0 {
+			t.Fatalf("positions not a permutation at %v (%d)", p, n)
+		}
+	}
+}
+
+func TestLegalityPreserved(t *testing.T) {
+	d := newDesign()
+	for i := 0; i < 20; i++ {
+		place(d, 0, (i*7)%90, (i*3)%10, i*4, i%10, 0)
+	}
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("precondition: %v", v[0])
+	}
+	Optimize(d, Options{})
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("maxdisp broke legality: %v", v[0])
+	}
+}
+
+func TestAveragePreservedWithinThreshold(t *testing.T) {
+	// All displacements below δ0: matching minimizes the plain total
+	// displacement, so the average can only improve or stay equal.
+	d := newDesign()
+	place(d, 0, 10, 1, 12, 1, 0)
+	place(d, 0, 14, 1, 16, 1, 0)
+	before := eval.Measure(d)
+	Optimize(d, Options{Delta0Rows: 100})
+	after := eval.Measure(d)
+	if after.AvgDisp > before.AvgDisp+1e-9 {
+		t.Errorf("average displacement worsened: %v -> %v", before.AvgDisp, after.AvgDisp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d1 := newDesign()
+	for i := 0; i < 40; i++ {
+		place(d1, model.CellTypeID(i%2), rng.Intn(98), rng.Intn(10), (i*2)%98, i%10, 0)
+	}
+	d2 := d1.Clone()
+	Optimize(d1, Options{MaxGroup: 16})
+	Optimize(d2, Options{MaxGroup: 16})
+	for i := range d1.Cells {
+		if d1.Cells[i].X != d2.Cells[i].X || d1.Cells[i].Y != d2.Cells[i].Y {
+			t.Fatalf("non-deterministic at cell %d", i)
+		}
+	}
+}
+
+func TestSingletonGroupUntouched(t *testing.T) {
+	d := newDesign()
+	place(d, 0, 10, 1, 30, 3, 0)
+	st := Optimize(d, Options{})
+	if st.Groups != 0 || st.Swapped != 0 {
+		t.Errorf("singleton group processed: %+v", st)
+	}
+	if d.Cells[0].X != 30 {
+		t.Errorf("singleton moved")
+	}
+}

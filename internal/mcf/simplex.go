@@ -1,0 +1,404 @@
+package mcf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PivotRule selects the entering-arc strategy of the network simplex.
+type PivotRule int
+
+const (
+	// FirstEligible scans arcs cyclically from the previous stop and
+	// enters the first arc that violates its optimality condition.
+	// This is the rule named by the paper (Section 3.3.1).
+	FirstEligible PivotRule = iota
+	// BlockSearch scans a block of arcs and enters the most violating
+	// arc of the block; usually faster on large instances.
+	BlockSearch
+)
+
+// ErrInfeasible is returned when the supplies cannot be routed.
+var ErrInfeasible = errors.New("mcf: infeasible problem")
+
+const (
+	stateLower int8 = 1
+	stateTree  int8 = 0
+	stateUpper int8 = -1
+)
+
+// Solve runs the network simplex with the FirstEligible pivot rule.
+func (g *Graph) Solve() (*Result, error) { return g.SolveWith(FirstEligible) }
+
+// SolveWith runs the network simplex with the given pivot rule and
+// returns optimal flows, potentials and cost.
+func (g *Graph) SolveWith(rule PivotRule) (*Result, error) {
+	n := len(g.supply)
+	m := len(g.arcs)
+	var sum int64
+	for _, b := range g.supply {
+		sum += b
+	}
+	if sum != 0 {
+		return nil, fmt.Errorf("mcf: supplies sum to %d, want 0: %w", sum, ErrInfeasible)
+	}
+
+	s := &simplex{
+		n:    n,
+		m:    m,
+		root: n,
+	}
+	total := m + n // real arcs then one artificial arc per node
+	s.from = make([]int32, total)
+	s.to = make([]int32, total)
+	s.cap = make([]int64, total)
+	s.cost = make([]int64, total)
+	s.flow = make([]int64, total)
+	s.state = make([]int8, total)
+
+	var artCost int64 = 1
+	for a, arc := range g.arcs {
+		s.from[a] = int32(arc.From)
+		s.to[a] = int32(arc.To)
+		s.cap[a] = arc.Cap
+		s.cost[a] = arc.Cost
+		s.state[a] = stateLower
+		c := arc.Cost
+		if c < 0 {
+			c = -c
+		}
+		artCost += c
+	}
+
+	nn := n + 1
+	s.parent = make([]int32, nn)
+	s.parentArc = make([]int32, nn)
+	s.childIdx = make([]int32, nn)
+	s.children = make([][]int32, nn)
+	s.pi = make([]int64, nn)
+	s.visited = make([]int32, nn)
+
+	// Initial tree: every node hangs off the artificial root through an
+	// artificial arc oriented by its supply sign. This tree is strongly
+	// feasible.
+	for v := 0; v < n; v++ {
+		a := m + v
+		b := g.supply[v]
+		if b >= 0 {
+			s.from[a] = int32(v)
+			s.to[a] = int32(s.root)
+			s.flow[a] = b
+			s.pi[v] = artCost
+		} else {
+			s.from[a] = int32(s.root)
+			s.to[a] = int32(v)
+			s.flow[a] = -b
+			s.pi[v] = -artCost
+		}
+		s.cap[a] = Unbounded
+		s.cost[a] = artCost
+		s.state[a] = stateTree
+		s.parent[v] = int32(s.root)
+		s.parentArc[v] = int32(a)
+		s.childIdx[v] = int32(len(s.children[s.root]))
+		s.children[s.root] = append(s.children[s.root], int32(v))
+	}
+	s.parent[s.root] = -1
+	s.parentArc[s.root] = -1
+
+	if err := s.run(rule); err != nil {
+		return nil, err
+	}
+
+	// Feasibility: all artificial arcs must be drained.
+	for a := m; a < total; a++ {
+		if s.flow[a] != 0 {
+			return nil, ErrInfeasible
+		}
+	}
+	res := &Result{
+		Flow:   s.flow[:m:m],
+		Pi:     s.pi[:n:n],
+		Pivots: s.pivots,
+	}
+	for a := 0; a < m; a++ {
+		res.Cost += res.Flow[a] * g.arcs[a].Cost
+	}
+	return res, nil
+}
+
+type simplex struct {
+	n, m, root int
+
+	from, to   []int32
+	cap, cost  []int64
+	flow       []int64
+	state      []int8
+	parent     []int32
+	parentArc  []int32
+	children   [][]int32
+	childIdx   []int32
+	pi         []int64
+	visited    []int32 // join-search stamps
+	stamp      int32
+	pivots     int
+	scanPos    int // next arc to examine (first-eligible / block start)
+	path1Buf   []int32
+	subtreeBuf []int32
+}
+
+// reducedCost of arc a under current potentials.
+func (s *simplex) reducedCost(a int) int64 {
+	return s.cost[a] + s.pi[s.to[a]] - s.pi[s.from[a]]
+}
+
+// eligible reports whether non-tree arc a violates its optimality
+// condition.
+func (s *simplex) eligible(a int) bool {
+	switch s.state[a] {
+	case stateLower:
+		return s.reducedCost(a) < 0
+	case stateUpper:
+		return s.reducedCost(a) > 0
+	}
+	return false
+}
+
+func (s *simplex) run(rule PivotRule) error {
+	total := s.m + s.n
+	if total == 0 {
+		return nil
+	}
+	blockSize := 64
+	for bs := blockSize; bs*bs < total; {
+		bs *= 2
+		blockSize = bs
+	}
+	for {
+		in := -1
+		switch rule {
+		case FirstEligible:
+			for cnt := 0; cnt < total; cnt++ {
+				a := s.scanPos
+				s.scanPos++
+				if s.scanPos == total {
+					s.scanPos = 0
+				}
+				if s.eligible(a) {
+					in = a
+					break
+				}
+			}
+		case BlockSearch:
+			remaining := total
+			for remaining > 0 {
+				end := s.scanPos + blockSize
+				var best int64
+				for a := s.scanPos; a < end && a < total; a++ {
+					if !s.eligible(a) {
+						continue
+					}
+					v := s.reducedCost(a)
+					if v < 0 {
+						v = -v
+					}
+					if v > best {
+						best = v
+						in = a
+					}
+				}
+				remaining -= end - s.scanPos
+				s.scanPos = end
+				if s.scanPos >= total {
+					s.scanPos = 0
+				}
+				if in >= 0 {
+					break
+				}
+			}
+		default:
+			return fmt.Errorf("mcf: unknown pivot rule %d", rule)
+		}
+		if in < 0 {
+			return nil // optimal
+		}
+		s.pivot(in)
+		s.pivots++
+	}
+}
+
+// dirUp is +1 if the tree arc of node v points from v to its parent.
+func (s *simplex) dirUp(v int32) int64 {
+	if s.from[s.parentArc[v]] == v {
+		return 1
+	}
+	return -1
+}
+
+func (s *simplex) pivot(in int) {
+	// Effective push direction of the entering arc.
+	var first, second int32
+	if s.state[in] == stateLower {
+		first, second = s.from[in], s.to[in]
+	} else {
+		first, second = s.to[in], s.from[in]
+	}
+
+	// Join node: mark ancestors of first, walk up from second.
+	s.stamp++
+	for v := first; v >= 0; v = s.parent[v] {
+		s.visited[v] = s.stamp
+	}
+	join := second
+	for s.visited[join] != s.stamp {
+		join = s.parent[join]
+	}
+
+	// Entering arc residual.
+	var delta int64
+	if s.state[in] == stateLower {
+		delta = s.cap[in] - s.flow[in]
+	} else {
+		delta = s.flow[in]
+	}
+	leaveNode := int32(-1) // node whose parent arc leaves; -1: entering leaves
+	leaveSide := 0
+
+	// The cycle runs join -> first -> (entering) -> second -> join.
+	// Choosing the last blocking arc in that order keeps the tree
+	// strongly feasible (anti-cycling): strict < on the first path,
+	// <= on the second.
+	for v := first; v != join; v = s.parent[v] {
+		a := s.parentArc[v]
+		var res int64
+		if s.dirUp(v) > 0 { // cycle pushes against arc direction
+			res = s.flow[a]
+		} else {
+			res = s.cap[a] - s.flow[a]
+		}
+		if res < delta {
+			delta = res
+			leaveNode = v
+			leaveSide = 1
+		}
+	}
+	for v := second; v != join; v = s.parent[v] {
+		a := s.parentArc[v]
+		var res int64
+		if s.dirUp(v) > 0 { // cycle pushes along arc direction
+			res = s.cap[a] - s.flow[a]
+		} else {
+			res = s.flow[a]
+		}
+		if res <= delta {
+			delta = res
+			leaveNode = v
+			leaveSide = 2
+		}
+	}
+
+	// Augment.
+	if delta != 0 {
+		if s.state[in] == stateLower {
+			s.flow[in] += delta
+		} else {
+			s.flow[in] -= delta
+		}
+		for v := first; v != join; v = s.parent[v] {
+			s.flow[s.parentArc[v]] -= s.dirUp(v) * delta
+		}
+		for v := second; v != join; v = s.parent[v] {
+			s.flow[s.parentArc[v]] += s.dirUp(v) * delta
+		}
+	}
+
+	if leaveNode < 0 {
+		// Entering arc saturates: no basis change.
+		s.state[in] = -s.state[in]
+		return
+	}
+
+	out := s.parentArc[leaveNode]
+	// Reduced cost of the entering arc before potentials change.
+	rc := s.reducedCost(in)
+	// q is the entering-arc endpoint inside the detached subtree.
+	var q, attach int32
+	var delPi int64
+	if leaveSide == 1 {
+		q, attach = first, second
+	} else {
+		q, attach = second, first
+	}
+	// After the pivot the entering arc is in the tree with rc 0; the
+	// whole subtree's potential shifts by +rc or -rc depending on
+	// which endpoint moved.
+	if q == s.to[in] {
+		delPi = -rc
+	} else {
+		delPi = rc
+	}
+
+	// Leaving arc state by its (post-augment) flow.
+	if s.flow[out] == 0 {
+		s.state[out] = stateLower
+	} else {
+		s.state[out] = stateUpper
+	}
+	s.state[in] = stateTree
+
+	// Re-root the detached subtree at q: reverse parent pointers along
+	// the path q .. leaveNode. Each path node is unlinked from its old
+	// parent just before it is re-linked; when q == leaveNode this
+	// single unlink already removes the leaving arc from the tree.
+	cur := q
+	p := s.parent[cur]
+	pa := s.parentArc[cur]
+	s.removeChild(q)
+	s.parent[q] = attach
+	s.parentArc[q] = int32(in)
+	s.childIdx[q] = int32(len(s.children[attach]))
+	s.children[attach] = append(s.children[attach], q)
+	for cur != leaveNode {
+		next := p
+		p = s.parent[next]
+		npa := s.parentArc[next]
+		// next becomes a child of cur.
+		s.removeChild(next)
+		s.parent[next] = cur
+		s.parentArc[next] = pa
+		s.childIdx[next] = int32(len(s.children[cur]))
+		s.children[cur] = append(s.children[cur], next)
+		pa = npa
+		cur = next
+	}
+
+	// Shift potentials of the re-rooted subtree.
+	if delPi != 0 {
+		stack := s.subtreeBuf[:0]
+		stack = append(stack, q)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s.pi[v] += delPi
+			stack = append(stack, s.children[v]...)
+		}
+		s.subtreeBuf = stack[:0]
+	}
+}
+
+// removeChild unlinks v from its parent's child list in O(1).
+func (s *simplex) removeChild(v int32) {
+	p := s.parent[v]
+	if p < 0 {
+		return
+	}
+	cs := s.children[p]
+	i := s.childIdx[v]
+	last := int32(len(cs) - 1)
+	if i != last {
+		moved := cs[last]
+		cs[i] = moved
+		s.childIdx[moved] = i
+	}
+	s.children[p] = cs[:last]
+}

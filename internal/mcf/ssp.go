@@ -1,0 +1,145 @@
+package mcf
+
+// SolveSSP solves the problem with a successive-shortest-path algorithm
+// using Bellman-Ford searches. It is exponentially simpler than the
+// network simplex and serves as the reference oracle in tests; it is
+// far too slow for production graphs.
+func (g *Graph) SolveSSP() (*Result, error) {
+	n := len(g.supply)
+	m := len(g.arcs)
+	flow := make([]int64, m)
+	excess := make([]int64, n)
+	copy(excess, g.supply)
+
+	// Saturate negative arcs so every remaining residual arc on an
+	// empty flow has non-negative cost pattern handled by Bellman-Ford
+	// anyway; saturation keeps the invariant that the zero-potential
+	// start is consistent and bounds the work.
+	for a, arc := range g.arcs {
+		if arc.Cost < 0 && arc.Cap > 0 {
+			flow[a] = arc.Cap
+			excess[arc.From] -= arc.Cap
+			excess[arc.To] += arc.Cap
+		}
+	}
+
+	const inf = int64(1) << 62
+	dist := make([]int64, n)
+	prevArc := make([]int, n)
+	prevFwd := make([]bool, n)
+
+	bellman := func(src int) {
+		for i := range dist {
+			dist[i] = inf
+			prevArc[i] = -1
+		}
+		dist[src] = 0
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for a, arc := range g.arcs {
+				if flow[a] < arc.Cap && dist[arc.From] < inf &&
+					dist[arc.From]+arc.Cost < dist[arc.To] {
+					dist[arc.To] = dist[arc.From] + arc.Cost
+					prevArc[arc.To] = a
+					prevFwd[arc.To] = true
+					changed = true
+				}
+				if flow[a] > 0 && dist[arc.To] < inf &&
+					dist[arc.To]-arc.Cost < dist[arc.From] {
+					dist[arc.From] = dist[arc.To] - arc.Cost
+					prevArc[arc.From] = a
+					prevFwd[arc.From] = false
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	for {
+		src := -1
+		for v := 0; v < n; v++ {
+			if excess[v] > 0 {
+				src = v
+				break
+			}
+		}
+		if src < 0 {
+			break
+		}
+		bellman(src)
+		// Nearest deficit node.
+		snk := -1
+		for v := 0; v < n; v++ {
+			if excess[v] < 0 && dist[v] < inf && (snk < 0 || dist[v] < dist[snk]) {
+				snk = v
+			}
+		}
+		if snk < 0 {
+			return nil, ErrInfeasible
+		}
+		// Bottleneck along the path.
+		amt := excess[src]
+		if -excess[snk] < amt {
+			amt = -excess[snk]
+		}
+		for v := snk; v != src; {
+			a := prevArc[v]
+			if prevFwd[v] {
+				if r := g.arcs[a].Cap - flow[a]; r < amt {
+					amt = r
+				}
+				v = g.arcs[a].From
+			} else {
+				if flow[a] < amt {
+					amt = flow[a]
+				}
+				v = g.arcs[a].To
+			}
+		}
+		for v := snk; v != src; {
+			a := prevArc[v]
+			if prevFwd[v] {
+				flow[a] += amt
+				v = g.arcs[a].From
+			} else {
+				flow[a] -= amt
+				v = g.arcs[a].To
+			}
+		}
+		excess[src] -= amt
+		excess[snk] += amt
+	}
+
+	// Optimal potentials: Bellman-Ford from a virtual zero-cost source
+	// to every node over the final residual graph.
+	for i := range dist {
+		dist[i] = 0
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for a, arc := range g.arcs {
+			if flow[a] < arc.Cap && dist[arc.From]+arc.Cost < dist[arc.To] {
+				dist[arc.To] = dist[arc.From] + arc.Cost
+				changed = true
+			}
+			if flow[a] > 0 && dist[arc.To]-arc.Cost < dist[arc.From] {
+				dist[arc.From] = dist[arc.To] - arc.Cost
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res := &Result{Flow: flow, Pi: make([]int64, n)}
+	for v := 0; v < n; v++ {
+		res.Pi[v] = -dist[v]
+	}
+	for a := range g.arcs {
+		res.Cost += flow[a] * g.arcs[a].Cost
+	}
+	return res, nil
+}

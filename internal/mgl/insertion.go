@@ -1,0 +1,655 @@
+package mgl
+
+import (
+	"sort"
+
+	"mclegal/internal/curve"
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+// move is one chain shift of an already-placed cell.
+type move struct {
+	id   model.CellID
+	newX int
+}
+
+// plan is a fully evaluated insertion of the target cell: its position,
+// the chain shifts that make room, and the total DBU displacement cost
+// (target + shifted locals, each measured from its GP position).
+type plan struct {
+	target model.CellID
+	x, y   int
+	cost   int64
+	moves  []move
+	ok     bool
+}
+
+// chainCell is one movable local cell of a push chain.
+type chainCell struct {
+	id  model.CellID
+	off int64 // longest-path offset from the target x (includes spacing)
+	// bound is minPos for left chains (lowest legal left edge) and
+	// maxPos for right chains (highest legal left edge).
+	bound int64
+}
+
+// spacing returns the edge-spacing rule in sites between a left cell of
+// type a and a right cell of type b.
+func (l *Legalizer) spacing(a, b model.CellTypeID) int64 {
+	return int64(l.d.Tech.Spacing(l.d.Types[a].EdgeR, l.d.Types[b].EdgeL))
+}
+
+// winPadLo returns the left window edge as a barrier. Interior window
+// edges are padded by the largest edge-spacing rule so that two batches
+// inserting on both sides of a seam can never violate spacing.
+func (l *Legalizer) winPadLo(win geom.Rect, segLo int) int64 {
+	w := int64(win.XLo)
+	if win.XLo > segLo {
+		w += int64(l.maxSp)
+	}
+	if int64(segLo) > w {
+		return int64(segLo)
+	}
+	return w
+}
+
+// winPadHi mirrors winPadLo for the right window edge.
+func (l *Legalizer) winPadHi(win geom.Rect, segHi int) int64 {
+	w := int64(win.XHi)
+	if win.XHi < segHi {
+		w -= int64(l.maxSp)
+	}
+	if int64(segHi) < w {
+		return int64(segHi)
+	}
+	return w
+}
+
+// chainCap bounds the number of movable cells per push chain. The
+// full-core window (the legalizer's last resort) lifts the bound so
+// that completeness is never lost to chain truncation.
+func (l *Legalizer) chainCap(win geom.Rect) int {
+	core := l.d.Tech.CoreRect()
+	if win.XLo == core.XLo && win.XHi == core.XHi {
+		return win.W()
+	}
+	return l.opt.MaxChain
+}
+
+// isLocal reports whether a placed cell lies completely within the
+// window (paper: only such cells may be shifted).
+func (l *Legalizer) isLocal(id model.CellID, win geom.Rect) bool {
+	return win.Contains(l.d.CellRect(id))
+}
+
+// leftNeighborIdx returns, for segment sid, the index in the occupancy
+// list of the nearest cell whose left edge is <= x (-1 if none).
+func (l *Legalizer) leftNeighborIdx(sid int, x int) int {
+	return l.occ.splitAt(sid, x) - 1
+}
+
+const chainInfeasible = int64(1) << 60
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// buildLeftChain collects the movable cells pushed left when the target
+// (rows [y,y+h)) is inserted with its left edge at variable x. It
+// returns the chain cells (off and minPos filled in) and the x lower
+// bound implied by compression; lo == chainInfeasible marks an
+// infeasible insertion point. The returned slice is owned by sc.
+func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) ([]chainCell, int64) {
+	d := l.d
+	tct := d.Cells[t].Type
+	sc.reset(len(d.Cells))
+	chain := sc.chain[:0]
+	queue := sc.queue[:0]
+	capN := l.chainCap(win)
+	var xlo int64
+
+	inChain := func(id model.CellID) (int32, bool) {
+		if sc.inChain[id] == sc.stamp {
+			return sc.chainIdx[id], true
+		}
+		return 0, false
+	}
+	addChain := func(id model.CellID) {
+		if sc.inChain[id] == sc.stamp {
+			return
+		}
+		sc.inChain[id] = sc.stamp
+		sc.chainIdx[id] = int32(len(chain))
+		chain = append(chain, chainCell{id: id})
+		queue = append(queue, int32(id))
+	}
+	bumpOff := func(id model.CellID, off int64) {
+		if sc.offStamp[id] != sc.stamp || off > sc.offReq[id] {
+			sc.offStamp[id] = sc.stamp
+			sc.offReq[id] = off
+		}
+	}
+	seedOff := func(id model.CellID) int64 {
+		if sc.offStamp[id] == sc.stamp {
+			return sc.offReq[id]
+		}
+		return 0
+	}
+
+	// boundary returns the barrier coordinate for row r (segment start
+	// or padded window edge).
+	boundary := func(r int, at int) (int64, bool) {
+		s, ok := l.grid.At(r, at)
+		if !ok {
+			return 0, false
+		}
+		return l.winPadLo(win, s.X.Lo), true
+	}
+
+	// Seed with per-target-row frontiers.
+	for r := y; r < y+h; r++ {
+		s, ok := l.grid.At(r, x0)
+		if !ok || s.Fence != d.Cells[t].Fence {
+			return nil, chainInfeasible
+		}
+		idx := l.leftNeighborIdx(s.ID, x0)
+		if idx < 0 {
+			b, ok := boundary(r, x0)
+			if !ok {
+				return nil, chainInfeasible
+			}
+			if b > xlo {
+				xlo = b
+			}
+			continue
+		}
+		nb := l.occ.cellsIn(s.ID)[idx]
+		nbc := &d.Cells[nb]
+		nbct := &d.Types[nbc.Type]
+		if !l.isLocal(nb, win) {
+			b := int64(nbc.X+nbct.Width) + l.spacing(nbc.Type, tct)
+			if b > xlo {
+				xlo = b
+			}
+			continue
+		}
+		addChain(nb)
+		bumpOff(nb, int64(nbct.Width)+l.spacing(nbc.Type, tct))
+	}
+
+	// BFS: explore left neighbors of chain members across all their rows.
+	for qi := 0; qi < len(queue); qi++ {
+		c := model.CellID(queue[qi])
+		cc := &d.Cells[c]
+		cct := &d.Types[cc.Type]
+		for r := cc.Y; r < cc.Y+cct.Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				return nil, chainInfeasible
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X >= cc.X })
+			if i-1 < 0 {
+				continue
+			}
+			nb := lst[i-1]
+			if _, dup := inChain(nb); dup {
+				continue
+			}
+			if !l.isLocal(nb, win) || len(chain) >= capN {
+				continue // becomes a barrier below, via minPos
+			}
+			addChain(nb)
+		}
+	}
+
+	// Topological pass 1 (descending X): longest-path offsets.
+	order := sc.order[:0]
+	for i := range chain {
+		order = append(order, i)
+	}
+	// Insertion sort by descending X: chains are short and this is hot.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && d.Cells[chain[order[j]].id].X > d.Cells[chain[order[j-1]].id].X; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ci := range order {
+		c := chain[ci].id
+		cc := &d.Cells[c]
+		cct := &d.Types[cc.Type]
+		off := seedOff(c)
+		for r := cc.Y; r < cc.Y+cct.Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				continue
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X > cc.X })
+			if i >= len(lst) {
+				continue
+			}
+			rn := lst[i]
+			ri, ok2 := inChain(rn)
+			if !ok2 {
+				continue
+			}
+			req := chain[ri].off + int64(cct.Width) + l.spacing(cc.Type, d.Cells[rn].Type)
+			if req > off {
+				off = req
+			}
+		}
+		if off == 0 {
+			off = -1 // defensive: never move a requirement-free cell
+		}
+		chain[ci].off = off
+	}
+
+	// Topological pass 2 (ascending X): compression bounds (minPos).
+	for k := len(order) - 1; k >= 0; k-- {
+		ci := order[k]
+		c := chain[ci].id
+		cc := &d.Cells[c]
+		cct := &d.Types[cc.Type]
+		var minPos int64 = -1 << 60
+		for r := cc.Y; r < cc.Y+cct.Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				return nil, chainInfeasible
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X >= cc.X })
+			if i-1 < 0 {
+				b, ok := boundary(r, cc.X)
+				if !ok {
+					return nil, chainInfeasible
+				}
+				if b > minPos {
+					minPos = b
+				}
+				continue
+			}
+			nb := lst[i-1]
+			nbc := &d.Cells[nb]
+			nbct := &d.Types[nbc.Type]
+			if ni, ok2 := inChain(nb); ok2 {
+				b := chain[ni].bound + int64(nbct.Width) + l.spacing(nbc.Type, cc.Type)
+				if b > minPos {
+					minPos = b
+				}
+			} else {
+				// Non-local barrier, still clamped to the (padded)
+				// window edge: chain cells must never leave the
+				// window, or parallel batches could collide.
+				b := int64(nbc.X+nbct.Width) + l.spacing(nbc.Type, cc.Type)
+				if w := l.winPadLo(win, s.X.Lo); w > b {
+					b = w
+				}
+				if b > minPos {
+					minPos = b
+				}
+			}
+		}
+		chain[ci].bound = minPos
+		if chain[ci].off > 0 {
+			if v := minPos + chain[ci].off; v > xlo {
+				xlo = v
+			}
+		}
+	}
+	sc.chain, sc.queue, sc.order = chain, queue, order
+	return chain, xlo
+}
+
+// buildRightChain mirrors buildLeftChain for cells pushed right. It
+// returns the chain and the upper bound on the target x; hi ==
+// -chainInfeasible marks an infeasible insertion point. The returned
+// slice is owned by sc.
+func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) ([]chainCell, int64) {
+	d := l.d
+	tc := &d.Cells[t]
+	tw := int64(d.Types[tc.Type].Width)
+	sc.reset(len(d.Cells))
+	chain := sc.chainR[:0]
+	queue := sc.queue[:0]
+	capN := l.chainCap(win)
+	xhi := int64(1) << 60
+
+	inChain := func(id model.CellID) (int32, bool) {
+		if sc.inChain[id] == sc.stamp {
+			return sc.chainIdx[id], true
+		}
+		return 0, false
+	}
+	addChain := func(id model.CellID) {
+		if sc.inChain[id] == sc.stamp {
+			return
+		}
+		sc.inChain[id] = sc.stamp
+		sc.chainIdx[id] = int32(len(chain))
+		chain = append(chain, chainCell{id: id})
+		queue = append(queue, int32(id))
+	}
+	bumpOff := func(id model.CellID, off int64) {
+		if sc.offStamp[id] != sc.stamp || off > sc.offReq[id] {
+			sc.offStamp[id] = sc.stamp
+			sc.offReq[id] = off
+		}
+	}
+	seedOff := func(id model.CellID) int64 {
+		if sc.offStamp[id] == sc.stamp {
+			return sc.offReq[id]
+		}
+		return 0
+	}
+
+	boundary := func(r int, at int) (int64, bool) {
+		s, ok := l.grid.At(r, at)
+		if !ok {
+			return 0, false
+		}
+		return l.winPadHi(win, s.X.Hi), true
+	}
+
+	for r := y; r < y+h; r++ {
+		s, ok := l.grid.At(r, x0)
+		if !ok || s.Fence != tc.Fence {
+			return nil, -chainInfeasible
+		}
+		lst := l.occ.cellsIn(s.ID)
+		i := l.occ.splitAt(s.ID, x0)
+		if i >= len(lst) {
+			b, ok := boundary(r, x0)
+			if !ok {
+				return nil, -chainInfeasible
+			}
+			if v := b - tw; v < xhi {
+				xhi = v
+			}
+			continue
+		}
+		nb := lst[i]
+		nbc := &d.Cells[nb]
+		if !l.isLocal(nb, win) {
+			b := int64(nbc.X) - l.spacing(tc.Type, nbc.Type) - tw
+			if b < xhi {
+				xhi = b
+			}
+			continue
+		}
+		addChain(nb)
+		bumpOff(nb, tw+l.spacing(tc.Type, nbc.Type))
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		c := model.CellID(queue[qi])
+		cc := &d.Cells[c]
+		cct := &d.Types[cc.Type]
+		for r := cc.Y; r < cc.Y+cct.Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				return nil, -chainInfeasible
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X > cc.X })
+			if i >= len(lst) {
+				continue
+			}
+			nb := lst[i]
+			if _, dup := inChain(nb); dup {
+				continue
+			}
+			if !l.isLocal(nb, win) || len(chain) >= capN {
+				continue
+			}
+			addChain(nb)
+		}
+	}
+
+	// Pass 1 (ascending X): offsets from the target.
+	order := sc.order[:0]
+	for i := range chain {
+		order = append(order, i)
+	}
+	// Insertion sort by ascending X (see the left-chain mirror).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && d.Cells[chain[order[j]].id].X < d.Cells[chain[order[j-1]].id].X; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ci := range order {
+		c := chain[ci].id
+		cc := &d.Cells[c]
+		off := seedOff(c)
+		for r := cc.Y; r < cc.Y+d.Types[cc.Type].Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				continue
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X >= cc.X })
+			if i-1 < 0 {
+				continue
+			}
+			ln := lst[i-1]
+			li, ok2 := inChain(ln)
+			if !ok2 {
+				continue
+			}
+			lnc := &d.Cells[ln]
+			req := chain[li].off + int64(d.Types[lnc.Type].Width) + l.spacing(lnc.Type, cc.Type)
+			if req > off {
+				off = req
+			}
+		}
+		if off == 0 {
+			off = -1
+		}
+		chain[ci].off = off
+	}
+
+	// Pass 2 (descending X): expansion bounds (maxPos).
+	for k := len(order) - 1; k >= 0; k-- {
+		ci := order[k]
+		c := chain[ci].id
+		cc := &d.Cells[c]
+		cct := &d.Types[cc.Type]
+		cw := int64(cct.Width)
+		var maxPos int64 = 1 << 60
+		for r := cc.Y; r < cc.Y+cct.Height; r++ {
+			s, ok := l.grid.At(r, cc.X)
+			if !ok {
+				return nil, -chainInfeasible
+			}
+			lst := l.occ.cellsIn(s.ID)
+			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X > cc.X })
+			if i >= len(lst) {
+				b, ok := boundary(r, cc.X)
+				if !ok {
+					return nil, -chainInfeasible
+				}
+				if v := b - cw; v < maxPos {
+					maxPos = v
+				}
+				continue
+			}
+			nb := lst[i]
+			nbc := &d.Cells[nb]
+			if ni, ok2 := inChain(nb); ok2 {
+				b := chain[ni].bound - l.spacing(cc.Type, nbc.Type) - cw
+				if b < maxPos {
+					maxPos = b
+				}
+			} else {
+				// Non-local barrier, clamped to the padded window edge
+				// (see the left-chain mirror for why).
+				b := int64(nbc.X) - l.spacing(cc.Type, nbc.Type) - cw
+				if w := l.winPadHi(win, s.X.Hi) - cw; w < b {
+					b = w
+				}
+				if b < maxPos {
+					maxPos = b
+				}
+			}
+		}
+		chain[ci].bound = maxPos
+		if chain[ci].off > 0 {
+			if v := maxPos - chain[ci].off; v < xhi {
+				xhi = v
+			}
+		}
+	}
+	sc.chainR, sc.queue, sc.order = chain, queue, order
+	return chain, xhi
+}
+
+// evaluateInsertion builds the displacement curve for the insertion
+// point defined by (y, x0) and returns the best position and cost. The
+// second return is false if the point is infeasible.
+func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) (plan, bool) {
+	d := l.d
+	tc := &d.Cells[t]
+	tct := &d.Types[tc.Type]
+	siteW := int64(d.Tech.SiteW)
+	rowH := int64(d.Tech.RowH)
+
+	// Quick rejection: every span row must hold at least the target's
+	// width of free sites inside the window. This necessary condition
+	// skips the expensive chain construction for insertion points deep
+	// inside packed regions.
+	for r := y; r < y+h; r++ {
+		s, ok := l.grid.At(r, x0)
+		if !ok || s.Fence != tc.Fence {
+			return plan{}, false
+		}
+		wl, wh := s.X.Lo, s.X.Hi
+		if win.XLo > wl {
+			wl = win.XLo
+		}
+		if win.XHi < wh {
+			wh = win.XHi
+		}
+		if wh-wl < tct.Width ||
+			(wh-wl)-l.occ.occupiedWidth(s.ID, wl, wh) < tct.Width {
+			return plan{}, false
+		}
+	}
+
+	left, xlo := l.buildLeftChain(sc, t, y, h, x0, win)
+	if xlo >= chainInfeasible {
+		return plan{}, false
+	}
+	right, xhi := l.buildRightChain(sc, t, y, h, x0, win)
+	if xhi <= -chainInfeasible {
+		return plan{}, false
+	}
+	if int64(win.XLo) > xlo {
+		xlo = int64(win.XLo)
+	}
+	if v := int64(win.XHi) - int64(tct.Width); v < xhi {
+		xhi = v
+	}
+	if xlo > xhi {
+		return plan{}, false
+	}
+
+	total := curve.Abs(int64(tc.GX), siteW, int64(geom.Abs(y-tc.GY))*rowH)
+	gRef := func(c *model.Cell) int64 {
+		if l.opt.CostFromCurrent {
+			return int64(c.X) // MLL semantics: cost from current position
+		}
+		return int64(c.GX)
+	}
+	// Each local cell contributes its *incremental* displacement: the
+	// curve minus its current (sunk) displacement. Without the
+	// subtraction, insertion points whose windows happen to contain
+	// already-displaced cells would look spuriously expensive, biasing
+	// the row choice. (For MLL semantics the baseline is zero anyway.)
+	for i := range left {
+		c := &d.Cells[left[i].id]
+		if left[i].off <= 0 {
+			continue
+		}
+		g := gRef(c)
+		total.Add(curve.PushLeft(int64(c.X), g, left[i].off, siteW))
+		total.AddConst(-siteW * abs64(int64(c.X)-g))
+	}
+	for i := range right {
+		c := &d.Cells[right[i].id]
+		if right[i].off <= 0 {
+			continue
+		}
+		g := gRef(c)
+		total.Add(curve.PushRight(int64(c.X), g, right[i].off, siteW))
+		total.AddConst(-siteW * abs64(int64(c.X)-g))
+	}
+
+	bestX, bestV := total.MinOn(xlo, xhi, int64(tc.GX))
+
+	// Vertical-rail avoidance: slide to the nearest clean x by curve
+	// cost (paper Section 3.4).
+	if l.opt.Rules != nil && l.opt.Rules.XForbidden(tc.Type, int(bestX), y) {
+		const scanCap = 256
+		found := false
+		var candX, candV int64
+		for step := int64(1); step <= scanCap; step++ {
+			if x := bestX - step; x >= xlo && !l.opt.Rules.XForbidden(tc.Type, int(x), y) {
+				candX, candV = x, total.Eval(x)
+				found = true
+				break
+			}
+		}
+		for step := int64(1); step <= scanCap; step++ {
+			x := bestX + step
+			if x > xhi {
+				break
+			}
+			if !l.opt.Rules.XForbidden(tc.Type, int(x), y) {
+				if v := total.Eval(x); !found || v < candV {
+					candX, candV = x, v
+				}
+				break
+			}
+		}
+		if !found {
+			return plan{}, false
+		}
+		bestX, bestV = candX, candV
+	}
+	if l.opt.Rules != nil {
+		bestV += l.opt.Rules.IOPenalty(tc.Type, int(bestX), y)
+	}
+
+	p := plan{target: t, x: int(bestX), y: y, cost: bestV, ok: true}
+	for i := range left {
+		if left[i].off <= 0 {
+			continue
+		}
+		c := &d.Cells[left[i].id]
+		nx := bestX - left[i].off
+		if int64(c.X) < nx {
+			nx = int64(c.X)
+		}
+		if nx != int64(c.X) {
+			p.moves = append(p.moves, move{id: left[i].id, newX: int(nx)})
+		}
+	}
+	for i := range right {
+		if right[i].off <= 0 {
+			continue
+		}
+		c := &d.Cells[right[i].id]
+		nx := bestX + right[i].off
+		if int64(c.X) > nx {
+			nx = int64(c.X)
+		}
+		if nx != int64(c.X) {
+			p.moves = append(p.moves, move{id: right[i].id, newX: int(nx)})
+		}
+	}
+	return p, true
+}

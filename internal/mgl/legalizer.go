@@ -1,0 +1,415 @@
+package mgl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// Stats reports work done by a Run.
+type Stats struct {
+	Placed        int
+	WindowRetries int
+	Batches       int
+}
+
+// Legalizer runs multi-row global legalization over one design.
+type Legalizer struct {
+	d     *model.Design
+	grid  *seg.Grid
+	occ   *occupancy
+	opt   Options
+	maxSp int
+
+	// Stats is populated by Run.
+	Stats Stats
+
+	// DebugAfterBatch, when set, is called after each parallel batch
+	// commit with the cells actually placed by the batch; returning
+	// false aborts the run. Intended for tests and debugging only.
+	DebugAfterBatch func(placed []model.CellID) bool
+}
+
+// New builds a legalizer for d over the prebuilt segmentation grid.
+func New(d *model.Design, grid *seg.Grid, opt Options) *Legalizer {
+	return &Legalizer{
+		d:     d,
+		grid:  grid,
+		occ:   newOccupancy(d, grid),
+		opt:   opt.withDefaults(),
+		maxSp: d.Tech.MaxEdgeSpacing(),
+	}
+}
+
+// Order returns the cell legalization order under the configured policy.
+func (l *Legalizer) Order() []model.CellID {
+	var ids []model.CellID
+	for i := range l.d.Cells {
+		if !l.d.Cells[i].Fixed {
+			ids = append(ids, model.CellID(i))
+		}
+	}
+	ts := l.d.Types
+	cs := l.d.Cells
+	sort.SliceStable(ids, func(a, b int) bool {
+		ca, cb := &cs[ids[a]], &cs[ids[b]]
+		ta, tb := &ts[ca.Type], &ts[cb.Type]
+		switch l.opt.Order {
+		case GPLeftToRight:
+			if ca.GX != cb.GX {
+				return ca.GX < cb.GX
+			}
+		case WidestAreaFirst:
+			aa, ab := ta.Width*ta.Height, tb.Width*tb.Height
+			if aa != ab {
+				return aa > ab
+			}
+		default: // TallestFirst
+			if ta.Height != tb.Height {
+				return ta.Height > tb.Height
+			}
+		}
+		if ca.GX != cb.GX {
+			return ca.GX < cb.GX
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// windowFor returns the (attempt-times grown) search window of cell t,
+// clamped to the core.
+func (l *Legalizer) windowFor(t model.CellID, attempt int) geom.Rect {
+	c := &l.d.Cells[t]
+	ct := &l.d.Types[c.Type]
+	hw := l.opt.WindowW
+	if hw <= 0 {
+		hw = 2*ct.Width + 8
+	}
+	hh := l.opt.WindowH
+	if hh <= 0 {
+		hh = ct.Height + 2
+	}
+	for i := 0; i < attempt; i++ {
+		hw *= l.opt.GrowFactor
+		hh *= l.opt.GrowFactor
+	}
+	core := l.d.Tech.CoreRect()
+	win := geom.Rect{
+		XLo: c.GX - hw, XHi: c.GX + ct.Width + hw,
+		YLo: c.GY - hh, YHi: c.GY + ct.Height + hh,
+	}
+	return win.Intersect(core)
+}
+
+// bestInWindow evaluates every insertion point of t in win and returns
+// the cheapest feasible plan.
+func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect) (plan, bool) {
+	d := l.d
+	tc := &d.Cells[t]
+	tct := &d.Types[tc.Type]
+	h := tct.Height
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	var best plan
+	better := func(p plan) bool {
+		if !best.ok {
+			return true
+		}
+		if p.cost != best.cost {
+			return p.cost < best.cost
+		}
+		da, db := geom.Abs(p.y-tc.GY), geom.Abs(best.y-tc.GY)
+		if da != db {
+			return da < db
+		}
+		if p.y != best.y {
+			return p.y < best.y
+		}
+		return p.x < best.x
+	}
+
+	// Scan candidate rows outward from the GP row so that row pruning
+	// (PruneSlackRows) can stop early: once the y-cost alone exceeds
+	// the best cost plus the slack, no farther row can win.
+	rows := make([]int, 0, win.H())
+	for y := win.YLo; y+h <= win.YHi; y++ {
+		if y < 0 || y+h > d.Tech.NumRows {
+			continue
+		}
+		rows = append(rows, y)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		da, db := geom.Abs(rows[a]-tc.GY), geom.Abs(rows[b]-tc.GY)
+		if da != db {
+			return da < db
+		}
+		return rows[a] < rows[b]
+	})
+	rowH := int64(d.Tech.RowH)
+	for _, y := range rows {
+		if l.opt.PruneSlackRows >= 0 && best.ok {
+			yCost := int64(geom.Abs(y-tc.GY)) * rowH
+			if yCost > best.cost+int64(l.opt.PruneSlackRows)*rowH {
+				break
+			}
+		}
+		if !d.Tech.RowAllowed(h, y) {
+			continue
+		}
+		if l.opt.Rules != nil && l.opt.Rules.RowForbidden(tc.Type, y) {
+			continue
+		}
+		for _, x0 := range l.insertionReps(tc.Fence, y, h, win) {
+			p, ok := l.evaluateInsertion(sc, t, y, h, x0, win)
+			if ok && better(p) {
+				best = p
+			}
+		}
+	}
+	return best, best.ok
+}
+
+// insertionReps returns the representative x positions that enumerate
+// all distinct insertion points for rows [y,y+h) within win: one per
+// elementary interval between segment starts and placed-cell left
+// edges.
+func (l *Legalizer) insertionReps(f model.FenceID, y, h int, win geom.Rect) []int {
+	var reps []int
+	add := func(x int) {
+		if x >= win.XLo && x < win.XHi {
+			reps = append(reps, x)
+		}
+	}
+	add(win.XLo)
+	for r := y; r < y+h; r++ {
+		for _, sid := range l.grid.Row(r) {
+			s := l.grid.Segs[sid]
+			if s.Fence != f || !s.X.Overlaps(geom.Interval{Lo: win.XLo, Hi: win.XHi}) {
+				continue
+			}
+			add(s.X.Lo)
+			for _, id := range l.occ.cellsIn(sid) {
+				add(l.d.Cells[id].X)
+			}
+		}
+	}
+	sort.Ints(reps)
+	out := reps[:0]
+	for i, x := range reps {
+		if i == 0 || x != reps[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// commit applies a plan: chain cells shift, the target is placed and
+// registered. Shifts preserve the x-order of every occupancy list.
+func (l *Legalizer) commit(p plan) {
+	for _, mv := range p.moves {
+		l.d.Cells[mv.id].X = mv.newX
+	}
+	c := &l.d.Cells[p.target]
+	c.X, c.Y = p.x, p.y
+	l.occ.insert(p.target)
+	l.Stats.Placed++
+}
+
+// coverageBound returns the minimum possible target-displacement cost
+// of any position *outside* win: if the best in-window plan costs more,
+// a cheaper position may exist beyond the window.
+func (l *Legalizer) coverageBound(t model.CellID, win geom.Rect) int64 {
+	c := &l.d.Cells[t]
+	ct := &l.d.Types[c.Type]
+	core := l.d.Tech.CoreRect()
+	siteW := int64(l.d.Tech.SiteW)
+	rowH := int64(l.d.Tech.RowH)
+	bound := int64(1) << 62
+	if win.XLo > core.XLo {
+		bound = min64(bound, int64(c.GX-win.XLo)*siteW)
+	}
+	if win.XHi < core.XHi {
+		bound = min64(bound, int64(win.XHi-ct.Width-c.GX)*siteW)
+	}
+	if win.YLo > core.YLo {
+		bound = min64(bound, int64(c.GY-win.YLo)*rowH)
+	}
+	if win.YHi < core.YHi {
+		bound = min64(bound, int64(win.YHi-ct.Height-c.GY)*rowH)
+	}
+	return bound
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// legalizeOne grows the window until the cell fits (and, within the
+// QualityGrowths budget, until no cheaper position can lie outside);
+// it fails only when the full-core window has no feasible insertion.
+func (l *Legalizer) legalizeOne(t model.CellID) error {
+	core := l.d.Tech.CoreRect()
+	var best plan
+	haveBest := false
+	quality := 0
+	for attempt := 0; ; attempt++ {
+		win := l.windowFor(t, attempt)
+		p, ok := l.bestInWindow(t, win)
+		if ok {
+			// A bigger window explores a superset, so the newest plan
+			// is never worse; still guard against pruning artifacts.
+			if !haveBest || p.cost <= best.cost {
+				best = p
+			}
+			haveBest = true
+			if win == core || l.opt.QualityGrowths < 0 ||
+				quality >= l.opt.QualityGrowths ||
+				best.cost <= l.coverageBound(t, win) {
+				l.commit(best)
+				return nil
+			}
+			quality++
+			l.Stats.WindowRetries++
+			continue
+		}
+		if win == core {
+			if haveBest {
+				l.commit(best)
+				return nil
+			}
+			return fmt.Errorf("mgl: cell %q (%d) cannot be legalized: no feasible position in fence %d",
+				l.d.Cells[t].Name, t, l.d.Cells[t].Fence)
+		}
+		l.Stats.WindowRetries++
+	}
+}
+
+// Run legalizes every movable cell. With Workers > 1 it uses the
+// deterministic window scheduler of paper Section 3.5: each iteration
+// selects up to BatchCap cells (in queue order) whose windows are
+// pairwise disjoint, evaluates them in parallel against the iteration's
+// snapshot, then commits the results in queue order.
+func (l *Legalizer) Run() error {
+	queue := l.Order()
+	if l.opt.Workers == 1 {
+		for _, t := range queue {
+			if err := l.legalizeOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	attempt := make(map[model.CellID]int, len(queue))
+	quality := make(map[model.CellID]int, len(queue))
+	core := l.d.Tech.CoreRect()
+	for len(queue) > 0 {
+		// Select the batch L_p: queue-ordered, pairwise-disjoint windows.
+		var batch []model.CellID
+		var wins []geom.Rect
+		selected := make(map[model.CellID]bool, l.opt.BatchCap)
+		for _, t := range queue {
+			if len(batch) >= l.opt.BatchCap {
+				break
+			}
+			w := l.windowFor(t, attempt[t])
+			clash := false
+			for _, o := range wins {
+				if w.Overlaps(o) {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			batch = append(batch, t)
+			wins = append(wins, w)
+			selected[t] = true
+		}
+		l.Stats.Batches++
+
+		// Parallel evaluation against the current snapshot.
+		plans := make([]plan, len(batch))
+		oks := make([]bool, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, l.opt.Workers)
+		for i := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+			}(i)
+		}
+		wg.Wait()
+
+		// Sequential deterministic commit; failures grow their window
+		// and return to the queue.
+		failed := make(map[model.CellID]bool)
+		var committed []model.CellID
+		for i, t := range batch {
+			if oks[i] {
+				// Quality-driven growth (see legalizeOne): if a
+				// cheaper position may lie outside this window and the
+				// budget allows, retry with a bigger window instead of
+				// committing. The next batch re-evaluates fresh, which
+				// keeps batch windows disjoint.
+				if wins[i] != core && l.opt.QualityGrowths >= 0 &&
+					quality[t] < l.opt.QualityGrowths &&
+					plans[i].cost > l.coverageBound(t, wins[i]) {
+					quality[t]++
+					attempt[t]++
+					failed[t] = true
+					l.Stats.WindowRetries++
+					continue
+				}
+				l.commit(plans[i])
+				committed = append(committed, t)
+				continue
+			}
+			l.Stats.WindowRetries++
+			if wins[i] == core {
+				return fmt.Errorf("mgl: cell %q (%d) cannot be legalized: no feasible position in fence %d",
+					l.d.Cells[t].Name, t, l.d.Cells[t].Fence)
+			}
+			attempt[t]++
+			failed[t] = true
+		}
+		next := queue[:0]
+		for _, t := range queue {
+			if !selected[t] || failed[t] {
+				next = append(next, t)
+			}
+		}
+		queue = next
+		if l.DebugAfterBatch != nil && !l.DebugAfterBatch(committed) {
+			return fmt.Errorf("mgl: aborted by debug hook")
+		}
+	}
+	return nil
+}
+
+// Legalize builds the segmentation of d and runs MGL with opt.
+func Legalize(d *model.Design, opt Options) (*Legalizer, error) {
+	grid, err := seg.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	l := New(d, grid, opt)
+	if err := l.Run(); err != nil {
+		return l, err
+	}
+	return l, nil
+}

@@ -1,0 +1,123 @@
+// Package mgl implements the paper's core contribution: multi-row
+// global legalization (Section 3.1). Cells are inserted sequentially
+// into a window around their GP position; for every candidate insertion
+// point the summed displacement curve of the target and the local cells
+// is scanned at its breakpoints; the cheapest position wins and local
+// cells are spread to make room.
+//
+// Unlike MLL (reference [12], reimplemented in internal/baseline), all
+// displacement here is measured from global-placement positions, so
+// costs do not accumulate over successive insertions (paper Figure 3).
+package mgl
+
+import (
+	"sort"
+
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// occupancy tracks, for every segment, the IDs of placed cells ordered
+// by their current x. A multi-row cell appears in one segment per row
+// it spans.
+type occupancy struct {
+	d    *model.Design
+	grid *seg.Grid
+	segs [][]model.CellID
+	// prefW[sid][i] is the summed width of segs[sid][:i]; it provides
+	// O(log) occupied-width queries for the quick-rejection test.
+	prefW [][]int32
+}
+
+func newOccupancy(d *model.Design, grid *seg.Grid) *occupancy {
+	return &occupancy{
+		d:     d,
+		grid:  grid,
+		segs:  make([][]model.CellID, len(grid.Segs)),
+		prefW: make([][]int32, len(grid.Segs)),
+	}
+}
+
+// insert registers a placed cell in the segments of all rows it spans.
+// The cell's X/Y must already be final.
+func (o *occupancy) insert(id model.CellID) {
+	c := &o.d.Cells[id]
+	ct := &o.d.Types[c.Type]
+	for r := c.Y; r < c.Y+ct.Height; r++ {
+		s, ok := o.grid.At(r, c.X)
+		if !ok {
+			panic("mgl: inserting cell outside any segment")
+		}
+		lst := o.segs[s.ID]
+		i := sort.Search(len(lst), func(k int) bool { return o.d.Cells[lst[k]].X > c.X })
+		lst = append(lst, 0)
+		copy(lst[i+1:], lst[i:])
+		lst[i] = id
+		o.segs[s.ID] = lst
+
+		pw := o.prefW[s.ID]
+		if len(pw) == 0 {
+			pw = append(pw, 0)
+		}
+		pw = append(pw, 0)
+		copy(pw[i+2:], pw[i+1:])
+		for k := i + 1; k < len(pw); k++ {
+			if k == i+1 {
+				pw[k] = pw[k-1] + int32(ct.Width)
+			} else {
+				pw[k] += int32(ct.Width)
+			}
+		}
+		o.prefW[s.ID] = pw
+	}
+}
+
+// occupiedWidth returns the summed width (in sites) of the parts of
+// placed cells of segment sid that lie inside [lo, hi).
+func (o *occupancy) occupiedWidth(sid, lo, hi int) int {
+	lst := o.segs[sid]
+	if len(lst) == 0 || hi <= lo {
+		return 0
+	}
+	cells := o.d.Cells
+	// First cell with right edge > lo.
+	a := sort.Search(len(lst), func(k int) bool {
+		c := &cells[lst[k]]
+		return c.X+o.d.Types[c.Type].Width > lo
+	})
+	// First cell with left edge >= hi.
+	b := sort.Search(len(lst), func(k int) bool { return cells[lst[k]].X >= hi })
+	if a >= b {
+		return 0
+	}
+	pw := o.prefW[sid]
+	total := int(pw[b] - pw[a])
+	// Trim boundary overhangs.
+	ca := &cells[lst[a]]
+	if ca.X < lo {
+		total -= lo - ca.X
+	}
+	cb := &cells[lst[b-1]]
+	if r := cb.X + o.d.Types[cb.Type].Width; r > hi {
+		total -= r - hi
+	}
+	return total
+}
+
+// cellsIn returns the placed cells of segment sid (ordered by x).
+func (o *occupancy) cellsIn(sid int) []model.CellID { return o.segs[sid] }
+
+// splitAt returns the index of the first cell in segment sid whose left
+// edge is strictly greater than x: cells [0,idx) are "left of x".
+func (o *occupancy) splitAt(sid int, x int) int {
+	lst := o.segs[sid]
+	return sort.Search(len(lst), func(k int) bool { return o.d.Cells[lst[k]].X > x })
+}
+
+// resort restores x-order of a segment after cells were shifted.
+// Shifting by the MGL chain rules preserves order, so this is only used
+// defensively by tests.
+func (o *occupancy) resort(sid int) {
+	lst := o.segs[sid]
+	sort.SliceStable(lst, func(a, b int) bool { return o.d.Cells[lst[a]].X < o.d.Cells[lst[b]].X })
+}

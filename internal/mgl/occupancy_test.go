@@ -1,0 +1,141 @@
+package mgl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func occFixture(t *testing.T) (*model.Design, *seg.Grid, *occupancy) {
+	t.Helper()
+	d := newDesign(100, 4)
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, grid, newOccupancy(d, grid)
+}
+
+func TestOccupancyInsertOrder(t *testing.T) {
+	d, grid, occ := occFixture(t)
+	mk := func(ti model.CellTypeID, x, y int) model.CellID {
+		id := addCell(d, ti, x, y, 0)
+		d.Cells[id].X, d.Cells[id].Y = x, y
+		occ.insert(id)
+		return id
+	}
+	c := mk(0, 50, 1)
+	a := mk(0, 10, 1)
+	b := mk(0, 30, 1)
+	s, _ := grid.At(1, 0)
+	lst := occ.cellsIn(s.ID)
+	if len(lst) != 3 || lst[0] != a || lst[1] != b || lst[2] != c {
+		t.Fatalf("occupancy not x-sorted: %v", lst)
+	}
+	if occ.splitAt(s.ID, 30) != 2 { // cells with X <= 30: a and b
+		t.Errorf("splitAt(30) = %d", occ.splitAt(s.ID, 30))
+	}
+	if occ.splitAt(s.ID, 9) != 0 || occ.splitAt(s.ID, 99) != 3 {
+		t.Errorf("splitAt boundaries wrong")
+	}
+}
+
+func TestOccupancyMultiRow(t *testing.T) {
+	d, grid, occ := occFixture(t)
+	id := addCell(d, 1, 20, 2, 0) // 3-wide, 2-high at rows 2,3
+	occ.insert(id)
+	for r := 2; r <= 3; r++ {
+		s, _ := grid.At(r, 20)
+		if lst := occ.cellsIn(s.ID); len(lst) != 1 || lst[0] != id {
+			t.Fatalf("row %d missing multi-row cell", r)
+		}
+	}
+	s, _ := grid.At(1, 20)
+	if len(occ.cellsIn(s.ID)) != 0 {
+		t.Errorf("row 1 should be empty")
+	}
+}
+
+func TestOccupiedWidth(t *testing.T) {
+	d, grid, occ := occFixture(t)
+	mk := func(ti model.CellTypeID, x int) {
+		id := addCell(d, ti, x, 0, 0)
+		occ.insert(id)
+	}
+	// Width-2 cells at [10,12), [20,22); width-5 at [30,35).
+	mk(0, 10)
+	mk(0, 20)
+	mk(3, 30)
+	s, _ := grid.At(0, 0)
+	cases := []struct {
+		lo, hi, want int
+	}{
+		{0, 100, 9},
+		{10, 12, 2},
+		{11, 12, 1}, // clipped left
+		{10, 11, 1}, // clipped right
+		{12, 20, 0}, // gap
+		{0, 10, 0},  // before everything
+		{31, 34, 3}, // inside the wide cell
+		{21, 33, 4}, // 1 from cell2 + 3 from cell3
+		{50, 40, 0}, // inverted interval
+	}
+	for _, c := range cases {
+		if got := occ.occupiedWidth(s.ID, c.lo, c.hi); got != c.want {
+			t.Errorf("occupiedWidth(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestOccupiedWidthRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		d, grid, occ := occFixture(t)
+		// Random non-overlapping width-2 cells in row 0.
+		x := 0
+		var placed []int
+		for {
+			x += rng.Intn(4)
+			if x+2 > 100 {
+				break
+			}
+			id := addCell(d, 0, x, 0, 0)
+			occ.insert(id)
+			placed = append(placed, x)
+			x += 2
+		}
+		s, _ := grid.At(0, 0)
+		for q := 0; q < 30; q++ {
+			lo := rng.Intn(100)
+			hi := lo + rng.Intn(100-lo+1)
+			want := 0
+			for _, px := range placed {
+				o := min(hi, px+2) - max(lo, px)
+				if o > 0 {
+					want += o
+				}
+			}
+			if got := occ.occupiedWidth(s.ID, lo, hi); got != want {
+				t.Fatalf("trial %d: occupiedWidth(%d,%d) = %d, want %d", trial, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestOccupancyResort(t *testing.T) {
+	d, grid, occ := occFixture(t)
+	a := addCell(d, 0, 10, 0, 0)
+	b := addCell(d, 0, 20, 0, 0)
+	occ.insert(a)
+	occ.insert(b)
+	// Manually swap positions (tests only), then resort.
+	d.Cells[a].X, d.Cells[b].X = 20, 10
+	s, _ := grid.At(0, 0)
+	occ.resort(s.ID)
+	lst := occ.cellsIn(s.ID)
+	if lst[0] != b || lst[1] != a {
+		t.Errorf("resort failed: %v", lst)
+	}
+}

@@ -1,0 +1,56 @@
+package mgl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// Regression for a parallel-scheduler bug: a chain cell whose
+// compression barrier came from a non-local neighbor could be pushed
+// past its window's edge, colliding with a concurrent batch member's
+// placement in the adjacent window. Dense instances with many multi-row
+// cells, small windows and forbidden rows maximize batch pressure at
+// window seams.
+func TestParallelSeamRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1711))
+	for trial := 0; trial < 6; trial++ {
+		d := newDesign(200, 20)
+		// ~72% utilization with a tall-cell-heavy mix.
+		area := 0
+		for area < 200*20*72/100 {
+			ti := model.CellTypeID(rng.Intn(len(d.Types)))
+			ct := d.Types[ti]
+			gx := rng.Intn(200 - ct.Width)
+			gy := rng.Intn(20 - ct.Height)
+			addCell(d, ti, gx, gy, 0)
+			area += ct.Width * ct.Height
+		}
+		grid, err := seg.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := New(d, grid, Options{
+			Workers:  4,
+			BatchCap: 16,
+			// Tiny windows force many adjacent windows per batch.
+			WindowW: 6, WindowH: 2,
+			Rules: fakeRules{
+				rowBad: func(ct model.CellTypeID, y int) bool {
+					// Forbid one row phase for one type to force
+					// retries and window growth.
+					return ct == 0 && y%5 == 0
+				},
+			},
+		})
+		if err := l.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if v := eval.Audit(d, grid); len(v) > 0 {
+			t.Fatalf("trial %d: %v (of %d)", trial, v[0], len(v))
+		}
+	}
+}

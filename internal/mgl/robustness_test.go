@@ -1,0 +1,122 @@
+package mgl
+
+import (
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// GP positions far outside the core must still legalize (window growth
+// eventually reaches the core).
+func TestGPOutsideCore(t *testing.T) {
+	d := newDesign(60, 6)
+	ids := []model.CellID{
+		addCell(d, 0, -50, -10, 0),
+		addCell(d, 0, 500, 300, 0),
+		addCell(d, 1, -5, 3, 0),
+	}
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(d, grid, Options{Workers: 1})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+	core := d.Tech.CoreRect()
+	for _, id := range ids {
+		if !core.Contains(d.CellRect(id)) {
+			t.Errorf("cell %d not pulled into core", id)
+		}
+	}
+}
+
+// A cell wider than the core fails with an error, not a panic or hang.
+func TestCellWiderThanCore(t *testing.T) {
+	d := newDesign(10, 4)
+	d.Types = append(d.Types, model.CellType{Name: "HUGE", Width: 20, Height: 1})
+	addCell(d, model.CellTypeID(len(d.Types)-1), 0, 0, 0)
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(d, grid, Options{Workers: 1})
+	if err := l.Run(); err == nil {
+		t.Fatal("oversized cell legalized")
+	}
+}
+
+// A fence too small for its assigned cell fails cleanly.
+func TestFenceTooSmall(t *testing.T) {
+	d := newDesign(60, 8)
+	d.Fences = []model.Fence{{Name: "tiny", Rects: []geom.Rect{geom.RectWH(10, 2, 2, 1)}}}
+	addCell(d, 2, 10, 2, 1) // 4x3 cell assigned to a 2x1 fence
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(d, grid, Options{Workers: 1})
+	if err := l.Run(); err == nil {
+		t.Fatal("cell larger than its fence legalized")
+	}
+}
+
+// Overlapping fixed macros are tolerated: their union is simply blocked
+// space.
+func TestOverlappingFixedCells(t *testing.T) {
+	d := newDesign(60, 6)
+	for _, x := range []int{20, 22} {
+		d.Cells = append(d.Cells, model.Cell{
+			Name: "m", Type: 3, X: x, Y: 2, GX: x, GY: 2, Fixed: true,
+		})
+	}
+	addCell(d, 0, 21, 2, 0) // GP inside the blocked zone
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(d, grid, Options{Workers: 1})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+	// The movable cell must not overlap either macro.
+	mr := d.CellRect(0).Union(d.CellRect(1))
+	if mr.Overlaps(d.CellRect(2)) {
+		t.Errorf("cell placed over fixed macros")
+	}
+}
+
+// An L-shaped fence (two overlapping rects of the same fence) is one
+// region: a cell may straddle the seam of the two rectangles.
+func TestLShapedFence(t *testing.T) {
+	d := newDesign(60, 8)
+	d.Fences = []model.Fence{{Name: "L", Rects: []geom.Rect{
+		geom.RectWH(10, 2, 20, 2), // horizontal bar
+		geom.RectWH(10, 2, 6, 4),  // vertical bar sharing the corner
+	}}}
+	// Fill the horizontal bar enough that some cell must use the seam.
+	for i := 0; i < 9; i++ {
+		addCell(d, 0, 12+2*i, 2, 1)
+	}
+	addCell(d, 1, 11, 3, 1) // 3x2 cell: only fits in the vertical bar
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(d, grid, Options{Workers: 1})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("audit: %v", v[0])
+	}
+}

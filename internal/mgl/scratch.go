@@ -1,0 +1,33 @@
+package mgl
+
+import "sync"
+
+// scratch holds reusable per-evaluation buffers indexed by cell ID,
+// replacing per-insertion-point map allocations on the hot path. Each
+// chain build bumps the stamp, implicitly clearing the arrays.
+type scratch struct {
+	stamp    int32
+	inChain  []int32 // stamp marker: cell is in the current chain
+	chainIdx []int32 // index into the chain slice (valid when marked)
+	offStamp []int32
+	offReq   []int64 // seeded frontier off requirement
+
+	chain  []chainCell
+	chainR []chainCell
+	queue  []int32
+	order  []int
+}
+
+func (s *scratch) reset(n int) {
+	if len(s.inChain) < n {
+		s.inChain = make([]int32, n)
+		s.chainIdx = make([]int32, n)
+		s.offStamp = make([]int32, n)
+		s.offReq = make([]int64, n)
+	}
+	s.stamp++
+}
+
+// scratchPool hands out scratch buffers to concurrent window
+// evaluations.
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"fmt"
+
+	"mclegal/internal/geom"
+)
+
+// CellTypeID indexes Design.Types.
+type CellTypeID int32
+
+// PinShape is one rectangle of a signal pin, in DBU relative to the
+// cell's lower-left corner when placed unflipped.
+type PinShape struct {
+	Name  string
+	Layer int
+	Box   geom.Rect
+}
+
+// CellType is one master in the standard-cell library.
+type CellType struct {
+	Name string
+	// Width in sites and Height in rows.
+	Width, Height int
+	// Pins are the signal-pin shapes used by the routability checks.
+	Pins []PinShape
+	// EdgeL and EdgeR are the left/right edge types for the
+	// edge-spacing rules; 0 is the default "no rule" type.
+	EdgeL, EdgeR uint8
+}
+
+// Validate reports the first structural problem with the cell type.
+func (ct *CellType) Validate(t *Tech) error {
+	if ct.Width <= 0 || ct.Height <= 0 {
+		return fmt.Errorf("cell type %q: non-positive size %dx%d", ct.Name, ct.Width, ct.Height)
+	}
+	bound := geom.Rect{XLo: 0, YLo: 0, XHi: ct.Width * t.SiteW, YHi: ct.Height * t.RowH}
+	for _, p := range ct.Pins {
+		if p.Box.Empty() {
+			return fmt.Errorf("cell type %q: empty pin %q", ct.Name, p.Name)
+		}
+		if !bound.Contains(p.Box) {
+			return fmt.Errorf("cell type %q: pin %q %v outside cell %v", ct.Name, p.Name, p.Box, bound)
+		}
+		if p.Layer < LayerM1 || p.Layer > LayerM3 {
+			return fmt.Errorf("cell type %q: pin %q on bad layer %d", ct.Name, p.Name, p.Layer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"mclegal/internal/geom"
+)
+
+func testTech() Tech {
+	return Tech{
+		SiteW: 10, RowH: 80,
+		NumSites: 100, NumRows: 20,
+		EvenBottomParity: 0,
+		HRailLayer:       LayerM2, HRailHalfW: 4,
+		VRailLayer: LayerM3, VRailPitch: 25, VRailW: 12, VRailOffset: 10,
+	}
+}
+
+func testDesign() *Design {
+	t := testTech()
+	return &Design{
+		Name: "t",
+		Tech: t,
+		Types: []CellType{
+			{Name: "INV", Width: 2, Height: 1},
+			{Name: "FF2", Width: 4, Height: 2},
+			{Name: "MUX3", Width: 6, Height: 3},
+		},
+		Cells: []Cell{
+			{Name: "a", Type: 0, GX: 5, GY: 3, X: 5, Y: 3},
+			{Name: "b", Type: 1, GX: 10, GY: 4, X: 12, Y: 6},
+			{Name: "c", Type: 2, GX: 20, GY: 10, X: 20, Y: 10},
+		},
+		Nets: []Net{{Name: "n1", Pins: []NetPin{{Cell: 0}, {Cell: 1, DX: 5, DY: 5}}}},
+	}
+}
+
+func TestTechValidate(t *testing.T) {
+	tech := testTech()
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("valid tech rejected: %v", err)
+	}
+	bad := tech
+	bad.SiteW = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero site width accepted")
+	}
+	bad = tech
+	bad.EvenBottomParity = 2
+	if err := bad.Validate(); err == nil {
+		t.Errorf("bad parity accepted")
+	}
+	bad = tech
+	bad.EdgeSpacing = [][]int{{0, 1}, {1}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("ragged edge-spacing table accepted")
+	}
+	bad = tech
+	bad.EdgeSpacing = [][]int{{-1}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative edge spacing accepted")
+	}
+}
+
+func TestRowAllowed(t *testing.T) {
+	tech := testTech()
+	// Odd heights anywhere.
+	for y := 0; y < 6; y++ {
+		if !tech.RowAllowed(1, y) || !tech.RowAllowed(3, y) {
+			t.Errorf("odd height disallowed at row %d", y)
+		}
+	}
+	// Even heights only on parity-0 rows.
+	if !tech.RowAllowed(2, 0) || !tech.RowAllowed(2, 4) {
+		t.Errorf("even height rejected on even row")
+	}
+	if tech.RowAllowed(2, 1) || tech.RowAllowed(4, 3) {
+		t.Errorf("even height allowed on odd row")
+	}
+	tech.EvenBottomParity = 1
+	if tech.RowAllowed(2, 0) || !tech.RowAllowed(2, 1) {
+		t.Errorf("parity 1 not honored")
+	}
+}
+
+func TestSpacingLookup(t *testing.T) {
+	tech := testTech()
+	if tech.Spacing(0, 0) != 0 {
+		t.Errorf("nil table should give 0")
+	}
+	tech.EdgeSpacing = [][]int{{0, 1}, {2, 3}}
+	if tech.Spacing(1, 0) != 2 || tech.Spacing(0, 1) != 1 {
+		t.Errorf("spacing lookup wrong")
+	}
+	if tech.Spacing(5, 0) != 0 || tech.Spacing(0, 5) != 0 {
+		t.Errorf("out-of-table edge types should give 0")
+	}
+	if tech.MaxEdgeSpacing() != 3 {
+		t.Errorf("MaxEdgeSpacing = %d", tech.MaxEdgeSpacing())
+	}
+}
+
+func TestVRailXs(t *testing.T) {
+	tech := testTech()
+	rails := tech.VRailXs()
+	if len(rails) == 0 {
+		t.Fatalf("no vertical rails generated")
+	}
+	if rails[0] != (geom.Interval{Lo: 100, Hi: 112}) {
+		t.Errorf("first rail = %v", rails[0])
+	}
+	for i := 1; i < len(rails); i++ {
+		if rails[i].Lo-rails[i-1].Lo != tech.VRailPitch*tech.SiteW {
+			t.Errorf("rail pitch broken at %d", i)
+		}
+	}
+	tech.VRailPitch = 0
+	if tech.VRailXs() != nil {
+		t.Errorf("no pitch should mean no rails")
+	}
+}
+
+func TestCellRectAndDisp(t *testing.T) {
+	d := testDesign()
+	if got := d.CellRect(1); got != geom.RectWH(12, 6, 4, 2) {
+		t.Errorf("CellRect = %v", got)
+	}
+	if got := d.GPRect(1); got != geom.RectWH(10, 4, 4, 2) {
+		t.Errorf("GPRect = %v", got)
+	}
+	// dx=2 sites * 10 + dy=2 rows * 80 = 180 DBU = 2.25 rows.
+	if got := d.DispDBU(1); got != 180 {
+		t.Errorf("DispDBU = %d", got)
+	}
+	if got := d.DispRows(1); got != 2.25 {
+		t.Errorf("DispRows = %v", got)
+	}
+	if d.DispDBU(0) != 0 {
+		t.Errorf("in-place cell has displacement")
+	}
+}
+
+func TestMaxHeightAndCounts(t *testing.T) {
+	d := testDesign()
+	if d.MaxHeight() != 3 {
+		t.Errorf("MaxHeight = %d", d.MaxHeight())
+	}
+	if d.MovableCount() != 3 {
+		t.Errorf("MovableCount = %d", d.MovableCount())
+	}
+	d.Cells[0].Fixed = true
+	if d.MovableCount() != 2 {
+		t.Errorf("MovableCount with fixed = %d", d.MovableCount())
+	}
+}
+
+func TestResetSnapshotRestore(t *testing.T) {
+	d := testDesign()
+	snap := d.SnapshotXY()
+	d.ResetToGP()
+	if d.Cells[1].X != 10 || d.Cells[1].Y != 4 {
+		t.Errorf("ResetToGP did not move cell")
+	}
+	d.RestoreXY(snap)
+	if d.Cells[1].X != 12 || d.Cells[1].Y != 6 {
+		t.Errorf("RestoreXY did not restore")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("RestoreXY with wrong length should panic")
+		}
+	}()
+	d.RestoreXY(snap[:1])
+}
+
+func TestResetToGPSkipsFixed(t *testing.T) {
+	d := testDesign()
+	d.Cells[1].Fixed = true
+	d.ResetToGP()
+	if d.Cells[1].X != 12 || d.Cells[1].Y != 6 {
+		t.Errorf("ResetToGP moved a fixed cell")
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	d := testDesign()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+
+	bad := d.Clone()
+	bad.Cells[0].Type = 99
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "bad type") {
+		t.Errorf("bad type accepted: %v", err)
+	}
+
+	bad = d.Clone()
+	bad.Cells[0].Fence = 7
+	if err := bad.Validate(); err == nil {
+		t.Errorf("bad fence ref accepted")
+	}
+
+	bad = d.Clone()
+	bad.Fences = []Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(0, 0, 500, 5)}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("out-of-core fence accepted")
+	}
+
+	bad = d.Clone()
+	bad.Nets[0].Pins[0].Cell = 42
+	if err := bad.Validate(); err == nil {
+		t.Errorf("dangling net pin accepted")
+	}
+
+	bad = d.Clone()
+	bad.Cells[0].Fixed = true
+	bad.Cells[0].Fence = 1
+	bad.Fences = []Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(0, 0, 5, 5)}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("fixed cell in fence accepted")
+	}
+}
+
+func TestCellTypeValidate(t *testing.T) {
+	tech := testTech()
+	ct := CellType{Name: "X", Width: 2, Height: 1,
+		Pins: []PinShape{{Name: "A", Layer: LayerM1, Box: geom.RectWH(2, 2, 4, 4)}}}
+	if err := ct.Validate(&tech); err != nil {
+		t.Fatalf("valid type rejected: %v", err)
+	}
+	ct.Pins[0].Box = geom.RectWH(18, 0, 4, 4) // sticks out of 20-dbu-wide cell
+	if err := ct.Validate(&tech); err == nil {
+		t.Errorf("out-of-cell pin accepted")
+	}
+	ct.Pins[0].Box = geom.RectWH(2, 2, 4, 4)
+	ct.Pins[0].Layer = 9
+	if err := ct.Validate(&tech); err == nil {
+		t.Errorf("bad layer accepted")
+	}
+	ct = CellType{Name: "Z", Width: 0, Height: 1}
+	if err := ct.Validate(&tech); err == nil {
+		t.Errorf("zero width accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := testDesign()
+	d.Fences = []Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(0, 0, 5, 5)}}}
+	c := d.Clone()
+	c.Cells[0].X = 99
+	c.Fences[0].Rects[0] = geom.RectWH(1, 1, 2, 2)
+	c.Nets[0].Pins[0].DX = 77
+	c.Types[0].Pins = append(c.Types[0].Pins, PinShape{Name: "p", Layer: 1, Box: geom.RectWH(0, 0, 1, 1)})
+	if d.Cells[0].X == 99 || d.Fences[0].Rects[0].XHi == 3 || d.Nets[0].Pins[0].DX == 77 {
+		t.Errorf("Clone shares memory with original")
+	}
+	if len(d.Types[0].Pins) != 0 {
+		t.Errorf("Clone shares pin slices")
+	}
+}
+
+func TestFenceRects(t *testing.T) {
+	d := testDesign()
+	d.Fences = []Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(0, 0, 5, 5)}}}
+	if d.FenceRects(DefaultFence) != nil {
+		t.Errorf("default fence should have nil rects")
+	}
+	if got := d.FenceRects(1); len(got) != 1 || got[0] != geom.RectWH(0, 0, 5, 5) {
+		t.Errorf("FenceRects(1) = %v", got)
+	}
+}

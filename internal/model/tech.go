@@ -1,0 +1,169 @@
+// Package model defines the placement database shared by every stage of
+// the legalizer: the technology (sites, rows, metal layers, power/ground
+// rails, IO pins), the standard-cell library (mixed-height cell types
+// with pin shapes and edge types), and the design (cells, nets, fence
+// regions, blockages).
+//
+// Two coordinate systems are used:
+//
+//   - placement coordinates: integer site index (x) and row index (y);
+//     every legal cell position is a (site,row) pair;
+//   - database units (DBU): fine integer units used for pin shapes,
+//     P/G rails and HPWL. One site is Tech.SiteW DBU wide and one row is
+//     Tech.RowH DBU tall.
+//
+// Displacement is reported in row-height units, the convention of the
+// ICCAD 2017 contest metric (paper Eq. 2).
+package model
+
+import (
+	"fmt"
+
+	"mclegal/internal/geom"
+)
+
+// Layer numbers for the simple metal stack used by the routability
+// model. Signal pins live on M1 and M2; horizontal P/G rails on M2 and
+// vertical P/G stripes on M3 (rails in alternate directions on
+// alternate layers, as described in the paper's Section 2).
+const (
+	LayerM1 = 1
+	LayerM2 = 2
+	LayerM3 = 3
+)
+
+// Tech describes the placement grid and the power-delivery geometry.
+type Tech struct {
+	// SiteW and RowH are the dimensions of one placement site in DBU.
+	SiteW, RowH int
+	// NumSites and NumRows give the extent of the placement area;
+	// site indices run in [0,NumSites) and row indices in [0,NumRows).
+	NumSites, NumRows int
+
+	// EvenBottomParity is the row-index parity (0 or 1) on which cells
+	// of even height must place their bottom row so that their power
+	// and ground rails align. Odd-height cells may be flipped and are
+	// free of the restriction (paper Section 2).
+	EvenBottomParity int
+	// FlipOddRows models the flipping that lets odd-height cells sit on
+	// either row parity: when true, an odd-height cell whose bottom row
+	// parity differs from EvenBottomParity is treated as vertically
+	// mirrored, and its pin shapes mirror with it for all routability
+	// checks. Off by default (pins are then checked unmirrored on every
+	// row, a conservative simplification).
+	FlipOddRows bool
+
+	// HRailLayer is the layer of the horizontal P/G rails;
+	// HRailHalfW is their half-width in DBU. Rails run along every
+	// HRailPeriod-th row boundary: a rail at boundary j covers y in
+	// [j*HRailPeriod*RowH - HRailHalfW, j*HRailPeriod*RowH +
+	// HRailHalfW). HRailPeriod 0 disables horizontal rails.
+	HRailLayer  int
+	HRailHalfW  int
+	HRailPeriod int
+	// Vertical P/G stripes run on VRailLayer with a pitch of
+	// VRailPitch sites, a width of VRailW DBU, starting at site
+	// VRailOffset (stripe k spans x in [ (VRailOffset+k*VRailPitch)*
+	// SiteW, ...+VRailW )).
+	VRailLayer  int
+	VRailPitch  int
+	VRailW      int
+	VRailOffset int
+
+	// EdgeSpacing[a][b] is the minimum number of empty sites required
+	// between a cell whose right edge type is a and a following cell
+	// whose left edge type is b in the same row. A nil table means no
+	// edge-spacing rules.
+	EdgeSpacing [][]int
+}
+
+// Validate reports the first structural problem with the technology.
+func (t *Tech) Validate() error {
+	switch {
+	case t.SiteW <= 0 || t.RowH <= 0:
+		return fmt.Errorf("tech: non-positive site dimensions %dx%d", t.SiteW, t.RowH)
+	case t.NumSites <= 0 || t.NumRows <= 0:
+		return fmt.Errorf("tech: empty placement area %dx%d", t.NumSites, t.NumRows)
+	case t.EvenBottomParity != 0 && t.EvenBottomParity != 1:
+		return fmt.Errorf("tech: bad parity %d", t.EvenBottomParity)
+	case t.VRailPitch < 0 || t.VRailW < 0 || t.HRailHalfW < 0 || t.HRailPeriod < 0:
+		return fmt.Errorf("tech: negative rail geometry")
+	}
+	for i, row := range t.EdgeSpacing {
+		if len(row) != len(t.EdgeSpacing) {
+			return fmt.Errorf("tech: edge spacing table row %d not square", i)
+		}
+		for j, s := range row {
+			if s < 0 {
+				return fmt.Errorf("tech: negative edge spacing [%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CoreRect returns the placement area in site/row coordinates.
+func (t *Tech) CoreRect() geom.Rect {
+	return geom.Rect{XLo: 0, YLo: 0, XHi: t.NumSites, YHi: t.NumRows}
+}
+
+// CoreDBU returns the placement area in DBU.
+func (t *Tech) CoreDBU() geom.Rect {
+	return geom.Rect{XLo: 0, YLo: 0, XHi: t.NumSites * t.SiteW, YHi: t.NumRows * t.RowH}
+}
+
+// SiteToDBU converts a (site,row) position to the DBU of its lower-left
+// corner.
+func (t *Tech) SiteToDBU(p geom.Pt) geom.Pt {
+	return geom.Pt{X: p.X * t.SiteW, Y: p.Y * t.RowH}
+}
+
+// RowAllowed reports whether a cell of the given height may have its
+// bottom row at row index y under the P/G alignment rule.
+func (t *Tech) RowAllowed(height, y int) bool {
+	if height%2 == 1 {
+		return true
+	}
+	return y%2 == t.EvenBottomParity
+}
+
+// Spacing returns the required gap in sites between a left cell with
+// right edge type a and a right cell with left edge type b.
+func (t *Tech) Spacing(a, b uint8) int {
+	if int(a) >= len(t.EdgeSpacing) {
+		return 0
+	}
+	row := t.EdgeSpacing[a]
+	if int(b) >= len(row) {
+		return 0
+	}
+	return row[b]
+}
+
+// MaxEdgeSpacing returns the largest entry of the edge-spacing table.
+func (t *Tech) MaxEdgeSpacing() int {
+	m := 0
+	for _, row := range t.EdgeSpacing {
+		for _, s := range row {
+			if s > m {
+				m = s
+			}
+		}
+	}
+	return m
+}
+
+// VRailXs returns the DBU x-intervals of all vertical P/G stripes that
+// intersect the core area. The result is sorted by Lo.
+func (t *Tech) VRailXs() []geom.Interval {
+	if t.VRailPitch <= 0 || t.VRailW <= 0 {
+		return nil
+	}
+	var out []geom.Interval
+	coreW := t.NumSites * t.SiteW
+	for s := t.VRailOffset; s*t.SiteW < coreW; s += t.VRailPitch {
+		lo := s * t.SiteW
+		out = append(out, geom.Interval{Lo: lo, Hi: lo + t.VRailW})
+	}
+	return out
+}

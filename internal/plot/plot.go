@@ -1,0 +1,134 @@
+// Package plot renders placements as SVG: rows, fences, macros, rails,
+// cells colored by height, and optional GP-displacement vectors — the
+// kind of picture the paper's Figure 6 shows.
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mclegal/internal/model"
+)
+
+// Options configures the rendering.
+type Options struct {
+	// SitePx is the width of one site in pixels (default 4).
+	SitePx float64
+	// Displacement draws a line from each cell to its GP position.
+	Displacement bool
+	// HighlightType draws cells of this type in red (like the paper's
+	// Figure 6); -1 highlights nothing.
+	HighlightType model.CellTypeID
+	// Rails draws the P/G rail geometry.
+	Rails bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SitePx <= 0 {
+		o.SitePx = 4
+	}
+	return o
+}
+
+var heightFill = map[int]string{
+	1: "#9ecae1",
+	2: "#74c476",
+	3: "#fdae6b",
+	4: "#bcbddc",
+}
+
+// SVG writes the design's current placement as an SVG document.
+func SVG(w io.Writer, d *model.Design, opt Options) error {
+	opt = opt.withDefaults()
+	bw := bufio.NewWriter(w)
+	t := &d.Tech
+	aspect := float64(t.RowH) / float64(t.SiteW)
+	sx := opt.SitePx
+	sy := opt.SitePx * aspect
+	width := float64(t.NumSites) * sx
+	height := float64(t.NumRows) * sy
+	// SVG y grows downward; flip so row 0 is at the bottom.
+	X := func(site float64) float64 { return site * sx }
+	Y := func(rowTop float64) float64 { return height - rowTop*sy }
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#ffffff" stroke="#333333"/>`+"\n",
+		width, height)
+
+	// Row boundaries.
+	for r := 1; r < t.NumRows; r++ {
+		fmt.Fprintf(bw, `<line x1="0" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#eeeeee" stroke-width="0.5"/>`+"\n",
+			Y(float64(r)), width, Y(float64(r)))
+	}
+
+	// Fences.
+	for i := range d.Fences {
+		for _, fr := range d.Fences[i].Rects {
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#fff7bc" stroke="#d95f0e" stroke-dasharray="4 2"/>`+"\n",
+				X(float64(fr.XLo)), Y(float64(fr.YHi)),
+				float64(fr.W())*sx, float64(fr.H())*sy)
+		}
+	}
+	// Blockages.
+	for _, b := range d.Blockages {
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cccccc"/>`+"\n",
+			X(float64(b.XLo)), Y(float64(b.YHi)), float64(b.W())*sx, float64(b.H())*sy)
+	}
+
+	// Rails.
+	if opt.Rails && t.HRailPeriod > 0 {
+		for r := 0; r <= t.NumRows; r += t.HRailPeriod {
+			fmt.Fprintf(bw, `<line x1="0" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#e31a1c" stroke-width="1" opacity="0.5"/>`+"\n",
+				Y(float64(r)), width, Y(float64(r)))
+		}
+	}
+	if opt.Rails {
+		for _, iv := range t.VRailXs() {
+			x := float64(iv.Lo) / float64(t.SiteW)
+			w2 := float64(iv.Len()) / float64(t.SiteW)
+			fmt.Fprintf(bw, `<rect x="%.1f" y="0" width="%.1f" height="%.0f" fill="#e31a1c" opacity="0.25"/>`+"\n",
+				X(x), w2*sx, height)
+		}
+	}
+
+	// Cells.
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		fill := heightFill[ct.Height]
+		if fill == "" {
+			fill = "#dddddd"
+		}
+		if c.Fixed {
+			fill = "#636363"
+		}
+		if opt.HighlightType >= 0 && c.Type == opt.HighlightType && !c.Fixed {
+			fill = "#e31a1c"
+		}
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#555555" stroke-width="0.4"/>`+"\n",
+			X(float64(c.X)), Y(float64(c.Y+ct.Height)),
+			float64(ct.Width)*sx, float64(ct.Height)*sy, fill)
+	}
+
+	// Displacement vectors.
+	if opt.Displacement {
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if c.Fixed || (c.X == c.GX && c.Y == c.GY) {
+				continue
+			}
+			ct := &d.Types[c.Type]
+			cx := float64(c.X) + float64(ct.Width)/2
+			cy := float64(c.Y) + float64(ct.Height)/2
+			gx := float64(c.GX) + float64(ct.Width)/2
+			gy := float64(c.GY) + float64(ct.Height)/2
+			fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e31a1c" stroke-width="0.6" opacity="0.7"/>`+"\n",
+				X(cx), Y(cy), X(gx), Y(gy))
+		}
+	}
+
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/model"
+)
+
+func render(t *testing.T, d *model.Design, opt Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, opt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// svgCount parses the SVG as XML and counts elements by name.
+func svgCount(t *testing.T, svg string) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	d := bmark.Generate(bmark.Params{
+		Name: "p", Seed: 2, Counts: [4]int{40, 6, 2, 1},
+		Density: 0.5, NumFences: 1, FenceFrac: 0.9, Routability: true, Macros: 1,
+	})
+	svg := render(t, d, Options{Displacement: true, Rails: true, HighlightType: 0})
+	var doc struct {
+		XMLName xml.Name `xml:"svg"`
+	}
+	if err := xml.Unmarshal([]byte(svg), &doc); err != nil {
+		t.Fatalf("SVG not well-formed: %v", err)
+	}
+	counts := svgCount(t, svg)
+	// background + fence + macros/cells >= cells.
+	if counts["rect"] < len(d.Cells) {
+		t.Errorf("only %d rects for %d cells", counts["rect"], len(d.Cells))
+	}
+	if counts["svg"] != 1 {
+		t.Errorf("svg count = %d", counts["svg"])
+	}
+}
+
+func TestSVGDisplacementVectors(t *testing.T) {
+	d := bmark.Generate(bmark.Params{
+		Name: "v", Seed: 3, Counts: [4]int{10, 0, 0, 0}, Density: 0.3,
+	})
+	// Displace three cells.
+	for i := 0; i < 3; i++ {
+		d.Cells[i].X = d.Cells[i].GX + 2 + i
+	}
+	withVec := svgCount(t, render(t, d, Options{Displacement: true}))
+	noVec := svgCount(t, render(t, d, Options{}))
+	if withVec["line"]-noVec["line"] != 3 {
+		t.Errorf("expected 3 extra displacement lines, got %d", withVec["line"]-noVec["line"])
+	}
+}
+
+func TestSVGHighlight(t *testing.T) {
+	d := bmark.Generate(bmark.Params{
+		Name: "h", Seed: 4, Counts: [4]int{20, 0, 0, 0}, Density: 0.3,
+	})
+	svg := render(t, d, Options{HighlightType: 0})
+	if !strings.Contains(svg, "#e31a1c") {
+		t.Errorf("highlight color missing")
+	}
+	svg = render(t, d, Options{HighlightType: -1})
+	if strings.Contains(svg, `fill="#e31a1c"`) {
+		t.Errorf("highlight applied with -1")
+	}
+}
+
+func TestSVGRails(t *testing.T) {
+	d := bmark.Generate(bmark.Params{
+		Name: "r", Seed: 5, Counts: [4]int{10, 0, 0, 0}, Density: 0.3, Routability: true,
+	})
+	with := svgCount(t, render(t, d, Options{Rails: true}))
+	without := svgCount(t, render(t, d, Options{}))
+	if with["line"] <= without["line"] && with["rect"] <= without["rect"] {
+		t.Errorf("rails drew nothing")
+	}
+}

@@ -1,0 +1,267 @@
+// Package refine implements the paper's fixed-row and fixed-order
+// optimization (Section 3.3): with every cell pinned to its rows and
+// every row's cell order frozen, the legal x-coordinates minimizing a
+// weighted sum of average and maximum displacement are found by solving
+// the dual min-cost-flow of LP (4)/(8).
+//
+// The flow network follows the paper's compact construction: one vertex
+// per cell plus the auxiliary v_z (and v_p, v_n when the
+// maximum-displacement extension is enabled); the optimal node
+// potentials are directly the legal x-coordinates.
+package refine
+
+import (
+	"fmt"
+	"sort"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/mcf"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// WeightMode selects the per-cell displacement weights n_i.
+type WeightMode int
+
+const (
+	// WeightHeightAverage sets n_i proportional to 1/|C_h|, matching
+	// the contest metric S_am of Eq. (2). This is the paper's setting.
+	WeightHeightAverage WeightMode = iota
+	// WeightUniform sets n_i = 1, optimizing total displacement (the
+	// Table 2 configuration and the setting of reference [13]).
+	WeightUniform
+)
+
+// Options configures the refinement.
+type Options struct {
+	// Weights selects n_i.
+	Weights WeightMode
+	// MaxDispWeight is n_0, the weight of the maximum-displacement
+	// terms; 0 disables the extension (pure total/average objective).
+	MaxDispWeight int64
+	// Ranges optionally narrows the feasible x-range of a cell (left
+	// edge, in sites) below its segment span; the routability stage
+	// uses it to keep pins off rails (Section 3.4, C_L = C_R = C). The
+	// returned range is widened if needed to include the current x.
+	Ranges func(id model.CellID) (lo, hi int, ok bool)
+}
+
+// Report describes the solved flow problem.
+type Report struct {
+	// Nodes and Arcs are the flow-network sizes (paper: m+1 vertices,
+	// 2m+|C_L|+|C_R|+|E| edges for the base formulation).
+	Nodes, Arcs int
+	// Pivots is the simplex pivot count.
+	Pivots int
+	// Edges is |E|, the number of neighbor constraints.
+	Edges int
+	// Moved is the number of cells whose x changed.
+	Moved int
+}
+
+// Optimize shifts cells horizontally (rows and order unchanged) to the
+// optimum of the configured objective. The design must be legal on
+// entry and stays legal on success.
+func Optimize(d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
+	var rep Report
+	// Movable cell indexing.
+	var ids []model.CellID
+	for i := range d.Cells {
+		if !d.Cells[i].Fixed {
+			ids = append(ids, model.CellID(i))
+		}
+	}
+	m := len(ids)
+	if m == 0 {
+		return rep, nil
+	}
+
+	// Weights n_i.
+	weights := make([]int64, m)
+	switch opt.Weights {
+	case WeightUniform:
+		for k := range weights {
+			weights[k] = 1
+		}
+	default:
+		counts := map[int]int{}
+		for _, id := range ids {
+			counts[d.Types[d.Cells[id].Type].Height]++
+		}
+		for k, id := range ids {
+			h := d.Types[d.Cells[id].Type].Height
+			w := int64(4*m) / int64(counts[h])
+			if w < 1 {
+				w = 1
+			}
+			weights[k] = w
+		}
+	}
+
+	// Neighbor constraints E: consecutive movable cells per row, with
+	// the gap inflated by the edge-spacing rule (the paper's "filler"
+	// treatment).
+	type edge struct {
+		i, j int
+		gap  int64
+	}
+	edgeKey := func(i, j int) int64 { return int64(i)*int64(m) + int64(j) }
+	edgeGap := make(map[int64]int64)
+	rows := make([][]int, d.Tech.NumRows)
+	for k, id := range ids {
+		c := &d.Cells[id]
+		h := d.Types[c.Type].Height
+		for r := c.Y; r < c.Y+h; r++ {
+			rows[r] = append(rows[r], k)
+		}
+	}
+	for r := range rows {
+		lst := rows[r]
+		sort.Slice(lst, func(a, b int) bool {
+			ca, cb := &d.Cells[ids[lst[a]]], &d.Cells[ids[lst[b]]]
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return lst[a] < lst[b]
+		})
+		for p := 1; p < len(lst); p++ {
+			i, j := lst[p-1], lst[p]
+			ci, cj := &d.Cells[ids[i]], &d.Cells[ids[j]]
+			// Only cells in the same segment constrain each other; a
+			// blockage between them is encoded in their ranges.
+			si, okI := grid.At(r, ci.X)
+			sj, okJ := grid.At(r, cj.X)
+			if !okI || !okJ || si.ID != sj.ID {
+				continue
+			}
+			ti, tj := &d.Types[ci.Type], &d.Types[cj.Type]
+			gap := int64(ti.Width) + int64(d.Tech.Spacing(ti.EdgeR, tj.EdgeL))
+			if old, ok := edgeGap[edgeKey(i, j)]; !ok || gap > old {
+				edgeGap[edgeKey(i, j)] = gap
+			}
+		}
+	}
+	edges := make([]edge, 0, len(edgeGap))
+	for k, gap := range edgeGap {
+		edges = append(edges, edge{i: int(k / int64(m)), j: int(k % int64(m)), gap: gap})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	rep.Edges = len(edges)
+
+	// Feasible ranges [l_i, r_i] for the left edge, in sites.
+	lo := make([]int64, m)
+	hi := make([]int64, m)
+	for k, id := range ids {
+		c := &d.Cells[id]
+		ct := &d.Types[c.Type]
+		span, ok := grid.SpanInterval(c.Fence, c.X, c.Y, ct.Height)
+		if !ok {
+			return rep, fmt.Errorf("refine: cell %d not inside fence segments", id)
+		}
+		l, r := int64(span.Lo), int64(span.Hi-ct.Width)
+		if opt.Ranges != nil {
+			if rl, rh, ok := opt.Ranges(id); ok {
+				if int64(rl) > l {
+					l = int64(rl)
+				}
+				if int64(rh) < r {
+					r = int64(rh)
+				}
+			}
+		}
+		// Never exclude the current (legal) position: guarantees
+		// feasibility of the flow problem.
+		if int64(c.X) < l {
+			l = int64(c.X)
+		}
+		if int64(c.X) > r {
+			r = int64(c.X)
+		}
+		lo[k], hi[k] = l, r
+	}
+
+	// y-displacements in site units for the extension.
+	useExt := opt.MaxDispWeight > 0
+	dy := make([]int64, m)
+	var maxDy int64
+	if useExt {
+		for k, id := range ids {
+			c := &d.Cells[id]
+			dyDBU := int64(geom.Abs(c.Y-c.GY)) * int64(d.Tech.RowH)
+			dy[k] = dyDBU / int64(d.Tech.SiteW)
+			if dy[k] > maxDy {
+				maxDy = dy[k]
+			}
+		}
+	}
+
+	// Uncapacitated arcs get a bound no optimal basic solution can
+	// reach: the total capacity of all capacitated arcs plus slack.
+	var capSum int64
+	for _, w := range weights {
+		capSum += 2 * w
+	}
+	capSum += 2*opt.MaxDispWeight + 16
+
+	// Build the network.
+	nNodes := m + 1
+	z := m
+	p, nn := -1, -1
+	if useExt {
+		p, nn = m+1, m+2
+		nNodes = m + 3
+	}
+	g := mcf.NewGraph(nNodes)
+	for k := range ids {
+		gx := int64(d.Cells[ids[k]].GX)
+		g.AddArc(k, z, weights[k], gx)  // f_i^+
+		g.AddArc(z, k, weights[k], -gx) // f_i^-
+		g.AddArc(z, k, capSum, -lo[k])  // f_i^l
+		g.AddArc(k, z, capSum, hi[k])   // f_i^r
+	}
+	for _, e := range edges {
+		g.AddArc(e.i, e.j, capSum, -e.gap) // f_ij
+	}
+	if useExt {
+		for k := range ids {
+			gx := int64(d.Cells[ids[k]].GX)
+			g.AddArc(k, p, capSum, gx-dy[k])   // f_i^p
+			g.AddArc(nn, k, capSum, -gx-dy[k]) // f_i^n
+		}
+		g.AddArc(p, z, opt.MaxDispWeight, maxDy)  // f^p
+		g.AddArc(z, nn, opt.MaxDispWeight, maxDy) // f^n
+	}
+	rep.Nodes = g.NumNodes()
+	rep.Arcs = g.NumArcs()
+
+	res, err := g.Solve()
+	if err != nil {
+		return rep, fmt.Errorf("refine: %w", err)
+	}
+	rep.Pivots = res.Pivots
+
+	// Node potentials are the legal x-coordinates.
+	piz := res.Pi[z]
+	for k, id := range ids {
+		x := res.Pi[k] - piz
+		if x < lo[k] || x > hi[k] {
+			return rep, fmt.Errorf("refine: potential %d outside range [%d,%d] for cell %d", x, lo[k], hi[k], id)
+		}
+		if int(x) != d.Cells[id].X {
+			d.Cells[id].X = int(x)
+			rep.Moved++
+		}
+	}
+	for _, e := range edges {
+		xi, xj := int64(d.Cells[ids[e.i]].X), int64(d.Cells[ids[e.j]].X)
+		if xi+e.gap > xj {
+			return rep, fmt.Errorf("refine: order constraint broken between %d and %d", ids[e.i], ids[e.j])
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,332 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func newDesign(nSites, nRows int) *model.Design {
+	return &model.Design{
+		Name: "t",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: nSites, NumRows: nRows},
+		Types: []model.CellType{
+			{Name: "S", Width: 2, Height: 1},
+			{Name: "D", Width: 3, Height: 2},
+		},
+	}
+}
+
+func place(d *model.Design, ti model.CellTypeID, gx, gy, x, y int) model.CellID {
+	d.Cells = append(d.Cells, model.Cell{Name: "c", Type: ti, GX: gx, GY: gy, X: x, Y: y})
+	return model.CellID(len(d.Cells) - 1)
+}
+
+func mustGrid(t *testing.T, d *model.Design) *seg.Grid {
+	t.Helper()
+	g, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func optimize(t *testing.T, d *model.Design, opt Options) Report {
+	t.Helper()
+	grid := mustGrid(t, d)
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("precondition: %v", v[0])
+	}
+	rep, err := Optimize(d, grid, opt)
+	if err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Fatalf("refine broke legality: %v", v[0])
+	}
+	return rep
+}
+
+func TestReturnsToGPWithSlack(t *testing.T) {
+	d := newDesign(40, 2)
+	a := place(d, 0, 5, 0, 10, 0)
+	b := place(d, 0, 20, 0, 25, 0)
+	rep := optimize(t, d, Options{Weights: WeightUniform})
+	if d.Cells[a].X != 5 || d.Cells[b].X != 20 {
+		t.Errorf("cells not returned to GP: %d, %d", d.Cells[a].X, d.Cells[b].X)
+	}
+	if rep.Moved != 2 {
+		t.Errorf("Moved = %d", rep.Moved)
+	}
+}
+
+func TestOverlappingGPsSplitOptimally(t *testing.T) {
+	d := newDesign(40, 1)
+	// Both want x=10 (width 2); legal optimum costs 2 sites total.
+	a := place(d, 0, 10, 0, 4, 0)
+	b := place(d, 0, 10, 0, 20, 0)
+	optimize(t, d, Options{Weights: WeightUniform})
+	ca, cb := d.Cells[a].X, d.Cells[b].X
+	total := geom.Abs(ca-10) + geom.Abs(cb-10)
+	if total != 2 {
+		t.Errorf("total = %d sites, want 2 (a=%d b=%d)", total, ca, cb)
+	}
+	if ca+2 > cb {
+		t.Errorf("order violated: %d, %d", ca, cb)
+	}
+}
+
+func TestRowsAndOrderFixed(t *testing.T) {
+	d := newDesign(60, 4)
+	ids := []model.CellID{
+		place(d, 0, 30, 1, 5, 1),
+		place(d, 0, 2, 1, 10, 1),
+		place(d, 1, 40, 2, 20, 2),
+	}
+	ysBefore := []int{1, 1, 2}
+	optimize(t, d, Options{Weights: WeightUniform})
+	for k, id := range ids {
+		if d.Cells[id].Y != ysBefore[k] {
+			t.Errorf("cell %d changed row", id)
+		}
+	}
+	// Order in row 1 must be preserved even though GPs are inverted.
+	if d.Cells[ids[0]].X+2 > d.Cells[ids[1]].X {
+		t.Errorf("order broken: %d vs %d", d.Cells[ids[0]].X, d.Cells[ids[1]].X)
+	}
+}
+
+func TestMultiRowNeighborConstraints(t *testing.T) {
+	d := newDesign(40, 2)
+	// A double-height cell with single-row neighbors in both rows, all
+	// pulled toward the same GP region.
+	dd := place(d, 1, 10, 0, 10, 0) // 3 wide, rows 0-1
+	s0 := place(d, 0, 10, 0, 15, 0) // row 0, wants to sit on the double cell
+	s1 := place(d, 0, 11, 1, 20, 1) // row 1
+	optimize(t, d, Options{Weights: WeightUniform})
+	if d.Cells[s0].X < d.Cells[dd].X+3 {
+		t.Errorf("row-0 neighbor overlaps double cell")
+	}
+	if d.Cells[s1].X < d.Cells[dd].X+3 {
+		t.Errorf("row-1 neighbor overlaps double cell")
+	}
+}
+
+func TestRangesRespected(t *testing.T) {
+	d := newDesign(40, 1)
+	a := place(d, 0, 5, 0, 12, 0)
+	optimize(t, d, Options{
+		Weights: WeightUniform,
+		Ranges: func(id model.CellID) (int, int, bool) {
+			return 10, 30, true
+		},
+	})
+	if d.Cells[a].X != 10 {
+		t.Errorf("range ignored: x=%d, want clamp at 10", d.Cells[a].X)
+	}
+}
+
+func TestRangeWidenedToCurrentPosition(t *testing.T) {
+	d := newDesign(40, 1)
+	a := place(d, 0, 5, 0, 12, 0)
+	// Provider excludes the current x entirely; refine must stay
+	// feasible by widening.
+	optimize(t, d, Options{
+		Weights: WeightUniform,
+		Ranges: func(id model.CellID) (int, int, bool) {
+			return 20, 30, true
+		},
+	})
+	if d.Cells[a].X > 12 {
+		t.Errorf("x=%d worse than start", d.Cells[a].X)
+	}
+}
+
+// Figure 5 reproduction: the 3-cell example (two single-row cells, one
+// double-row cell). The base network must have m+1 vertices and
+// 2m+|C_L|+|C_R|+|E| edges with C_L=C_R=C; the extension adds v_p, v_n
+// and 2m+2 arcs.
+func TestFigure5FlowGraph(t *testing.T) {
+	build := func(n0 int64) (*model.Design, Report) {
+		d := newDesign(40, 2)
+		place(d, 0, 2, 0, 2, 0)  // c1 single-row
+		place(d, 0, 2, 1, 2, 1)  // c2 single-row
+		place(d, 1, 10, 0, 8, 0) // c3 double-row, neighbor of both
+		grid := mustGrid(t, d)
+		rep, err := Optimize(d, grid, Options{Weights: WeightUniform, MaxDispWeight: n0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, rep
+	}
+	_, rep := build(0)
+	m := 3
+	if rep.Edges != 2 { // c1->c3 and c2->c3
+		t.Fatalf("|E| = %d, want 2", rep.Edges)
+	}
+	if rep.Nodes != m+1 {
+		t.Errorf("base nodes = %d, want %d", rep.Nodes, m+1)
+	}
+	if want := 4*m + rep.Edges; rep.Arcs != want {
+		t.Errorf("base arcs = %d, want %d", rep.Arcs, want)
+	}
+	_, rep = build(5)
+	if rep.Nodes != m+3 {
+		t.Errorf("extended nodes = %d, want %d", rep.Nodes, m+3)
+	}
+	if want := 4*m + rep.Edges + 2*m + 2; rep.Arcs != want {
+		t.Errorf("extended arcs = %d, want %d", rep.Arcs, want)
+	}
+}
+
+// objective recomputes the paper's Eq. (8) objective (in site units)
+// exactly as refine encodes it.
+func objective(d *model.Design, n0 int64, weights []int64) int64 {
+	var total int64
+	var maxP, maxN int64
+	var maxDy int64
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		dx := int64(c.X - c.GX)
+		dy := int64(geom.Abs(c.Y-c.GY)) * int64(d.Tech.RowH) / int64(d.Tech.SiteW)
+		if dy > maxDy {
+			maxDy = dy
+		}
+		a := dx
+		if a < 0 {
+			a = -a
+		}
+		total += weights[i] * a
+		p := dy
+		if dx > 0 {
+			p += dx
+		}
+		if p > maxP {
+			maxP = p
+		}
+		nn := dy
+		if dx < 0 {
+			nn -= dx
+		}
+		if nn > maxN {
+			maxN = nn
+		}
+	}
+	if maxP < maxDy {
+		maxP = maxDy
+	}
+	if maxN < maxDy {
+		maxN = maxDy
+	}
+	return total + n0*(maxP+maxN)
+}
+
+// Brute-force cross-check of the full formulation (including the
+// maximum-displacement extension) on random single-row instances.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 120; trial++ {
+		nSites := 10 + rng.Intn(5)
+		d := newDesign(nSites, 3)
+		n := 1 + rng.Intn(3)
+		// Non-overlapping initial placement in row 1, random GPs
+		// (possibly on other rows to exercise δ_y).
+		x := 0
+		for i := 0; i < n; i++ {
+			x += rng.Intn(3)
+			if x+2 > nSites {
+				break
+			}
+			place(d, 0, rng.Intn(nSites-2), rng.Intn(3), x, 1)
+			x += 2
+		}
+		if len(d.Cells) == 0 {
+			continue
+		}
+		n = len(d.Cells)
+		n0 := int64(rng.Intn(3)) // 0 disables the extension
+		opt := Options{Weights: WeightUniform, MaxDispWeight: n0}
+
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+
+		// Brute force over all order-preserving x assignments.
+		best := int64(1) << 60
+		var rec func(i, minX int)
+		xs := make([]int, n)
+		// Cells were appended left to right, so index order is row order.
+		rec = func(i, minX int) {
+			if i == n {
+				for k := range xs {
+					d.Cells[k].X = xs[k]
+				}
+				if v := objective(d, n0, weights); v < best {
+					best = v
+				}
+				return
+			}
+			for xx := minX; xx+2*(n-i) <= nSites; xx++ {
+				xs[i] = xx
+				rec(i+1, xx+2)
+			}
+		}
+		snapshot := d.SnapshotXY()
+		rec(0, 0)
+		d.RestoreXY(snapshot)
+
+		grid := mustGrid(t, d)
+		if _, err := Optimize(d, grid, opt); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := objective(d, n0, weights)
+		if got != best {
+			t.Fatalf("trial %d: refine objective %d != brute force %d (n=%d n0=%d)",
+				trial, got, best, n, n0)
+		}
+	}
+}
+
+// Height-averaged weights must favor the rare-height class.
+func TestHeightAverageWeights(t *testing.T) {
+	d := newDesign(60, 4)
+	// Many single-height cells and one double-height cell compete for
+	// the same spot; with Eq. (2) weights the double (rare) cell
+	// dominates per-cell, so it should stay nearer its GP.
+	dd := place(d, 1, 20, 0, 20, 0)
+	for i := 0; i < 8; i++ {
+		place(d, 0, 23, 0, 23+2*i, 0)
+	}
+	optimize(t, d, Options{Weights: WeightHeightAverage})
+	if geom.Abs(d.Cells[dd].X-20) > 1 {
+		t.Errorf("rare-height cell displaced by %d sites", geom.Abs(d.Cells[dd].X-20))
+	}
+}
+
+func TestEmptyDesign(t *testing.T) {
+	d := newDesign(20, 2)
+	rep := optimize(t, d, Options{})
+	if rep.Nodes != 0 || rep.Moved != 0 {
+		t.Errorf("empty design produced work: %+v", rep)
+	}
+}
+
+func TestBlockageSplitsConstraints(t *testing.T) {
+	d := newDesign(40, 1)
+	d.Blockages = []geom.Rect{geom.RectWH(18, 0, 4, 1)}
+	a := place(d, 0, 30, 0, 10, 0) // left of blockage, wants right
+	b := place(d, 0, 5, 0, 25, 0)  // right of blockage, wants left
+	optimize(t, d, Options{Weights: WeightUniform})
+	// Each clamps against its side of the blockage.
+	if d.Cells[a].X != 16 {
+		t.Errorf("a.X = %d, want 16 (clamped at blockage)", d.Cells[a].X)
+	}
+	if d.Cells[b].X != 22 {
+		t.Errorf("b.X = %d, want 22", d.Cells[b].X)
+	}
+}

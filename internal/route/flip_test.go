@@ -1,0 +1,111 @@
+package route
+
+import (
+	"testing"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// flipDesign: a single-height type whose only pin hugs the cell bottom.
+// Without flipping it conflicts with the horizontal rail on even rows
+// only; with flipping enabled the mirrored orientation on odd rows puts
+// the pin at the cell top, where the rail at the (even) upper boundary
+// catches it instead.
+func flipDesign(flip bool) *model.Design {
+	t := railTech()
+	t.FlipOddRows = flip
+	return &model.Design{
+		Name: "flip",
+		Tech: t,
+		Types: []model.CellType{
+			{
+				Name: "LOW", Width: 4, Height: 1,
+				Pins: []model.PinShape{
+					{Name: "B", Layer: model.LayerM2, Box: geom.RectWH(12, 0, 8, 6)},
+				},
+			},
+			{
+				Name: "TALL3", Width: 4, Height: 3,
+				Pins: []model.PinShape{
+					// Near the bottom of a 3-high cell: [0,6) relative;
+					// mirrored: [234,240).
+					{Name: "B", Layer: model.LayerM2, Box: geom.RectWH(12, 0, 8, 6)},
+				},
+			},
+		},
+	}
+}
+
+func TestFlipMirrorsPinGeometry(t *testing.T) {
+	d := flipDesign(true)
+	c := NewChecker(d)
+	// Even row (reference orientation): pin at the bottom boundary,
+	// which carries a rail -> short.
+	if st := c.CheckPin(0, 0, 0, 2); !st.Short {
+		t.Errorf("unflipped cell on rail row should short: %+v", st)
+	}
+	// Odd row: flipped, pin now at the TOP of the cell = boundary of
+	// row y+1, which is even and carries a rail -> still a short, but
+	// through the mirrored geometry.
+	if st := c.CheckPin(0, 0, 0, 3); !st.Short {
+		t.Errorf("flipped cell pin should hit the upper rail: %+v", st)
+	}
+	// Without flipping, the odd-row position is clean (pin stays at the
+	// railless lower boundary).
+	d2 := flipDesign(false)
+	c2 := NewChecker(d2)
+	if st := c2.CheckPin(0, 0, 0, 3); st.Short {
+		t.Errorf("unflipped odd-row cell should be clean: %+v", st)
+	}
+}
+
+func TestFlipTallOddCell(t *testing.T) {
+	d := flipDesign(true)
+	c := NewChecker(d)
+	// TALL3 on row 1 (odd, flipped): pin mirrors to [234,240) relative,
+	// abs [314,320): the rail at 320 covers [316,324) -> short.
+	if st := c.CheckPin(1, 0, 0, 1); !st.Short {
+		t.Errorf("flipped tall cell should short at the top: %+v", st)
+	}
+	// On row 2 (even, unflipped): pin abs [160,166), rail at 160 covers
+	// [156,164) -> short through the original geometry.
+	if st := c.CheckPin(1, 0, 0, 2); !st.Short {
+		t.Errorf("unflipped tall cell on rail row should short: %+v", st)
+	}
+	// Even-height cells never flip regardless of the option.
+	if c.flipped(0, 3) != true || c.flipped(1, 3) != true {
+		t.Errorf("odd-height cells should flip on odd rows")
+	}
+}
+
+func TestFlipRowForbiddenUsesMirroredGeometry(t *testing.T) {
+	dNo := flipDesign(false)
+	dYes := flipDesign(true)
+	rNo := NewRules(NewChecker(dNo))
+	rYes := NewRules(NewChecker(dYes))
+	// LOW without flipping: even rows forbidden, odd rows fine.
+	if !rNo.RowForbidden(0, 2) || rNo.RowForbidden(0, 3) {
+		t.Errorf("unflipped RowForbidden wrong")
+	}
+	// With flipping: both parities conflict (bottom rail when
+	// unflipped, top rail when flipped).
+	if !rYes.RowForbidden(0, 2) || !rYes.RowForbidden(0, 3) {
+		t.Errorf("flipped RowForbidden should forbid both parities")
+	}
+}
+
+func TestFlipCountsViolations(t *testing.T) {
+	d := flipDesign(true)
+	d.Cells = append(d.Cells,
+		model.Cell{Name: "a", Type: 0, X: 10, Y: 3, GX: 10, GY: 3}, // flipped: short
+	)
+	v := NewChecker(d).Count()
+	if v.PinShort != 1 {
+		t.Errorf("flipped cell short not counted: %+v", v)
+	}
+	if _, err := seg.Build(d); err != nil {
+		t.Fatal(err)
+	}
+}

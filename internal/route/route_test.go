@@ -1,0 +1,252 @@
+package route
+
+import (
+	"testing"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// railTech: rows 80 DBU tall, horizontal M2 rails (half-width 4) on
+// every 2nd row boundary, vertical M3 stripes every 20 sites (width 12
+// DBU) starting at site 10.
+func railTech() model.Tech {
+	return model.Tech{
+		SiteW: 10, RowH: 80, NumSites: 100, NumRows: 16,
+		HRailLayer: model.LayerM2, HRailHalfW: 4, HRailPeriod: 2,
+		VRailLayer: model.LayerM3, VRailPitch: 20, VRailW: 12, VRailOffset: 10,
+	}
+}
+
+func railDesign() *model.Design {
+	return &model.Design{
+		Name: "r",
+		Tech: railTech(),
+		Types: []model.CellType{
+			{
+				Name: "CLEAN", Width: 4, Height: 1,
+				Pins: []model.PinShape{
+					// Mid-cell M1 pin, nowhere near rails.
+					{Name: "A", Layer: model.LayerM1, Box: geom.RectWH(12, 30, 8, 10)},
+				},
+			},
+			{
+				Name: "LOWPIN", Width: 4, Height: 1,
+				Pins: []model.PinShape{
+					// M2 pin hugging the cell bottom: shorts with a
+					// horizontal M2 rail when the bottom row sits on a
+					// rail boundary (even rows).
+					{Name: "B", Layer: model.LayerM2, Box: geom.RectWH(12, 0, 8, 6)},
+				},
+			},
+			{
+				Name: "M1LOW", Width: 4, Height: 1,
+				Pins: []model.PinShape{
+					// M1 pin at the bottom: *access* problem under the
+					// M2 rail (Figure 1 left).
+					{Name: "C", Layer: model.LayerM1, Box: geom.RectWH(12, 0, 8, 6)},
+				},
+			},
+			{
+				Name: "M2WIDE", Width: 4, Height: 1,
+				Pins: []model.PinShape{
+					// M2 pin in the middle of the cell: access problem
+					// under M3 vertical stripes, x-dependent.
+					{Name: "D", Layer: model.LayerM2, Box: geom.RectWH(0, 30, 40, 10)},
+				},
+			},
+		},
+	}
+}
+
+func TestHitsHRail(t *testing.T) {
+	c := NewChecker(railDesign())
+	// Rails at y = 0, 160, 320, ... covering [-4, 4), [156, 164)...
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 6, true},     // bottom pin on rail boundary
+		{10, 100, false}, // between rails
+		{150, 170, true}, // crosses rail at 160
+		{163, 170, true}, // clips rail tail
+		{164, 170, false},
+		{80, 90, false}, // odd row boundary has no rail
+		{5, 5, false},   // empty interval
+	}
+	for _, tc := range cases {
+		if got := c.hitsHRail(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("hitsHRail(%d,%d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestHitsVRail(t *testing.T) {
+	c := NewChecker(railDesign())
+	// Stripes at x = 100, 300, 500, ... each 12 DBU wide.
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{100, 110, true},
+		{90, 101, true},
+		{111, 120, true},
+		{112, 120, false},
+		{0, 99, false}, // before the first stripe
+		{113, 299, false},
+		{250, 700, true},
+	}
+	for _, tc := range cases {
+		if got := c.hitsVRail(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("hitsVRail(%d,%d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+// Figure 1 reproduction: the taxonomy of pin short vs pin access.
+func TestFigure1PinViolationTaxonomy(t *testing.T) {
+	d := railDesign()
+	c := NewChecker(d)
+	// M2 pin over M2 rail: SHORT (Figure 1 right).
+	st := c.CheckPin(1, 0, 0, 0) // LOWPIN at row 0 (rail boundary)
+	if !st.Short || st.Access {
+		t.Errorf("M2 pin on M2 rail: %+v, want short only", st)
+	}
+	// M1 pin under M2 rail: ACCESS (Figure 1 left).
+	st = c.CheckPin(2, 0, 0, 0)
+	if st.Short || !st.Access {
+		t.Errorf("M1 pin under M2 rail: %+v, want access only", st)
+	}
+	// Same cells on an odd row: clean.
+	if st := c.CheckPin(1, 0, 0, 1); st.Short || st.Access {
+		t.Errorf("LOWPIN on odd row should be clean: %+v", st)
+	}
+	// M2 pin crossing a vertical M3 stripe: ACCESS, x-dependent.
+	st = c.CheckPin(3, 0, 8, 1) // cell sites 8..12, pin spans 80..120 DBU: hits stripe at 100
+	if !st.Access {
+		t.Errorf("M2 pin under M3 stripe: %+v, want access", st)
+	}
+	if st := c.CheckPin(3, 0, 12, 1); st.Access {
+		t.Errorf("M2WIDE at x=12 spans 120..160, stripe at 100..112 missed? %+v", st)
+	}
+}
+
+func TestIOPinViolations(t *testing.T) {
+	d := railDesign()
+	d.IOPins = []model.IOPin{
+		{Name: "io2", Layer: model.LayerM2, Box: geom.RectWH(120, 110, 20, 20)},
+	}
+	c := NewChecker(d)
+	// CLEAN's M1 pin at cell (11,1): abs box [122,130)x[110,120):
+	// overlaps the M2 IO pin one layer up -> access.
+	st := c.CheckPin(0, 0, 11, 1)
+	if st.Short || !st.Access {
+		t.Errorf("M1 pin under M2 IO pin: %+v", st)
+	}
+	// A LOWPIN M2 pin overlapping the same IO pin would be a short;
+	// place it so its pin box [132,150)x[80,86) misses it.
+	st = c.CheckPin(1, 0, 12, 1)
+	if st.Short {
+		t.Errorf("no overlap expected: %+v", st)
+	}
+}
+
+func TestCountViolations(t *testing.T) {
+	d := railDesign()
+	d.Tech.EdgeSpacing = [][]int{{0, 0}, {0, 2}}
+	d.Types[0].EdgeL, d.Types[0].EdgeR = 1, 1
+	// Two CLEAN cells abutting (need 2 sites): edge violation.
+	d.Cells = append(d.Cells,
+		model.Cell{Name: "a", Type: 0, X: 20, Y: 3, GX: 20, GY: 3},
+		model.Cell{Name: "b", Type: 0, X: 24, Y: 3, GX: 24, GY: 3},
+		// LOWPIN on an even row: pin short.
+		model.Cell{Name: "c", Type: 1, X: 40, Y: 4, GX: 40, GY: 4},
+		// M1LOW on an even row: pin access.
+		model.Cell{Name: "d", Type: 2, X: 50, Y: 4, GX: 50, GY: 4},
+		// LOWPIN on an odd row: clean.
+		model.Cell{Name: "e", Type: 1, X: 60, Y: 5, GX: 60, GY: 5},
+	)
+	v := NewChecker(d).Count()
+	if v.PinShort != 1 || v.PinAccess != 1 || v.EdgeSpacing != 1 {
+		t.Errorf("violations = %+v, want 1/1/1", v)
+	}
+	if v.Pin() != 2 {
+		t.Errorf("Pin() = %d", v.Pin())
+	}
+}
+
+func TestRulesRowForbidden(t *testing.T) {
+	d := railDesign()
+	r := NewRules(NewChecker(d))
+	// LOWPIN forbidden on even rows (rail boundaries), fine on odd.
+	if !r.RowForbidden(1, 0) || !r.RowForbidden(1, 6) {
+		t.Errorf("LOWPIN should be forbidden on even rows")
+	}
+	if r.RowForbidden(1, 3) || r.RowForbidden(1, 7) {
+		t.Errorf("LOWPIN should be allowed on odd rows")
+	}
+	// CLEAN allowed everywhere.
+	if r.RowForbidden(0, 0) || r.RowForbidden(0, 1) {
+		t.Errorf("CLEAN forbidden somewhere")
+	}
+	// Memo consistency on repeat queries.
+	if !r.RowForbidden(1, 2) {
+		t.Errorf("memoized answer wrong")
+	}
+}
+
+func TestRulesXForbidden(t *testing.T) {
+	d := railDesign()
+	r := NewRules(NewChecker(d))
+	// M2WIDE pin spans the full 40-DBU cell: forbidden when any stripe
+	// intersects [x*10, x*10+40).
+	if !r.XForbidden(3, 8, 0) { // 80..120 hits stripe 100..112
+		t.Errorf("x=8 should be forbidden")
+	}
+	if r.XForbidden(3, 12, 0) { // 120..160 clean
+		t.Errorf("x=12 should be clean")
+	}
+	if r.XForbidden(0, 8, 0) {
+		t.Errorf("CLEAN has no M2/M3 pins near stripes; M1 pin never x-forbidden")
+	}
+}
+
+func TestRulesIOPenalty(t *testing.T) {
+	d := railDesign()
+	d.IOPins = []model.IOPin{{Name: "io", Layer: model.LayerM2, Box: geom.RectWH(120, 110, 20, 20)}}
+	r := NewRules(NewChecker(d))
+	if p := r.IOPenalty(0, 11, 1); p != r.IOPenaltyDBU {
+		t.Errorf("penalty = %d, want %d", p, r.IOPenaltyDBU)
+	}
+	if p := r.IOPenalty(0, 40, 1); p != 0 {
+		t.Errorf("penalty far away = %d", p)
+	}
+}
+
+func TestRangeProvider(t *testing.T) {
+	d := railDesign()
+	// One M2WIDE cell placed clean at x=12 row 1.
+	d.Cells = append(d.Cells, model.Cell{Name: "a", Type: 3, X: 12, Y: 1, GX: 12, GY: 1})
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRules(NewChecker(d))
+	lo, hi, ok := r.RangeProvider(grid)(0)
+	if !ok {
+		t.Fatal("provider declined")
+	}
+	// Clean run around 12: stripes at 100..112 and 300..312 DBU; pin
+	// spans [x*10, x*10+40): forbidden when x*10 < 112 && x*10+40 > 100
+	// => x in [7,11]; next stripe forbids x in [27,31]. So the run
+	// around 12 is [12, 26].
+	if lo != 12 || hi != 26 {
+		t.Errorf("range = [%d,%d], want [12,26]", lo, hi)
+	}
+	// A cell already on a forbidden x gets no restriction.
+	d.Cells[0].X = 9
+	if _, _, ok := r.RangeProvider(grid)(0); ok {
+		t.Errorf("provider should decline on a violating position")
+	}
+}

@@ -1,0 +1,210 @@
+// Package seg builds the static row segmentation of a design: every row
+// is partitioned into maximal site intervals with a uniform fence label,
+// with blockages and fixed cells removed. All later stages (MGL
+// insertion, matching groups, fixed-order refinement) work on segments.
+package seg
+
+import (
+	"fmt"
+	"sort"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+// Segment is one usable maximal interval of a row. A cell assigned to
+// fence F may only occupy segments labeled F, in every row it spans.
+type Segment struct {
+	ID    int
+	Row   int
+	X     geom.Interval
+	Fence model.FenceID
+}
+
+// Grid is the per-row segment index of a design.
+type Grid struct {
+	NumRows int
+	Segs    []Segment // all segments, sorted by (Row, X.Lo); ID = index
+	byRow   [][]int   // byRow[r] lists segment IDs of row r in x order
+}
+
+// Build computes the segmentation of d. It fails if two fences overlap,
+// since a site cannot belong to two fence regions.
+func Build(d *model.Design) (*Grid, error) {
+	nRows, nSites := d.Tech.NumRows, d.Tech.NumSites
+	// Per-row paint lists.
+	type paint struct {
+		iv    geom.Interval
+		fence model.FenceID // DefaultFence means "blocked" in blockList
+	}
+	fenceRows := make([][]paint, nRows)
+	blockRows := make([][]geom.Interval, nRows)
+
+	clampRow := func(r geom.Rect) (geom.Rect, bool) {
+		c := r.Intersect(geom.Rect{XLo: 0, YLo: 0, XHi: nSites, YHi: nRows})
+		return c, !c.Empty()
+	}
+	for k := range d.Fences {
+		for _, r := range d.Fences[k].Rects {
+			cr, ok := clampRow(r)
+			if !ok {
+				continue
+			}
+			for y := cr.YLo; y < cr.YHi; y++ {
+				fenceRows[y] = append(fenceRows[y], paint{iv: cr.XIv(), fence: model.FenceID(k + 1)})
+			}
+		}
+	}
+	for _, b := range d.Blockages {
+		cb, ok := clampRow(b)
+		if !ok {
+			continue
+		}
+		for y := cb.YLo; y < cb.YHi; y++ {
+			blockRows[y] = append(blockRows[y], cb.XIv())
+		}
+	}
+	for i := range d.Cells {
+		if !d.Cells[i].Fixed {
+			continue
+		}
+		cb, ok := clampRow(d.CellRect(model.CellID(i)))
+		if !ok {
+			continue
+		}
+		for y := cb.YLo; y < cb.YHi; y++ {
+			blockRows[y] = append(blockRows[y], cb.XIv())
+		}
+	}
+
+	g := &Grid{NumRows: nRows, byRow: make([][]int, nRows)}
+	for y := 0; y < nRows; y++ {
+		// Elementary boundaries.
+		cuts := []int{0, nSites}
+		for _, p := range fenceRows[y] {
+			cuts = append(cuts, p.iv.Lo, p.iv.Hi)
+		}
+		for _, b := range blockRows[y] {
+			cuts = append(cuts, b.Lo, b.Hi)
+		}
+		sort.Ints(cuts)
+		cuts = dedupInts(cuts)
+
+		// Label each elementary interval, then merge.
+		var prev *Segment
+		for ci := 0; ci+1 < len(cuts); ci++ {
+			lo, hi := cuts[ci], cuts[ci+1]
+			if lo < 0 || hi > nSites || lo >= hi {
+				continue
+			}
+			mid := lo // representative point; intervals are elementary
+			blocked := false
+			for _, b := range blockRows[y] {
+				if b.Contains(mid) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				prev = nil
+				continue
+			}
+			label := model.DefaultFence
+			for _, p := range fenceRows[y] {
+				if !p.iv.Contains(mid) {
+					continue
+				}
+				if label != model.DefaultFence && label != p.fence {
+					return nil, fmt.Errorf("seg: fences %d and %d overlap at row %d site %d", label, p.fence, y, mid)
+				}
+				label = p.fence
+			}
+			if prev != nil && prev.Fence == label && prev.X.Hi == lo {
+				prev.X.Hi = hi
+				continue
+			}
+			g.Segs = append(g.Segs, Segment{Row: y, X: geom.Interval{Lo: lo, Hi: hi}, Fence: label})
+			prev = &g.Segs[len(g.Segs)-1]
+		}
+	}
+	for i := range g.Segs {
+		g.Segs[i].ID = i
+		g.byRow[g.Segs[i].Row] = append(g.byRow[g.Segs[i].Row], i)
+	}
+	return g, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Row returns the segment IDs of row r in x order. Out-of-range rows
+// yield nil.
+func (g *Grid) Row(r int) []int {
+	if r < 0 || r >= g.NumRows {
+		return nil
+	}
+	return g.byRow[r]
+}
+
+// At returns the segment of row r containing site x, if any.
+func (g *Grid) At(r, x int) (Segment, bool) {
+	ids := g.Row(r)
+	// Binary search over the x-sorted segments: find the last segment
+	// with X.Lo <= x.
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Segs[ids[mid]].X.Lo <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Segment{}, false
+	}
+	s := g.Segs[ids[lo-1]]
+	if s.X.Contains(x) {
+		return s, true
+	}
+	return Segment{}, false
+}
+
+// SpanOK reports whether a cell of fence f occupying sites [x, x+w) on
+// rows [y, y+h) lies entirely inside segments of fence f.
+func (g *Grid) SpanOK(f model.FenceID, x, y, w, h int) bool {
+	iv := geom.Interval{Lo: x, Hi: x + w}
+	for r := y; r < y+h; r++ {
+		s, ok := g.At(r, x)
+		if !ok || s.Fence != f || !s.X.ContainsIv(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanInterval returns, for a cell of fence f on rows [y, y+h), the
+// x-interval of sites usable around site x (the intersection over the
+// rows of the containing segments). ok is false if some row has no
+// fence-f segment containing x.
+func (g *Grid) SpanInterval(f model.FenceID, x, y, h int) (geom.Interval, bool) {
+	out := geom.Interval{Lo: 0, Hi: 1 << 30}
+	for r := y; r < y+h; r++ {
+		s, ok := g.At(r, x)
+		if !ok || s.Fence != f {
+			return geom.Interval{}, false
+		}
+		out = out.Intersect(s.X)
+	}
+	if out.Empty() {
+		return geom.Interval{}, false
+	}
+	return out, true
+}

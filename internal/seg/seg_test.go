@@ -1,0 +1,231 @@
+package seg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+func flatDesign(nSites, nRows int) *model.Design {
+	return &model.Design{
+		Name: "flat",
+		Tech: model.Tech{
+			SiteW: 10, RowH: 80, NumSites: nSites, NumRows: nRows,
+		},
+		Types: []model.CellType{{Name: "T", Width: 2, Height: 1}},
+	}
+}
+
+func TestBuildFlat(t *testing.T) {
+	d := flatDesign(50, 4)
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Segs) != 4 {
+		t.Fatalf("want 4 segments, got %d", len(g.Segs))
+	}
+	for r := 0; r < 4; r++ {
+		ids := g.Row(r)
+		if len(ids) != 1 {
+			t.Fatalf("row %d: %d segments", r, len(ids))
+		}
+		s := g.Segs[ids[0]]
+		if s.X != (geom.Interval{Lo: 0, Hi: 50}) || s.Fence != model.DefaultFence || s.Row != r {
+			t.Errorf("row %d segment = %+v", r, s)
+		}
+	}
+	if g.Row(-1) != nil || g.Row(4) != nil {
+		t.Errorf("out-of-range rows should be nil")
+	}
+}
+
+func TestBuildWithFence(t *testing.T) {
+	d := flatDesign(50, 4)
+	d.Fences = []model.Fence{{Name: "f1", Rects: []geom.Rect{geom.RectWH(10, 1, 20, 2)}}}
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 1 and 2 split in three; rows 0 and 3 whole.
+	if len(g.Row(1)) != 3 || len(g.Row(2)) != 3 || len(g.Row(0)) != 1 {
+		t.Fatalf("segment counts wrong: %d %d %d", len(g.Row(0)), len(g.Row(1)), len(g.Row(2)))
+	}
+	s, ok := g.At(1, 15)
+	if !ok || s.Fence != 1 || s.X != (geom.Interval{Lo: 10, Hi: 30}) {
+		t.Errorf("fence segment = %+v ok=%v", s, ok)
+	}
+	s, ok = g.At(1, 5)
+	if !ok || s.Fence != model.DefaultFence || s.X != (geom.Interval{Lo: 0, Hi: 10}) {
+		t.Errorf("left default segment = %+v", s)
+	}
+	s, ok = g.At(1, 40)
+	if !ok || s.Fence != model.DefaultFence || s.X != (geom.Interval{Lo: 30, Hi: 50}) {
+		t.Errorf("right default segment = %+v", s)
+	}
+}
+
+func TestBuildWithBlockageAndFixed(t *testing.T) {
+	d := flatDesign(50, 3)
+	d.Blockages = []geom.Rect{geom.RectWH(20, 0, 5, 3)}
+	d.Cells = append(d.Cells, model.Cell{Name: "macro", Type: 0, X: 40, Y: 1, Fixed: true})
+	d.Types[0].Width = 4
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Row(0)) != 2 {
+		t.Fatalf("row 0 should split in 2, got %d", len(g.Row(0)))
+	}
+	if len(g.Row(1)) != 3 {
+		t.Fatalf("row 1 should split in 3, got %d", len(g.Row(1)))
+	}
+	if _, ok := g.At(0, 22); ok {
+		t.Errorf("blocked site should have no segment")
+	}
+	if _, ok := g.At(1, 41); ok {
+		t.Errorf("fixed-cell site should have no segment")
+	}
+	if s, ok := g.At(1, 44); !ok || s.X.Lo != 44 {
+		t.Errorf("segment after fixed cell = %+v ok=%v", s, ok)
+	}
+}
+
+func TestOverlappingFencesRejected(t *testing.T) {
+	d := flatDesign(50, 3)
+	d.Fences = []model.Fence{
+		{Name: "a", Rects: []geom.Rect{geom.RectWH(0, 0, 20, 3)}},
+		{Name: "b", Rects: []geom.Rect{geom.RectWH(10, 0, 20, 3)}},
+	}
+	if _, err := Build(d); err == nil {
+		t.Fatalf("overlapping fences accepted")
+	}
+}
+
+func TestSameFenceOverlapOK(t *testing.T) {
+	d := flatDesign(50, 3)
+	d.Fences = []model.Fence{
+		{Name: "a", Rects: []geom.Rect{geom.RectWH(0, 0, 20, 3), geom.RectWH(10, 0, 20, 2)}},
+	}
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := g.At(0, 0)
+	if !ok || s.X != (geom.Interval{Lo: 0, Hi: 30}) || s.Fence != 1 {
+		t.Errorf("merged same-fence segment = %+v", s)
+	}
+}
+
+func TestSpanOK(t *testing.T) {
+	d := flatDesign(50, 6)
+	d.Fences = []model.Fence{{Name: "f", Rects: []geom.Rect{geom.RectWH(10, 0, 20, 4)}}}
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SpanOK(1, 12, 0, 5, 4) {
+		t.Errorf("valid fence span rejected")
+	}
+	if g.SpanOK(1, 12, 0, 5, 5) { // row 4 is outside the fence
+		t.Errorf("span crossing fence top accepted")
+	}
+	if g.SpanOK(model.DefaultFence, 12, 0, 5, 1) {
+		t.Errorf("default-fence cell inside fence accepted")
+	}
+	if !g.SpanOK(model.DefaultFence, 30, 0, 10, 4) {
+		t.Errorf("default span right of fence rejected")
+	}
+	if g.SpanOK(1, 28, 0, 5, 1) { // sticks out of fence to the right
+		t.Errorf("overhanging span accepted")
+	}
+	if g.SpanOK(model.DefaultFence, -2, 0, 4, 1) {
+		t.Errorf("off-core span accepted")
+	}
+}
+
+func TestSpanInterval(t *testing.T) {
+	d := flatDesign(50, 6)
+	d.Blockages = []geom.Rect{geom.RectWH(30, 2, 5, 1)}
+	g, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0..1 are whole; row 2 splits at the blockage.
+	iv, ok := g.SpanInterval(model.DefaultFence, 10, 0, 3)
+	if !ok || iv != (geom.Interval{Lo: 0, Hi: 30}) {
+		t.Errorf("SpanInterval = %v ok=%v", iv, ok)
+	}
+	iv, ok = g.SpanInterval(model.DefaultFence, 40, 0, 3)
+	if !ok || iv != (geom.Interval{Lo: 35, Hi: 50}) {
+		t.Errorf("SpanInterval right = %v ok=%v", iv, ok)
+	}
+	if _, ok := g.SpanInterval(model.DefaultFence, 31, 0, 3); ok {
+		t.Errorf("span through blockage accepted")
+	}
+	if _, ok := g.SpanInterval(model.DefaultFence, 10, 4, 3); ok {
+		t.Errorf("span past top row accepted")
+	}
+}
+
+// Property: segments of a row never overlap, are sorted, and cover
+// exactly the non-blocked sites.
+func TestRandomizedSegmentInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nSites, nRows := 60+rng.Intn(60), 8+rng.Intn(8)
+		d := flatDesign(nSites, nRows)
+		for f := 0; f < rng.Intn(3); f++ {
+			x := rng.Intn(nSites - 10)
+			y := rng.Intn(nRows - 2)
+			w := 3 + rng.Intn(10)
+			h := 1 + rng.Intn(3)
+			d.Fences = append(d.Fences, model.Fence{
+				Name:  "f",
+				Rects: []geom.Rect{geom.RectWH(x, y, w, h)},
+			})
+		}
+		for b := 0; b < rng.Intn(4); b++ {
+			d.Blockages = append(d.Blockages,
+				geom.RectWH(rng.Intn(nSites-5), rng.Intn(nRows-1), 1+rng.Intn(5), 1+rng.Intn(2)))
+		}
+		g, err := Build(d)
+		if err != nil {
+			continue // overlapping random fences: rejection is correct
+		}
+		for r := 0; r < nRows; r++ {
+			ids := g.Row(r)
+			covered := make([]bool, nSites)
+			prevHi := -1
+			for _, id := range ids {
+				s := g.Segs[id]
+				if s.Row != r {
+					t.Fatalf("segment %d row mismatch", id)
+				}
+				if s.X.Empty() {
+					t.Fatalf("empty segment %d", id)
+				}
+				if s.X.Lo < prevHi {
+					t.Fatalf("row %d segments overlap or unsorted", r)
+				}
+				prevHi = s.X.Hi
+				for x := s.X.Lo; x < s.X.Hi; x++ {
+					covered[x] = true
+				}
+			}
+			for x := 0; x < nSites; x++ {
+				blocked := false
+				for _, b := range d.Blockages {
+					if b.ContainsPt(geom.Pt{X: x, Y: r}) {
+						blocked = true
+					}
+				}
+				if covered[x] == blocked {
+					t.Fatalf("row %d site %d: covered=%v blocked=%v", r, x, covered[x], blocked)
+				}
+			}
+		}
+	}
+}

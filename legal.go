@@ -1,0 +1,161 @@
+// Package mclegal is a routability-driven and fence-aware legalizer for
+// mixed-cell-height standard-cell placements, a from-scratch Go
+// implementation of Li, Chow, Chen, Young and Yu, "Routability-Driven
+// and Fence-Aware Legalization for Mixed-Cell-Height Circuits",
+// DAC 2018.
+//
+// The flow has three stages (paper Figure 2):
+//
+//  1. multi-row global legalization (MGL): window-based cell insertion
+//     minimizing displacement from the global-placement positions via
+//     piecewise-linear displacement curves;
+//  2. maximum-displacement optimization: min-cost bipartite matching of
+//     same-type cells inside each fence region;
+//  3. fixed-row-and-order refinement: a dual min-cost-flow that
+//     simultaneously optimizes average and maximum displacement, with
+//     feasible ranges keeping pins clear of P/G rails.
+//
+// Quick start:
+//
+//	d := mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+//		Name: "demo", Seed: 1, Counts: [4]int{1000, 100, 20, 10},
+//		Density: 0.6, Routability: true,
+//	})
+//	res, err := mclegal.Legalize(d, mclegal.Options{Routability: true})
+//
+// The package is a facade over the internal implementation packages;
+// everything needed by a downstream user is re-exported here.
+package mclegal
+
+import (
+	"io"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+	"mclegal/internal/flow"
+	"mclegal/internal/gp"
+	"mclegal/internal/model"
+	"mclegal/internal/plot"
+	"mclegal/internal/route"
+	"mclegal/internal/seg"
+)
+
+// Core data model.
+type (
+	// Design is a complete legalization instance: technology, cell
+	// library, cells, nets, fences, blockages and IO pins.
+	Design = model.Design
+	// Tech describes the placement grid and P/G rail geometry.
+	Tech = model.Tech
+	// CellType is one standard-cell master.
+	CellType = model.CellType
+	// Cell is one placed (or to-be-placed) instance.
+	Cell = model.Cell
+	// PinShape is a signal-pin rectangle of a cell type.
+	PinShape = model.PinShape
+	// Net connects cells for HPWL accounting.
+	Net = model.Net
+	// NetPin is one net connection.
+	NetPin = model.NetPin
+	// Fence is a named fence region.
+	Fence = model.Fence
+	// IOPin is a fixed terminal shape.
+	IOPin = model.IOPin
+	// CellID indexes Design.Cells.
+	CellID = model.CellID
+	// CellTypeID indexes Design.Types.
+	CellTypeID = model.CellTypeID
+	// FenceID identifies a fence region (0 = default region).
+	FenceID = model.FenceID
+)
+
+// Pipeline configuration and results.
+type (
+	// Options configures the three-stage legalization pipeline.
+	Options = flow.Options
+	// Result carries metrics, violations, score and per-stage timings.
+	Result = flow.Result
+	// Metrics aggregates the displacement measures of paper Eq. (2).
+	Metrics = eval.Metrics
+	// Violations counts pin access/short and edge-spacing violations.
+	Violations = route.Violations
+)
+
+// Benchmark generation.
+type (
+	// BenchmarkParams parametrizes the synthetic instance generator.
+	BenchmarkParams = bmark.Params
+	// Bench names one published suite instance with its statistics.
+	Bench = bmark.Bench
+)
+
+// Legalize runs the full pipeline on d in place and returns the
+// evaluation of the result.
+func Legalize(d *Design, opt Options) (Result, error) { return flow.Run(d, opt) }
+
+// Evaluate scores an already-legal placement. hpwlBefore should be the
+// HPWL measured at the GP positions (see HPWL).
+func Evaluate(d *Design, hpwlBefore int64) Result { return flow.Evaluate(d, hpwlBefore) }
+
+// Audit returns all hard-legality violations of the current placement
+// (nil/empty means legal): overlaps, off-grid cells, fence and P/G
+// parity violations.
+func Audit(d *Design) ([]string, error) {
+	grid, err := seg.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, v := range eval.Audit(d, grid) {
+		out = append(out, v.String())
+	}
+	return out, nil
+}
+
+// Measure computes the displacement metrics of the current placement.
+func Measure(d *Design) Metrics { return eval.Measure(d) }
+
+// HPWL returns the total half-perimeter wirelength in DBU.
+func HPWL(d *Design) int64 { return eval.HPWL(d) }
+
+// CountViolations counts the routability soft-constraint violations of
+// the current placement.
+func CountViolations(d *Design) Violations { return route.NewChecker(d).Count() }
+
+// GenerateBenchmark builds a deterministic synthetic instance.
+func GenerateBenchmark(p BenchmarkParams) *Design { return bmark.Generate(p) }
+
+// ContestBenches lists the ICCAD 2017 suite (paper Table 1).
+func ContestBenches() []Bench { return bmark.ContestBenches() }
+
+// ISPDBenches lists the ISPD 2015-derived suite (paper Table 2).
+func ISPDBenches() []Bench { return bmark.ISPDBenches() }
+
+// ContestDesign generates one Table 1 instance at the given scale.
+func ContestDesign(b Bench, scale float64) *Design { return bmark.ContestDesign(b, scale) }
+
+// ISPDDesign generates one Table 2 instance at the given scale.
+func ISPDDesign(b Bench, scale float64) *Design { return bmark.ISPDDesign(b, scale) }
+
+// ReadDesign parses a design in the .mcl text format.
+func ReadDesign(r io.Reader) (*Design, error) { return bmark.Read(r) }
+
+// WriteDesign serializes a design in the .mcl text format.
+func WriteDesign(w io.Writer, d *Design) error { return bmark.Write(w, d) }
+
+// PlotOptions configures WriteSVG.
+type PlotOptions = plot.Options
+
+// WriteSVG renders the design's current placement as an SVG image
+// (rows, fences, macros, rails, cells colored by height, optional
+// displacement vectors).
+func WriteSVG(w io.Writer, d *Design, opt PlotOptions) error { return plot.SVG(w, d, opt) }
+
+// GPOptions configures the bundled quadratic global placer.
+type GPOptions = gp.Options
+
+// GlobalPlace derives GP positions from the design's netlist (quadratic
+// placement with density spreading) and writes them to every movable
+// cell's GX/GY. The paper's legalizer consumes such a GP solution; use
+// this when a design has nets but no meaningful GP positions.
+func GlobalPlace(d *Design, opt GPOptions) { gp.Place(d, opt) }

@@ -1,0 +1,85 @@
+package mclegal_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mclegal"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	d := mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+		Name: "facade", Seed: 42,
+		Counts:      [4]int{400, 40, 10, 4},
+		Density:     0.6,
+		NumFences:   1,
+		FenceFrac:   0.5,
+		NetFrac:     0.5,
+		IOPins:      8,
+		Routability: true,
+	})
+	before := mclegal.HPWL(d)
+	res, err := mclegal.Legalize(d, mclegal.Options{Routability: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
+		t.Fatalf("audit: %v %v", err, v)
+	}
+	if res.Score <= 0 || res.Metrics.AvgDisp <= 0 {
+		t.Errorf("degenerate result: %+v", res.Metrics)
+	}
+	if got := mclegal.Evaluate(d, before); got.Score != res.Score {
+		t.Errorf("Evaluate disagrees with Legalize: %v vs %v", got.Score, res.Score)
+	}
+	if mclegal.CountViolations(d).EdgeSpacing != 0 {
+		t.Errorf("edge violations with routability enabled")
+	}
+}
+
+func TestFacadeSuitesAndFormat(t *testing.T) {
+	if len(mclegal.ContestBenches()) != 16 || len(mclegal.ISPDBenches()) != 20 {
+		t.Fatalf("suite sizes wrong")
+	}
+	d := mclegal.ISPDDesign(mclegal.ISPDBenches()[6], 0.01)
+	var buf bytes.Buffer
+	if err := mclegal.WriteDesign(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := mclegal.ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || len(d2.Cells) != len(d.Cells) {
+		t.Errorf("round trip mismatch")
+	}
+	_ = mclegal.ContestDesign(mclegal.ContestBenches()[10], 0.01)
+}
+
+func TestFacadeMeasure(t *testing.T) {
+	d := mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+		Name: "m", Seed: 7, Counts: [4]int{50, 0, 0, 0}, Density: 0.4,
+	})
+	m := mclegal.Measure(d)
+	if m.AvgDisp != 0 {
+		t.Errorf("GP placement should have zero displacement")
+	}
+}
+
+func TestFacadeGlobalPlaceAndSVG(t *testing.T) {
+	d := mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+		Name: "gsvg", Seed: 5, Counts: [4]int{120, 12, 0, 0},
+		Density: 0.5, NetFrac: 0.8, Macros: 1,
+	})
+	mclegal.GlobalPlace(d, mclegal.GPOptions{})
+	if _, err := mclegal.Legalize(d, mclegal.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mclegal.WriteSVG(&buf, d, mclegal.PlotOptions{Displacement: true}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 500 {
+		t.Errorf("suspiciously small SVG: %d bytes", buf.Len())
+	}
+}
