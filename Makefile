@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The stress tests take several minutes each under the race detector,
+# so raise Go's default 10m per-package timeout.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# The full gate: vet + build + the whole suite under the race detector
+# (includes the worker-count determinism and cancellation tests).
+check: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -26,12 +26,22 @@ import (
 )
 
 var (
-	table   = flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
-	fig     = flag.Int("fig", 0, "paper figure to regenerate (6)")
-	scale   = flag.Float64("scale", 0.02, "cell-count scale vs published sizes")
-	only    = flag.String("bench", "", "restrict to one benchmark name")
-	workers = flag.Int("workers", 0, "MGL workers (0 = all cores)")
+	table    = flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
+	fig      = flag.Int("fig", 0, "paper figure to regenerate (6)")
+	scale    = flag.Float64("scale", 0.02, "cell-count scale vs published sizes")
+	only     = flag.String("bench", "", "restrict to one benchmark name")
+	workers  = flag.Int("workers", 0, "MGL workers (0 = all cores)")
+	progress = flag.Bool("progress", false, "emit per-stage JSON progress events to stderr")
 )
+
+// observer returns the stage observer for our Legalize runs, or nil
+// when -progress is off.
+func observer() mclegal.StageObserver {
+	if !*progress {
+		return nil
+	}
+	return mclegal.NewJSONObserver(os.Stderr)
+}
 
 func main() {
 	flag.Parse()
@@ -83,7 +93,9 @@ func table1() {
 		resChamp := mclegal.Evaluate(champ, hpwlGP)
 
 		t0 = time.Now()
-		resOurs, err := mclegal.Legalize(ours, mclegal.Options{Routability: true, Workers: *workers})
+		resOurs, err := mclegal.Legalize(ours, mclegal.Options{
+			Routability: true, Workers: *workers, Observer: observer(),
+		})
 		if err != nil {
 			log.Fatalf("%s ours: %v", b.Name, err)
 		}
@@ -137,7 +149,7 @@ func table2() {
 		d9, s9 := run(baseline.ChenLike)
 		dOurs, sOurs := run(func(d *mclegal.Design) error {
 			_, err := mclegal.Legalize(d, mclegal.Options{
-				TotalDisplacement: true, Workers: *workers,
+				TotalDisplacement: true, Workers: *workers, Observer: observer(),
 			})
 			return err
 		})
@@ -171,11 +183,14 @@ func table3() {
 		after := before.Clone()
 		rb, err := mclegal.Legalize(before, mclegal.Options{
 			Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
+			Observer: observer(),
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", b.Name, err)
 		}
-		ra, err := mclegal.Legalize(after, mclegal.Options{Routability: true, Workers: *workers})
+		ra, err := mclegal.Legalize(after, mclegal.Options{
+			Routability: true, Workers: *workers, Observer: observer(),
+		})
 		if err != nil {
 			log.Fatalf("%s: %v", b.Name, err)
 		}
@@ -210,6 +225,7 @@ func figure6() {
 	d := mclegal.ContestDesign(bench, *scale)
 	if _, err := mclegal.Legalize(d, mclegal.Options{
 		Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
+		Observer: observer(),
 	}); err != nil {
 		log.Fatal(err)
 	}

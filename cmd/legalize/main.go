@@ -3,10 +3,12 @@
 // Usage:
 //
 //	legalize -i design.mcl -o legal.mcl [-routability] [-total] [-workers N]
-//	         [-skip-maxdisp] [-skip-refine] [-delta0 10]
+//	         [-skip-maxdisp] [-skip-refine] [-delta0 10] [-progress text|json]
+//	         [-timeout 5m]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,8 +28,21 @@ func main() {
 		skipRefine  = flag.Bool("skip-refine", false, "skip the fixed-order refinement")
 		delta0      = flag.Float64("delta0", 0, "phi threshold in rows (0 = default)")
 		globalPlace = flag.Bool("globalplace", false, "derive GP positions from the netlist first (quadratic placer)")
+		progress    = flag.String("progress", "", "per-stage progress to stderr: text or json")
+		timeout     = flag.Duration("timeout", 0, "abort legalization after this duration (0 = none)")
 	)
 	flag.Parse()
+
+	var observer mclegal.StageObserver
+	switch *progress {
+	case "":
+	case "text":
+		observer = mclegal.NewLogObserver(os.Stderr)
+	case "json":
+		observer = mclegal.NewJSONObserver(os.Stderr)
+	default:
+		log.Fatalf("-progress must be text or json, got %q", *progress)
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -48,13 +63,21 @@ func main() {
 		fmt.Printf("global placement  HPWL %d\n", mclegal.HPWL(d))
 	}
 
-	res, err := mclegal.Legalize(d, mclegal.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := mclegal.LegalizeContext(ctx, d, mclegal.Options{
 		Routability:       *routability,
 		TotalDisplacement: *total,
 		Workers:           *workers,
 		SkipMaxDisp:       *skipMatch,
 		SkipRefine:        *skipRefine,
 		Delta0Rows:        *delta0,
+		Observer:          observer,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,12 +1,16 @@
 // Quickstart: build a small mixed-cell-height design by hand, legalize
-// it with the full three-stage pipeline, and print the metrics.
+// it with the full three-stage pipeline under a cancellable context
+// with per-stage progress, and print the metrics.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"mclegal"
 )
@@ -39,7 +43,15 @@ func main() {
 		add(0, 19+i%3, 3+i%2)
 	}
 
-	res, err := mclegal.Legalize(d, mclegal.Options{Workers: 1})
+	// A deadline bounds the run (it finishes in milliseconds here, but
+	// the same pattern aborts runaway production runs cleanly), and a
+	// log observer prints one line per pipeline stage to stderr.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := mclegal.LegalizeContext(ctx, d, mclegal.Options{
+		Workers:  1,
+		Observer: mclegal.NewLogObserver(os.Stderr),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,39 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+
+	"mclegal/internal/bmark"
+)
+
+// The paper's Section 3.5 scheduler is deterministic by construction:
+// batch composition and commit order never depend on the worker count,
+// which only bounds evaluation concurrency. Legalizing the same seeded
+// benchmark with 1 and 8 workers must therefore produce byte-identical
+// cell positions. Run under -race via `make check`.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := bmark.Generate(bmark.Params{
+		Name: "det", Seed: 1213, Counts: [4]int{1100, 110, 24, 10},
+		Density: 0.68, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.4, IOPins: 12,
+		Routability: true,
+	})
+
+	run := func(workers int) []byte {
+		d := base.Clone()
+		if _, err := Run(d, Options{Routability: true, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := bmark.Write(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	w1 := run(1)
+	w8 := run(8)
+	if !bytes.Equal(w1, w8) {
+		t.Fatal("Workers=1 and Workers=8 placements are not byte-identical")
+	}
+}

@@ -1,12 +1,18 @@
-// Package flow runs the paper's complete three-stage legalization
-// pipeline (Figure 2): multi-row global legalization, matching-based
+// Package flow composes the paper's complete three-stage legalization
+// pipeline (Figure 2) — multi-row global legalization, matching-based
 // maximum-displacement optimization, and fixed-row-and-order MCF
-// refinement, with optional routability handling (Section 3.4)
-// threaded through every stage.
+// refinement — on top of the stage engine in internal/stage, with
+// optional routability handling (Section 3.4) threaded through every
+// stage. Options select which stages are composed (the Table 3
+// ablations are stage lists, not flags inside the stages), Validate
+// centralizes range checks and defaulting, and RunContext makes the
+// whole pipeline cancellable and observable.
 package flow
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"mclegal/internal/eval"
@@ -15,7 +21,7 @@ import (
 	"mclegal/internal/model"
 	"mclegal/internal/refine"
 	"mclegal/internal/route"
-	"mclegal/internal/seg"
+	"mclegal/internal/stage"
 )
 
 // Options configures a pipeline run.
@@ -27,12 +33,16 @@ type Options struct {
 	// TotalDisplacement switches the refinement to uniform weights
 	// (the Table 2 objective) instead of the contest S_am weights.
 	TotalDisplacement bool
-	// SkipMaxDisp and SkipRefine disable post-processing stages
-	// (Table 3 ablation).
+	// SkipMaxDisp and SkipRefine leave post-processing stages out of
+	// the composed pipeline (Table 3 ablation).
 	SkipMaxDisp, SkipRefine bool
-	// Workers is the MGL thread count (0 = GOMAXPROCS).
+	// Workers is the MGL evaluation thread count (0 = GOMAXPROCS).
+	// The result never depends on it.
 	Workers int
-	// Delta0Rows is the φ threshold of the matching stage.
+	// Delta0Rows is the φ threshold of the matching stage. 0 picks the
+	// default: 10 rows, or effectively-infinite under a pure
+	// total-displacement objective (φ must stay in its linear regime,
+	// where the matching minimizes the plain total displacement).
 	Delta0Rows float64
 	// MaxDispWeight is n_0 of the refinement; 0 picks a default
 	// proportional to the summed cell weights.
@@ -40,6 +50,39 @@ type Options struct {
 	// MGL allows overriding low-level legalizer options; Workers and
 	// Rules are filled in by the pipeline.
 	MGL mgl.Options
+	// Observer, when set, receives stage start/finish events with
+	// per-stage durations and work counters.
+	Observer stage.Observer
+}
+
+// Validate checks Options ranges and applies defaults in place. Run
+// calls it on its own copy; callers building Options programmatically
+// can call it early to fail fast.
+func (o *Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("flow: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.Delta0Rows < 0 {
+		return fmt.Errorf("flow: Delta0Rows must be >= 0, got %g", o.Delta0Rows)
+	}
+	if o.MaxDispWeight < 0 {
+		return fmt.Errorf("flow: MaxDispWeight must be >= 0, got %d", o.MaxDispWeight)
+	}
+	if o.MGL.Workers != 0 && o.MGL.Workers != o.Workers {
+		return fmt.Errorf("flow: set Workers on Options, not Options.MGL (got %d vs %d)",
+			o.MGL.Workers, o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Delta0Rows == 0 {
+		if o.TotalDisplacement {
+			o.Delta0Rows = 1e9
+		} else {
+			o.Delta0Rows = 10
+		}
+	}
+	return nil
 }
 
 // Result reports the pipeline outcome.
@@ -53,60 +96,28 @@ type Result struct {
 	MGLTime, MaxDispTime, RefineTime time.Duration
 	Total                            time.Duration
 
+	// Timings lists every stage that started, in execution order —
+	// including a failed or cancelled one.
+	Timings []stage.Timing
+
 	MGLStats     mgl.Stats
 	MaxDispStats maxdisp.Stats
 	RefineReport refine.Report
 }
 
-// Run legalizes d in place and returns the evaluation of the result.
-func Run(d *model.Design, opt Options) (Result, error) {
-	var res Result
-	if err := d.Validate(); err != nil {
-		return res, err
-	}
-	start := time.Now()
-	res.HPWLBefore = eval.HPWL(d)
-
-	grid, err := seg.Build(d)
-	if err != nil {
-		return res, err
-	}
-
-	var rules *route.Rules
-	checker := route.NewChecker(d)
+// Stages builds the stage list selected by opt for d: MGL always, the
+// matching and refinement stages unless skipped. opt must already be
+// validated.
+func Stages(d *model.Design, opt Options) []stage.Stage {
 	mglOpt := opt.MGL
 	mglOpt.Workers = opt.Workers
-	if opt.Routability {
-		rules = route.NewRules(checker)
-		mglOpt.Rules = rules
-	}
+	list := []stage.Stage{stage.NewMGL(mglOpt)}
 
-	// Stage 1: MGL (Section 3.1).
-	t0 := time.Now()
-	leg := mgl.New(d, grid, mglOpt)
-	if err := leg.Run(); err != nil {
-		return res, fmt.Errorf("flow: MGL: %w", err)
-	}
-	res.MGLStats = leg.Stats
-	res.MGLTime = time.Since(t0)
-
-	// Stage 2: maximum-displacement optimization (Section 3.2). Under
-	// a pure total-displacement objective (the Table 2 configuration)
-	// φ must stay in its linear regime, where the matching minimizes
-	// the plain total displacement.
 	if !opt.SkipMaxDisp {
-		t0 = time.Now()
-		mdOpt := maxdisp.Options{Delta0Rows: opt.Delta0Rows}
-		if opt.TotalDisplacement && mdOpt.Delta0Rows == 0 {
-			mdOpt.Delta0Rows = 1e9
-		}
-		res.MaxDispStats = maxdisp.Optimize(d, mdOpt)
-		res.MaxDispTime = time.Since(t0)
+		list = append(list, stage.NewMaxDisp(maxdisp.Options{Delta0Rows: opt.Delta0Rows}))
 	}
 
-	// Stage 3: fixed row & order refinement (Section 3.3).
 	if !opt.SkipRefine {
-		t0 = time.Now()
 		rOpt := refine.Options{MaxDispWeight: opt.MaxDispWeight}
 		if opt.TotalDisplacement {
 			rOpt.Weights = refine.WeightUniform
@@ -120,20 +131,65 @@ func Run(d *model.Design, opt Options) (Result, error) {
 			// total-displacement objective keeps n_0 = 0.
 			rOpt.MaxDispWeight = 1 + 4*int64(d.MovableCount())/100
 		}
-		if opt.Routability && rules != nil {
-			rOpt.Ranges = rules.RangeProvider(grid)
-		}
-		rep, err := refine.Optimize(d, grid, rOpt)
-		if err != nil {
-			return res, fmt.Errorf("flow: refine: %w", err)
-		}
-		res.RefineReport = rep
-		res.RefineTime = time.Since(t0)
+		list = append(list, stage.NewRefine(rOpt, opt.Routability))
+	}
+	return list
+}
+
+// Run legalizes d in place and returns the evaluation of the result.
+func Run(d *model.Design, opt Options) (Result, error) {
+	return RunContext(context.Background(), d, opt)
+}
+
+// RunContext legalizes d in place under ctx. Cancellation aborts
+// between units of work inside every stage with ctx.Err(), leaving the
+// design consistent (auditable) though generally not legal.
+//
+// On error the returned Result still carries everything gathered up to
+// the failure — per-stage timings and the artifacts of completed and
+// partially-run stages — so operators can see where the time went.
+func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, error) {
+	var res Result
+	if err := opt.Validate(); err != nil {
+		return res, err
+	}
+	if err := d.Validate(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	res.HPWLBefore = eval.HPWL(d)
+
+	pc, err := stage.NewContext(d, opt.Routability)
+	if err != nil {
+		return res, err
 	}
 
+	p := stage.Pipeline{Stages: Stages(d, opt), Observer: opt.Observer}
+	timings, perr := p.Run(ctx, pc)
+
+	// Stage artifacts and timings are reported even when a stage
+	// failed or the run was cancelled.
+	res.MGLStats = pc.MGLStats
+	res.MaxDispStats = pc.MaxDispStats
+	res.RefineReport = pc.RefineReport
+	res.Timings = timings
+	for _, tm := range timings {
+		switch tm.Stage {
+		case stage.NameMGL:
+			res.MGLTime = tm.Duration
+		case stage.NameMaxDisp:
+			res.MaxDispTime = tm.Duration
+		case stage.NameRefine:
+			res.RefineTime = tm.Duration
+		}
+	}
 	res.Total = time.Since(start)
+	if perr != nil {
+		return res, fmt.Errorf("flow: %w", perr)
+	}
+
 	res.Metrics = eval.Measure(d)
-	res.Violations = checker.Count()
+	res.Violations = pc.Checker.Count()
 	res.HPWLAfter = eval.HPWL(d)
 	res.Score = eval.Score(eval.ScoreInput{
 		Metrics:        res.Metrics,

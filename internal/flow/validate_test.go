@@ -1,0 +1,161 @@
+package flow
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/mgl"
+	"mclegal/internal/refine"
+	"mclegal/internal/stage"
+)
+
+func TestValidateRejectsBadRanges(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+		want string
+	}{
+		{"negative workers", Options{Workers: -1}, "Workers"},
+		{"negative delta0", Options{Delta0Rows: -0.5}, "Delta0Rows"},
+		{"negative n0", Options{MaxDispWeight: -3}, "MaxDispWeight"},
+		{"conflicting workers", Options{Workers: 2, MGL: mgl.Options{Workers: 4}}, "MGL"},
+	} {
+		opt := tc.opt
+		err := opt.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectedByRun(t *testing.T) {
+	d := bmark.Generate(bmark.Params{Name: "v", Seed: 1, Counts: [4]int{20, 0, 0, 0}, Density: 0.3})
+	if _, err := Run(d, Options{Workers: -2}); err == nil {
+		t.Fatal("Run accepted negative Workers")
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	var opt Options
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers default = %d", opt.Workers)
+	}
+	if opt.Delta0Rows != 10 {
+		t.Errorf("Delta0Rows default = %g", opt.Delta0Rows)
+	}
+
+	// Under a pure total-displacement objective φ must stay linear:
+	// the δ0 default becomes effectively infinite.
+	opt = Options{TotalDisplacement: true}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Delta0Rows != 1e9 {
+		t.Errorf("total-displacement Delta0Rows default = %g", opt.Delta0Rows)
+	}
+
+	// Explicit values survive validation.
+	opt = Options{Workers: 3, Delta0Rows: 4.5, MaxDispWeight: 9}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Workers != 3 || opt.Delta0Rows != 4.5 || opt.MaxDispWeight != 9 {
+		t.Errorf("explicit options changed: %+v", opt)
+	}
+}
+
+func TestStageComposition(t *testing.T) {
+	d := bmark.Generate(bmark.Params{Name: "c", Seed: 2, Counts: [4]int{300, 0, 0, 0}, Density: 0.4})
+
+	names := func(opt Options) []string {
+		if err := opt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range Stages(d, opt) {
+			out = append(out, s.Name())
+		}
+		return out
+	}
+
+	if got := names(Options{}); strings.Join(got, ",") != "mgl,maxdisp,refine" {
+		t.Errorf("full pipeline = %v", got)
+	}
+	if got := names(Options{SkipMaxDisp: true}); strings.Join(got, ",") != "mgl,refine" {
+		t.Errorf("skip-maxdisp = %v", got)
+	}
+	if got := names(Options{SkipRefine: true}); strings.Join(got, ",") != "mgl,maxdisp" {
+		t.Errorf("skip-refine = %v", got)
+	}
+	if got := names(Options{SkipMaxDisp: true, SkipRefine: true}); strings.Join(got, ",") != "mgl" {
+		t.Errorf("mgl-only = %v", got)
+	}
+}
+
+// The composer selects refinement weights from the objective and
+// defaults n_0 from the design size (the paper's S_am configuration).
+func TestStageComposerWeightSelection(t *testing.T) {
+	d := bmark.Generate(bmark.Params{Name: "w", Seed: 3, Counts: [4]int{300, 30, 0, 0}, Density: 0.4})
+
+	refineOf := func(opt Options) *stage.RefineStage {
+		if err := opt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		list := Stages(d, opt)
+		rs, ok := list[len(list)-1].(*stage.RefineStage)
+		if !ok {
+			t.Fatalf("last stage is %T", list[len(list)-1])
+		}
+		return rs
+	}
+
+	// Contest objective: height-averaged weights plus a size-derived n_0.
+	rs := refineOf(Options{})
+	if rs.Opt.Weights != refine.WeightHeightAverage {
+		t.Errorf("default weights = %v", rs.Opt.Weights)
+	}
+	wantN0 := 1 + 4*int64(d.MovableCount())/100
+	if rs.Opt.MaxDispWeight != wantN0 {
+		t.Errorf("default n0 = %d, want %d", rs.Opt.MaxDispWeight, wantN0)
+	}
+	if !rs.UseRanges {
+		// UseRanges tracks Routability.
+		rs2 := refineOf(Options{Routability: true})
+		if !rs2.UseRanges {
+			t.Error("routability did not enable refine ranges")
+		}
+	}
+
+	// Total-displacement objective: uniform weights, n_0 stays 0.
+	rs = refineOf(Options{TotalDisplacement: true})
+	if rs.Opt.Weights != refine.WeightUniform {
+		t.Errorf("total-displacement weights = %v", rs.Opt.Weights)
+	}
+	if rs.Opt.MaxDispWeight != 0 {
+		t.Errorf("total-displacement n0 = %d, want 0", rs.Opt.MaxDispWeight)
+	}
+
+	// An explicit n_0 wins over the default.
+	rs = refineOf(Options{MaxDispWeight: 77})
+	if rs.Opt.MaxDispWeight != 77 {
+		t.Errorf("explicit n0 = %d", rs.Opt.MaxDispWeight)
+	}
+
+	// The matching stage inherits the validated δ0.
+	if err := (&Options{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Delta0Rows: 3}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ms, ok := Stages(d, opt)[1].(*stage.MaxDispStage)
+	if !ok || ms.Opt.Delta0Rows != 3 {
+		t.Errorf("matching δ0 = %+v", ms)
+	}
+}

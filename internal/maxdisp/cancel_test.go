@@ -1,0 +1,39 @@
+package maxdisp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mclegal/internal/model"
+)
+
+// A cancelled context stops the optimization between group matchings;
+// positions already swapped stay legal (same-type swaps preserve the
+// geometry) and the partial stats are returned with ctx.Err().
+func TestCancelBetweenGroups(t *testing.T) {
+	d := &model.Design{
+		Name:  "cancel",
+		Tech:  model.Tech{SiteW: 10, RowH: 80, NumSites: 60, NumRows: 6},
+		Types: []model.CellType{{Name: "S1", Width: 2, Height: 1}},
+	}
+	for i := 0; i < 10; i++ {
+		d.Cells = append(d.Cells, model.Cell{
+			Name: "c", Type: 0, GX: 3 * i, GY: 0, X: 3 * (9 - i), Y: 0,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := OptimizeContext(ctx, d, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Groups != 0 || st.Swapped != 0 {
+		t.Errorf("work done under a pre-cancelled context: %+v", st)
+	}
+	for i := range d.Cells {
+		if d.Cells[i].X != 3*(9-i) {
+			t.Errorf("cell %d moved under a pre-cancelled context", i)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package maxdisp
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -70,6 +71,15 @@ func Phi(deltaDBU, delta0DBU int64) int64 {
 // Optimize runs the matching for every (type, fence) group of movable
 // cells and applies the optimal assignment.
 func Optimize(d *model.Design, opt Options) Stats {
+	st, _ := OptimizeContext(context.Background(), d, opt)
+	return st
+}
+
+// OptimizeContext is Optimize under a context: cancellation is checked
+// between group matchings (each already-applied matching leaves the
+// design legal, so an aborted run is always consistent) and the
+// partial Stats are returned alongside ctx.Err().
+func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, error) {
 	opt = opt.withDefaults()
 	delta0 := int64(opt.Delta0Rows * float64(d.Tech.RowH))
 
@@ -99,6 +109,9 @@ func Optimize(d *model.Design, opt Options) Stats {
 
 	var st Stats
 	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		ids := groups[k]
 		if len(ids) < 2 {
 			continue
@@ -116,6 +129,9 @@ func Optimize(d *model.Design, opt Options) Stats {
 			return ids[a] < ids[b]
 		})
 		for lo := 0; lo < len(ids); lo += opt.MaxGroup {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
 			hi := lo + opt.MaxGroup
 			if hi > len(ids) {
 				hi = len(ids)
@@ -127,7 +143,7 @@ func Optimize(d *model.Design, opt Options) Stats {
 			optimizeGroup(d, ids[lo:hi], delta0, &st)
 		}
 	}
-	return st
+	return st, nil
 }
 
 func optimizeGroup(d *model.Design, ids []model.CellID, delta0 int64, st *Stats) {

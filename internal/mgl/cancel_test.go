@@ -1,0 +1,81 @@
+package mgl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// Cancelling mid-run aborts between batches with ctx.Err() and leaves
+// a consistent partial placement: every committed cell sits inside the
+// core and committed cells never overlap each other.
+func TestCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(4242))
+		d := newDesign(120, 12)
+		for i := 0; i < 150; i++ {
+			ti := model.CellTypeID(rng.Intn(len(d.Types)))
+			ct := d.Types[ti]
+			addCell(d, ti, rng.Intn(120-ct.Width), rng.Intn(12-ct.Height), 0)
+		}
+		grid, err := seg.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var committed []model.CellID
+		l := New(d, grid, Options{
+			Workers: workers,
+			DebugAfterBatch: func(placed []model.CellID) bool {
+				committed = append(committed, placed...)
+				cancel()
+				return true
+			},
+		})
+		err = l.RunContext(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if l.Stats.Placed == 0 || l.Stats.Placed >= d.MovableCount() {
+			t.Fatalf("workers=%d: placed %d of %d, want a strict partial placement",
+				workers, l.Stats.Placed, d.MovableCount())
+		}
+		if len(committed) != l.Stats.Placed {
+			t.Errorf("workers=%d: hook saw %d commits, stats say %d",
+				workers, len(committed), l.Stats.Placed)
+		}
+		core := d.Tech.CoreRect()
+		for i, a := range committed {
+			ra := d.CellRect(a)
+			if !core.Contains(ra) {
+				t.Errorf("workers=%d: committed cell %d outside core: %v", workers, a, ra)
+			}
+			for _, b := range committed[i+1:] {
+				if ra.Overlaps(d.CellRect(b)) {
+					t.Errorf("workers=%d: committed cells %d and %d overlap", workers, a, b)
+				}
+			}
+		}
+	}
+}
+
+// A context that is already cancelled stops the run before any cell is
+// placed.
+func TestCancelImmediate(t *testing.T) {
+	d := newDesign(40, 4)
+	addCell(d, 0, 5, 1, 0)
+	addCell(d, 0, 9, 2, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l, err := LegalizeContext(ctx, d, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.Stats.Placed != 0 {
+		t.Errorf("placed %d cells under a pre-cancelled context", l.Stats.Placed)
+	}
+}

@@ -1,6 +1,7 @@
 package mgl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,13 +26,9 @@ type Legalizer struct {
 	opt   Options
 	maxSp int
 
-	// Stats is populated by Run.
+	// Stats is populated by Run; it remains valid (partially filled)
+	// after a failed or cancelled run.
 	Stats Stats
-
-	// DebugAfterBatch, when set, is called after each parallel batch
-	// commit with the cells actually placed by the batch; returning
-	// false aborts the run. Intended for tests and debugging only.
-	DebugAfterBatch func(placed []model.CellID) bool
 }
 
 // New builds a legalizer for d over the prebuilt segmentation grid.
@@ -254,66 +251,30 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// legalizeOne grows the window until the cell fits (and, within the
-// QualityGrowths budget, until no cheaper position can lie outside);
-// it fails only when the full-core window has no feasible insertion.
-func (l *Legalizer) legalizeOne(t model.CellID) error {
-	core := l.d.Tech.CoreRect()
-	var best plan
-	haveBest := false
-	quality := 0
-	for attempt := 0; ; attempt++ {
-		win := l.windowFor(t, attempt)
-		p, ok := l.bestInWindow(t, win)
-		if ok {
-			// A bigger window explores a superset, so the newest plan
-			// is never worse; still guard against pruning artifacts.
-			if !haveBest || p.cost <= best.cost {
-				best = p
-			}
-			haveBest = true
-			if win == core || l.opt.QualityGrowths < 0 ||
-				quality >= l.opt.QualityGrowths ||
-				best.cost <= l.coverageBound(t, win) {
-				l.commit(best)
-				return nil
-			}
-			quality++
-			l.Stats.WindowRetries++
-			continue
-		}
-		if win == core {
-			if haveBest {
-				l.commit(best)
-				return nil
-			}
-			return fmt.Errorf("mgl: cell %q (%d) cannot be legalized: no feasible position in fence %d",
-				l.d.Cells[t].Name, t, l.d.Cells[t].Fence)
-		}
-		l.Stats.WindowRetries++
-	}
-}
+// Run legalizes every movable cell (see RunContext).
+func (l *Legalizer) Run() error { return l.RunContext(context.Background()) }
 
-// Run legalizes every movable cell. With Workers > 1 it uses the
-// deterministic window scheduler of paper Section 3.5: each iteration
-// selects up to BatchCap cells (in queue order) whose windows are
-// pairwise disjoint, evaluates them in parallel against the iteration's
-// snapshot, then commits the results in queue order.
-func (l *Legalizer) Run() error {
+// RunContext legalizes every movable cell using the deterministic
+// window scheduler of paper Section 3.5: each iteration selects up to
+// BatchCap cells (in queue order) whose windows are pairwise disjoint,
+// evaluates them (in parallel for Workers > 1) against the iteration's
+// snapshot, then commits the results in queue order. Batch composition
+// and commit order never depend on Workers, so the final placement is
+// byte-identical for every worker count.
+//
+// Cancelling ctx aborts between batches — never mid-commit — with
+// ctx.Err(): cells already committed keep their legal positions and
+// the remainder stay at their GP positions, so the design remains
+// consistent and auditable (though not legal).
+func (l *Legalizer) RunContext(ctx context.Context) error {
 	queue := l.Order()
-	if l.opt.Workers == 1 {
-		for _, t := range queue {
-			if err := l.legalizeOne(t); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
 	attempt := make(map[model.CellID]int, len(queue))
 	quality := make(map[model.CellID]int, len(queue))
 	core := l.d.Tech.CoreRect()
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Select the batch L_p: queue-ordered, pairwise-disjoint windows.
 		var batch []model.CellID
 		var wins []geom.Rect
@@ -339,21 +300,39 @@ func (l *Legalizer) Run() error {
 		}
 		l.Stats.Batches++
 
-		// Parallel evaluation against the current snapshot.
+		// Evaluation against the current snapshot: inline for a single
+		// worker, parallel otherwise. Cancelled workers leave oks[i]
+		// false, but those entries are never interpreted — the ctx
+		// check below returns before any commit.
 		plans := make([]plan, len(batch))
 		oks := make([]bool, len(batch))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, l.opt.Workers)
-		for i := range batch {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
+		if l.opt.Workers == 1 {
+			for i := range batch {
+				if ctx.Err() != nil {
+					break
+				}
 				plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
-			}(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, l.opt.Workers)
+			for i := range batch {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					if ctx.Err() != nil {
+						return
+					}
+					plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+				}(i)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 
 		// Sequential deterministic commit; failures grow their window
 		// and return to the queue.
@@ -394,7 +373,7 @@ func (l *Legalizer) Run() error {
 			}
 		}
 		queue = next
-		if l.DebugAfterBatch != nil && !l.DebugAfterBatch(committed) {
+		if l.opt.DebugAfterBatch != nil && !l.opt.DebugAfterBatch(committed) {
 			return fmt.Errorf("mgl: aborted by debug hook")
 		}
 	}
@@ -403,12 +382,18 @@ func (l *Legalizer) Run() error {
 
 // Legalize builds the segmentation of d and runs MGL with opt.
 func Legalize(d *model.Design, opt Options) (*Legalizer, error) {
+	return LegalizeContext(context.Background(), d, opt)
+}
+
+// LegalizeContext builds the segmentation of d and runs MGL with opt
+// under ctx.
+func LegalizeContext(ctx context.Context, d *model.Design, opt Options) (*Legalizer, error) {
 	grid, err := seg.Build(d)
 	if err != nil {
 		return nil, err
 	}
 	l := New(d, grid, opt)
-	if err := l.Run(); err != nil {
+	if err := l.RunContext(ctx); err != nil {
 		return l, err
 	}
 	return l, nil

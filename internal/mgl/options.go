@@ -50,11 +50,16 @@ type Options struct {
 	// MaxChain bounds the number of movable cells per push chain; the
 	// chain is cut with a barrier beyond it. Zero means 48.
 	MaxChain int
-	// Workers is the number of parallel legalizer threads (Section
-	// 3.5). Zero means GOMAXPROCS; 1 disables the scheduler.
+	// Workers is the number of parallel evaluation threads (Section
+	// 3.5). Zero means GOMAXPROCS. Workers only bounds concurrency:
+	// batch composition and commit order are worker-independent, so
+	// the result is byte-identical for every worker count.
 	Workers int
 	// BatchCap is the capacity of the scheduler's processing list L_p.
-	// Zero means 4*Workers.
+	// It shapes batch composition and therefore the (deterministic)
+	// result; the default is a constant — not derived from Workers —
+	// so results do not depend on the machine's core count. Zero
+	// means 32.
 	BatchCap int
 	// Rules is the optional routability hook.
 	Rules Rules
@@ -73,6 +78,11 @@ type Options struct {
 	// positions. 0 means 16; negative disables pruning (exhaustive
 	// evaluation, the paper's literal procedure).
 	PruneSlackRows int
+	// DebugAfterBatch, when set, is called after each batch commit
+	// with the cells actually placed by the batch; returning false
+	// aborts the run. Intended for tests and debugging (e.g.
+	// cancelling a context mid-run at a deterministic point).
+	DebugAfterBatch func(placed []model.CellID) bool
 	// CostFromCurrent makes local-cell displacement curves measure from
 	// the cells' *current* positions instead of their GP positions.
 	// This reproduces the MLL baseline (reference [12]) whose curves
@@ -93,7 +103,7 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.BatchCap <= 0 {
-		o.BatchCap = 4 * o.Workers
+		o.BatchCap = 32
 	}
 	if o.PruneSlackRows == 0 {
 		o.PruneSlackRows = 8

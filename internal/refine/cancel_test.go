@@ -1,0 +1,33 @@
+package refine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mclegal/internal/eval"
+)
+
+// Refinement writes positions only after a completed min-cost-flow
+// solve, so a cancelled context must leave the design exactly as it
+// entered: legal and byte-for-byte unmoved.
+func TestCancelLeavesDesignUntouched(t *testing.T) {
+	d := newDesign(40, 2)
+	a := place(d, 0, 5, 0, 10, 0)
+	b := place(d, 0, 20, 0, 25, 0)
+	grid := mustGrid(t, d)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := OptimizeContext(ctx, d, grid, Options{Weights: WeightUniform})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if d.Cells[a].X != 10 || d.Cells[b].X != 25 {
+		t.Errorf("cells moved under a pre-cancelled context: %d, %d",
+			d.Cells[a].X, d.Cells[b].X)
+	}
+	if v := eval.Audit(d, grid); len(v) > 0 {
+		t.Errorf("cancelled refine broke legality: %v", v[0])
+	}
+}

@@ -11,6 +11,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,7 +64,18 @@ type Report struct {
 // optimum of the configured objective. The design must be legal on
 // entry and stays legal on success.
 func Optimize(d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
+	return OptimizeContext(context.Background(), d, grid, opt)
+}
+
+// OptimizeContext is Optimize under a context. Cancellation is checked
+// before the network is built and again before the simplex solve; cell
+// positions are only written after a completed solve, so a cancelled
+// run leaves the design exactly as it was (legal) on entry.
+func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
 	var rep Report
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	// Movable cell indexing.
 	var ids []model.CellID
 	for i := range d.Cells {
@@ -239,6 +251,9 @@ func Optimize(d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
 	rep.Nodes = g.NumNodes()
 	rep.Arcs = g.NumArcs()
 
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	res, err := g.Solve()
 	if err != nil {
 		return rep, fmt.Errorf("refine: %w", err)

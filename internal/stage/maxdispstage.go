@@ -1,0 +1,32 @@
+package stage
+
+import (
+	"context"
+
+	"mclegal/internal/maxdisp"
+)
+
+// NewMaxDisp returns the matching-based maximum-displacement
+// optimization stage (paper Section 3.2).
+func NewMaxDisp(opt maxdisp.Options) *MaxDispStage { return &MaxDispStage{Opt: opt} }
+
+// MaxDispStage is the concrete matching stage; Opt is exposed so
+// composers and tests can inspect the options the stage will run with.
+type MaxDispStage struct{ Opt maxdisp.Options }
+
+func (s *MaxDispStage) Name() string { return NameMaxDisp }
+
+func (s *MaxDispStage) Run(ctx context.Context, pc *PipelineContext) error {
+	st, err := maxdisp.OptimizeContext(ctx, pc.Design, s.Opt)
+	pc.MaxDispStats = st
+	return err
+}
+
+func (s *MaxDispStage) Counters(pc *PipelineContext) map[string]int64 {
+	return map[string]int64{
+		"matchings_solved": int64(pc.MaxDispStats.Groups),
+		"cells_swapped":    int64(pc.MaxDispStats.Swapped),
+		"phi_cost_before":  pc.MaxDispStats.CostBefore,
+		"phi_cost_after":   pc.MaxDispStats.CostAfter,
+	}
+}

@@ -1,0 +1,47 @@
+package stage
+
+import (
+	"context"
+
+	"mclegal/internal/mgl"
+)
+
+// Stage names of the built-in pipeline stages, usable as timing and
+// artifact keys.
+const (
+	NameMGL     = "mgl"
+	NameMaxDisp = "maxdisp"
+	NameRefine  = "refine"
+)
+
+// NewMGL returns the multi-row global legalization stage (paper
+// Sections 3.1 and 3.5). The pipeline's routability rules, when
+// present, override opt.Rules.
+func NewMGL(opt mgl.Options) *MGLStage { return &MGLStage{Opt: opt} }
+
+// MGLStage is the concrete MGL stage; Opt is exposed so composers and
+// tests can inspect the options the stage will run with.
+type MGLStage struct{ Opt mgl.Options }
+
+func (s *MGLStage) Name() string { return NameMGL }
+
+func (s *MGLStage) Run(ctx context.Context, pc *PipelineContext) error {
+	opt := s.Opt
+	if pc.Rules != nil {
+		opt.Rules = pc.Rules
+	}
+	l := mgl.New(pc.Design, pc.Grid, opt)
+	err := l.RunContext(ctx)
+	// Keep partial stats on failure or cancellation: they tell the
+	// operator how far legalization got.
+	pc.MGLStats = l.Stats
+	return err
+}
+
+func (s *MGLStage) Counters(pc *PipelineContext) map[string]int64 {
+	return map[string]int64{
+		"cells_placed":   int64(pc.MGLStats.Placed),
+		"window_retries": int64(pc.MGLStats.WindowRetries),
+		"batches":        int64(pc.MGLStats.Batches),
+	}
+}

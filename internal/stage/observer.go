@@ -1,0 +1,139 @@
+package stage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StartEvent announces that a stage is about to run.
+type StartEvent struct {
+	Stage string
+	// Index and Total locate the stage in the composed pipeline.
+	Index, Total int
+	// Cells is the movable-cell count of the design.
+	Cells int
+}
+
+// FinishEvent reports a completed (or failed) stage.
+type FinishEvent struct {
+	Stage        string
+	Index, Total int
+	Duration     time.Duration
+	// CellsPerSec is the movable-cell throughput of the stage.
+	CellsPerSec float64
+	// Counters are the stage's work counters (windows processed,
+	// matchings solved, simplex pivots, ...); nil when the stage
+	// does not implement CounterProvider.
+	Counters map[string]int64
+	// Err is non-nil when the stage failed or was cancelled.
+	Err error
+}
+
+// Observer receives stage lifecycle callbacks. Callbacks are issued
+// sequentially from the pipeline's goroutine; implementations need no
+// internal locking.
+type Observer interface {
+	StageStart(StartEvent)
+	StageFinish(FinishEvent)
+}
+
+// NewLogObserver returns an observer writing human-readable progress
+// lines to w.
+func NewLogObserver(w io.Writer) Observer { return &logObserver{w: w} }
+
+type logObserver struct{ w io.Writer }
+
+func (o *logObserver) StageStart(ev StartEvent) {
+	fmt.Fprintf(o.w, "[%d/%d] %-8s start (%d cells)\n", ev.Index+1, ev.Total, ev.Stage, ev.Cells)
+}
+
+func (o *logObserver) StageFinish(ev FinishEvent) {
+	if ev.Err != nil {
+		fmt.Fprintf(o.w, "[%d/%d] %-8s FAILED after %v: %v\n",
+			ev.Index+1, ev.Total, ev.Stage, ev.Duration.Round(time.Microsecond), ev.Err)
+		return
+	}
+	fmt.Fprintf(o.w, "[%d/%d] %-8s done in %v (%.0f cells/s)%s\n",
+		ev.Index+1, ev.Total, ev.Stage, ev.Duration.Round(time.Microsecond),
+		ev.CellsPerSec, formatCounters(ev.Counters))
+}
+
+func formatCounters(c map[string]int64) string {
+	if len(c) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, c[k])
+	}
+	return b.String()
+}
+
+// NewJSONObserver returns an observer emitting one JSON object per
+// event line to w, suitable for machine consumption (progress bars,
+// dashboards, log aggregation). The schema is documented in DESIGN.md.
+func NewJSONObserver(w io.Writer) Observer { return &jsonObserver{enc: json.NewEncoder(w)} }
+
+type jsonObserver struct{ enc *json.Encoder }
+
+// jsonEvent is the wire shape of both event kinds; encoding/json
+// serializes the Counters map with sorted keys, so output lines are
+// deterministic.
+type jsonEvent struct {
+	Event       string           `json:"event"` // "stage_start" | "stage_finish"
+	Stage       string           `json:"stage"`
+	Index       int              `json:"index"`
+	Total       int              `json:"total"`
+	Cells       int              `json:"cells,omitempty"`
+	Seconds     float64          `json:"seconds,omitempty"`
+	CellsPerSec float64          `json:"cells_per_second,omitempty"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+func (o *jsonObserver) StageStart(ev StartEvent) {
+	_ = o.enc.Encode(jsonEvent{
+		Event: "stage_start", Stage: ev.Stage,
+		Index: ev.Index, Total: ev.Total, Cells: ev.Cells,
+	})
+}
+
+func (o *jsonObserver) StageFinish(ev FinishEvent) {
+	je := jsonEvent{
+		Event: "stage_finish", Stage: ev.Stage,
+		Index: ev.Index, Total: ev.Total,
+		Seconds:     ev.Duration.Seconds(),
+		CellsPerSec: ev.CellsPerSec,
+		Counters:    ev.Counters,
+	}
+	if ev.Err != nil {
+		je.Error = ev.Err.Error()
+	}
+	_ = o.enc.Encode(je)
+}
+
+// MultiObserver fans every event out to all given observers.
+func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
+
+type multiObserver []Observer
+
+func (m multiObserver) StageStart(ev StartEvent) {
+	for _, o := range m {
+		o.StageStart(ev)
+	}
+}
+
+func (m multiObserver) StageFinish(ev FinishEvent) {
+	for _, o := range m {
+		o.StageFinish(ev)
+	}
+}

@@ -1,0 +1,151 @@
+// Package stage is the pipeline engine behind the three-stage
+// legalization flow (paper Figure 2): a Stage interface, a shared
+// PipelineContext carrying the design and the artifacts every stage
+// accumulates, and a Pipeline runner that owns timing, context
+// cancellation, error wrapping and observer notification.
+//
+// The flow package composes the built-in stages (NewMGL, NewMaxDisp,
+// NewRefine) from its Options; ablations such as the paper's Table 3
+// are expressed by leaving a stage out of the composition rather than
+// by flags inside a monolithic function. Custom stages only need to
+// implement Stage (and optionally CounterProvider) to participate in
+// timing and observability.
+package stage
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mclegal/internal/maxdisp"
+	"mclegal/internal/mgl"
+	"mclegal/internal/model"
+	"mclegal/internal/refine"
+	"mclegal/internal/route"
+	"mclegal/internal/seg"
+)
+
+// Stage is one pass of the legalization pipeline. Run mutates the
+// design carried by the PipelineContext in place and records its
+// artifacts there; it must return promptly (with ctx.Err()) once ctx
+// is cancelled, leaving the design consistent even if not legal.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, pc *PipelineContext) error
+}
+
+// CounterProvider is an optional Stage extension: stages that implement
+// it have their counters attached to the observer's finish event.
+type CounterProvider interface {
+	Counters(pc *PipelineContext) map[string]int64
+}
+
+// PipelineContext is the state shared by all stages of one run: the
+// design being legalized, its segmentation grid, the routability
+// rules/checker (when enabled), and the artifacts accumulated per
+// stage. Artifacts of the built-in stages are typed fields; custom
+// stages can deposit arbitrary values keyed by stage name.
+type PipelineContext struct {
+	Design *model.Design
+	Grid   *seg.Grid
+	// Rules is non-nil when routability handling (paper Section 3.4)
+	// is enabled; the MGL and refinement stages consult it.
+	Rules *route.Rules
+	// Checker counts pin and edge-spacing violations; it is always
+	// present so post-run scoring works with or without routability.
+	Checker *route.Checker
+
+	// Artifacts of the built-in stages, populated by their Run methods
+	// (partially populated artifacts survive a failed or cancelled
+	// stage so operators can see how far the run got).
+	MGLStats     mgl.Stats
+	MaxDispStats maxdisp.Stats
+	RefineReport refine.Report
+
+	artifacts map[string]any
+}
+
+// NewContext builds the shared pipeline state for d: the segmentation
+// grid, the violation checker, and (when routability is enabled) the
+// Section 3.4 rules.
+func NewContext(d *model.Design, routability bool) (*PipelineContext, error) {
+	grid, err := seg.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	checker := route.NewChecker(d)
+	pc := &PipelineContext{Design: d, Grid: grid, Checker: checker}
+	if routability {
+		pc.Rules = route.NewRules(checker)
+	}
+	return pc, nil
+}
+
+// PutArtifact stores a custom stage's output under its name.
+func (pc *PipelineContext) PutArtifact(stage string, v any) {
+	if pc.artifacts == nil {
+		pc.artifacts = make(map[string]any)
+	}
+	pc.artifacts[stage] = v
+}
+
+// Artifact returns the output a custom stage stored under its name.
+func (pc *PipelineContext) Artifact(stage string) (any, bool) {
+	v, ok := pc.artifacts[stage]
+	return v, ok
+}
+
+// Timing is the measured duration of one executed stage.
+type Timing struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// Pipeline runs a stage list over a shared context. The runner owns
+// what every stage would otherwise duplicate: cancellation checks
+// between stages, per-stage timing, error wrapping with the stage
+// name, and observer notification.
+type Pipeline struct {
+	Stages   []Stage
+	Observer Observer // optional
+}
+
+// Run executes the stages in order. It returns the timing of every
+// stage that started — including a failed or cancelled one — so a
+// partial run remains attributable; the error is wrapped with the
+// failing stage's name.
+func (p *Pipeline) Run(ctx context.Context, pc *PipelineContext) ([]Timing, error) {
+	timings := make([]Timing, 0, len(p.Stages))
+	cells := pc.Design.MovableCount()
+	for i, s := range p.Stages {
+		if err := ctx.Err(); err != nil {
+			return timings, err
+		}
+		if p.Observer != nil {
+			p.Observer.StageStart(StartEvent{
+				Stage: s.Name(), Index: i, Total: len(p.Stages), Cells: cells,
+			})
+		}
+		t0 := time.Now()
+		err := s.Run(ctx, pc)
+		dur := time.Since(t0)
+		timings = append(timings, Timing{Stage: s.Name(), Duration: dur})
+		if p.Observer != nil {
+			ev := FinishEvent{
+				Stage: s.Name(), Index: i, Total: len(p.Stages),
+				Duration: dur, Err: err,
+			}
+			if cp, ok := s.(CounterProvider); ok {
+				ev.Counters = cp.Counters(pc)
+			}
+			if secs := dur.Seconds(); secs > 0 {
+				ev.CellsPerSec = float64(cells) / secs
+			}
+			p.Observer.StageFinish(ev)
+		}
+		if err != nil {
+			return timings, fmt.Errorf("stage %s: %w", s.Name(), err)
+		}
+	}
+	return timings, nil
+}

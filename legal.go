@@ -28,6 +28,7 @@
 package mclegal
 
 import (
+	"context"
 	"io"
 
 	"mclegal/internal/bmark"
@@ -38,6 +39,7 @@ import (
 	"mclegal/internal/plot"
 	"mclegal/internal/route"
 	"mclegal/internal/seg"
+	"mclegal/internal/stage"
 )
 
 // Core data model.
@@ -71,7 +73,8 @@ type (
 
 // Pipeline configuration and results.
 type (
-	// Options configures the three-stage legalization pipeline.
+	// Options configures the three-stage legalization pipeline; its
+	// Validate method checks ranges and applies defaults.
 	Options = flow.Options
 	// Result carries metrics, violations, score and per-stage timings.
 	Result = flow.Result
@@ -80,6 +83,29 @@ type (
 	// Violations counts pin access/short and edge-spacing violations.
 	Violations = route.Violations
 )
+
+// Pipeline observability (see Options.Observer): observers receive a
+// StageStart event when a stage begins and a StageFinish event — with
+// the stage's duration, throughput and work counters — when it ends.
+type (
+	// StageObserver receives stage lifecycle callbacks.
+	StageObserver = stage.Observer
+	// StageStart announces a stage about to run.
+	StageStart = stage.StartEvent
+	// StageFinish reports a completed (or failed) stage.
+	StageFinish = stage.FinishEvent
+)
+
+// NewLogObserver returns an observer writing human-readable per-stage
+// progress lines to w.
+func NewLogObserver(w io.Writer) StageObserver { return stage.NewLogObserver(w) }
+
+// NewJSONObserver returns an observer emitting one JSON object per
+// stage event line to w (the `cmd/legalize -progress json` format).
+func NewJSONObserver(w io.Writer) StageObserver { return stage.NewJSONObserver(w) }
+
+// MultiObserver fans stage events out to several observers.
+func MultiObserver(obs ...StageObserver) StageObserver { return stage.MultiObserver(obs...) }
 
 // Benchmark generation.
 type (
@@ -92,6 +118,16 @@ type (
 // Legalize runs the full pipeline on d in place and returns the
 // evaluation of the result.
 func Legalize(d *Design, opt Options) (Result, error) { return flow.Run(d, opt) }
+
+// LegalizeContext is Legalize under a context: long runs can be
+// cancelled or deadlined mid-stage. On cancellation it returns
+// ctx.Err() promptly together with a partial Result (per-stage timings
+// and the artifacts of every stage that ran), and the design is left
+// consistent — already-legalized cells keep their positions — though
+// generally not legal.
+func LegalizeContext(ctx context.Context, d *Design, opt Options) (Result, error) {
+	return flow.RunContext(ctx, d, opt)
+}
 
 // Evaluate scores an already-legal placement. hpwlBefore should be the
 // HPWL measured at the GP positions (see HPWL).
