@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench clean fuzz faults
 
 all: check
 
@@ -18,9 +18,23 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# Fuzz smoke: a bounded run of the .mcl parser fuzzer (the committed
+# seed corpus always runs as part of plain `go test`).
+fuzz:
+	$(GO) test -run FuzzRead -fuzz FuzzRead -fuzztime 30s ./internal/bmark/
+
+# The fault-injection recovery suites under the race detector, as a
+# focused target: every injection point x every recovery policy must
+# end legal or faithfully-reported partial. `race` (and therefore
+# `check`) already covers these as part of the whole suite.
+faults:
+	$(GO) test -race -run 'Gate|Recovery|Fallback|BestEffort|Strict|Panic|Inject|Fault' \
+		./internal/stage/ ./internal/flow/ ./internal/mgl/ ./internal/faults/
+
 # The full gate: vet + build + the whole suite under the race detector
-# (includes the worker-count determinism and cancellation tests).
-check: vet build race
+# (includes the worker-count determinism, cancellation and
+# fault-injection tests), plus the fuzz smoke run.
+check: vet build race fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -4,11 +4,22 @@
 //
 //	legalize -i design.mcl -o legal.mcl [-routability] [-total] [-workers N]
 //	         [-skip-maxdisp] [-skip-refine] [-delta0 10] [-progress text|json]
-//	         [-timeout 5m]
+//	         [-timeout 5m] [-verify] [-recovery strict|fallback|besteffort]
+//
+// Exit codes:
+//
+//	0  the result is legal and every stage passed
+//	1  legalization failed (no usable result)
+//	2  usage error
+//	3  a stage failed but a fallback or safe skip repaired the run;
+//	   the result is legal
+//	4  best-effort recovery was exhausted; the written result is the
+//	   best known state but NOT verified legal
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,7 +28,17 @@ import (
 	"mclegal"
 )
 
-func main() {
+const (
+	exitLegal     = 0
+	exitFailed    = 1
+	exitUsage     = 2
+	exitRecovered = 3
+	exitPartial   = 4
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		in          = flag.String("i", "", "input .mcl design (required)")
 		out         = flag.String("o", "", "output .mcl with legal positions (optional)")
@@ -30,6 +51,8 @@ func main() {
 		globalPlace = flag.Bool("globalplace", false, "derive GP positions from the netlist first (quadratic placer)")
 		progress    = flag.String("progress", "", "per-stage progress to stderr: text or json")
 		timeout     = flag.Duration("timeout", 0, "abort legalization after this duration (0 = none)")
+		verify      = flag.Bool("verify", false, "audit every stage against a snapshot and roll back on violations")
+		recovery    = flag.String("recovery", "strict", "gate-failure policy: strict, fallback or besteffort")
 	)
 	flag.Parse()
 
@@ -41,21 +64,29 @@ func main() {
 	case "json":
 		observer = mclegal.NewJSONObserver(os.Stderr)
 	default:
-		log.Fatalf("-progress must be text or json, got %q", *progress)
+		log.Printf("-progress must be text or json, got %q", *progress)
+		return exitUsage
+	}
+	policy, err := mclegal.ParseRecoveryPolicy(*recovery)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
 	}
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitFailed
 	}
 	d, err := mclegal.ReadDesign(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitFailed
 	}
 
 	if *globalPlace {
@@ -78,15 +109,32 @@ func main() {
 		SkipRefine:        *skipRefine,
 		Delta0Rows:        *delta0,
 		Observer:          observer,
+		Verify:            *verify,
+		Recovery:          policy,
 	})
-	if err != nil {
-		log.Fatal(err)
+	for _, g := range res.Gates {
+		fmt.Fprintf(os.Stderr, "gate: %s\n", g.String())
 	}
-	if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
-		log.Fatalf("result is not legal (%v): %v", err, v)
+	if err != nil {
+		var ge *mclegal.GateError
+		if errors.As(err, &ge) {
+			log.Printf("stage %s failed its legality gate: %v", ge.Report.Stage, err)
+		} else {
+			log.Print(err)
+		}
+		return exitFailed
+	}
+	// A partial result is by definition not verified legal; auditing it
+	// would only repeat what Status already says.
+	if res.Status != mclegal.StatusPartial {
+		if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
+			log.Printf("result is not legal (%v): %v", err, v)
+			return exitFailed
+		}
 	}
 
 	fmt.Printf("design           %s (%d cells)\n", d.Name, d.MovableCount())
+	fmt.Printf("status           %s\n", res.Status)
 	fmt.Printf("avg displacement %.4f rows\n", res.Metrics.AvgDisp)
 	fmt.Printf("max displacement %.1f rows\n", res.Metrics.MaxDisp)
 	fmt.Printf("total (sites)    %.0f\n", res.Metrics.TotalDispSites)
@@ -101,11 +149,25 @@ func main() {
 	if *out != "" {
 		g, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return exitFailed
 		}
-		defer g.Close()
 		if err := mclegal.WriteDesign(g, d); err != nil {
-			log.Fatal(err)
+			g.Close()
+			log.Print(err)
+			return exitFailed
+		}
+		if err := g.Close(); err != nil {
+			log.Print(err)
+			return exitFailed
 		}
 	}
+
+	switch res.Status {
+	case mclegal.StatusRecovered:
+		return exitRecovered
+	case mclegal.StatusPartial:
+		return exitPartial
+	}
+	return exitLegal
 }

@@ -1,9 +1,10 @@
-package baseline
+package baseline_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"mclegal/internal/baseline"
 	"mclegal/internal/bmark"
 	"mclegal/internal/eval"
 	"mclegal/internal/flow"
@@ -33,7 +34,7 @@ func audit(t *testing.T, d *model.Design) {
 
 func TestMLLLegalizes(t *testing.T) {
 	d := smallInstance(1, 0.6)
-	if err := MLL(d, 1); err != nil {
+	if err := baseline.MLL(d, 1); err != nil {
 		t.Fatal(err)
 	}
 	audit(t, d)
@@ -42,10 +43,10 @@ func TestMLLLegalizes(t *testing.T) {
 func TestMLLImpImproves(t *testing.T) {
 	d1 := smallInstance(2, 0.6)
 	d2 := d1.Clone()
-	if err := MLL(d1, 1); err != nil {
+	if err := baseline.MLL(d1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := MLLImp(d2, 1); err != nil {
+	if err := baseline.MLLImp(d2, 1); err != nil {
 		t.Fatal(err)
 	}
 	audit(t, d2)
@@ -57,7 +58,7 @@ func TestMLLImpImproves(t *testing.T) {
 
 func TestAbacusExtLegalizes(t *testing.T) {
 	d := smallInstance(3, 0.6)
-	if err := AbacusExt(d); err != nil {
+	if err := baseline.AbacusExt(d); err != nil {
 		t.Fatal(err)
 	}
 	audit(t, d)
@@ -68,10 +69,10 @@ func TestChenLikeBeatsAbacus(t *testing.T) {
 	for seed := int64(10); seed < 15; seed++ {
 		d1 := smallInstance(seed, 0.55)
 		d2 := d1.Clone()
-		if err := AbacusExt(d1); err != nil {
+		if err := baseline.AbacusExt(d1); err != nil {
 			t.Fatal(err)
 		}
-		if err := ChenLike(d2); err != nil {
+		if err := baseline.ChenLike(d2); err != nil {
 			t.Fatal(err)
 		}
 		audit(t, d2)
@@ -89,7 +90,7 @@ func TestChampionProducesViolations(t *testing.T) {
 	// legal but produce edge/pin violations that our flow avoids.
 	d1 := bmark.ContestDesign(bmark.ContestBenches()[9], 0.03) // fft_a_md2 (low density)
 	d2 := d1.Clone()
-	if err := Champion(d1, 2); err != nil {
+	if err := baseline.Champion(d1, 2); err != nil {
 		t.Fatal(err)
 	}
 	audit(t, d1)
@@ -128,7 +129,7 @@ func TestFigure3MGLBeatsMLL(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := MLL(d2, 1); err != nil {
+		if err := baseline.MLL(d2, 1); err != nil {
 			t.Fatal(err)
 		}
 		audit(t, d1)

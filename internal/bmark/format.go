@@ -2,8 +2,10 @@ package bmark
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"mclegal/internal/geom"
@@ -15,8 +17,61 @@ import (
 
 const formatMagic = "MCLEGAL 1"
 
+// writableName rejects names the line-oriented format cannot round-trip:
+// embedded whitespace splits the field, an empty name drops it, and a
+// leading '#' would not survive a hand edit that moves it to the front
+// of a line.
+func writableName(kind, s string) error {
+	if s == "" || strings.ContainsAny(s, " \t\n\r") || strings.HasPrefix(s, "#") {
+		return fmt.Errorf("bmark: %s name %q is not serializable", kind, s)
+	}
+	return nil
+}
+
+// checkWritable validates every name Write would emit, so a Write/Read
+// round trip can never silently corrupt the design.
+func checkWritable(d *model.Design) error {
+	if err := writableName("design", d.Name); err != nil {
+		return err
+	}
+	for i := range d.Types {
+		if err := writableName("type", d.Types[i].Name); err != nil {
+			return err
+		}
+		for _, pin := range d.Types[i].Pins {
+			if err := writableName("pin", pin.Name); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range d.Fences {
+		if err := writableName("fence", d.Fences[i].Name); err != nil {
+			return err
+		}
+	}
+	for i := range d.IOPins {
+		if err := writableName("io pin", d.IOPins[i].Name); err != nil {
+			return err
+		}
+	}
+	for i := range d.Cells {
+		if err := writableName("cell", d.Cells[i].Name); err != nil {
+			return err
+		}
+	}
+	for i := range d.Nets {
+		if err := writableName("net", d.Nets[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Write serializes d to w in .mcl format.
 func Write(w io.Writer, d *model.Design) error {
+	if err := checkWritable(d); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
 	t := &d.Tech
@@ -86,9 +141,27 @@ func Write(w io.Writer, d *model.Design) error {
 	return bw.Flush()
 }
 
+// ReadMode selects how tolerant Read is of deviations from the
+// canonical form Write produces. Comments and blank lines are part of
+// the format and accepted in both modes.
+type ReadMode int
+
+const (
+	// ModeStrict (the default) rejects every deviation: exact field
+	// counts, clean integers, non-negative section counts, and nothing
+	// but comments or blanks after the final section.
+	ModeStrict ReadMode = iota
+	// ModeLenient ignores extra fields at the end of a line and any
+	// trailing content after the nets section, easing hand-edited or
+	// future-extended files. Integers and counts stay strict: silently
+	// mis-read geometry is worse than a rejected file.
+	ModeLenient
+)
+
 type parser struct {
 	sc   *bufio.Scanner
 	line int
+	mode ReadMode
 }
 
 func (p *parser) next() ([]string, error) {
@@ -101,9 +174,9 @@ func (p *parser) next() ([]string, error) {
 		return strings.Fields(s), nil
 	}
 	if err := p.sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bmark: line %d: %w", p.line, err)
 	}
-	return nil, io.ErrUnexpectedEOF
+	return nil, fmt.Errorf("bmark: line %d: %w", p.line, io.ErrUnexpectedEOF)
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -111,7 +184,7 @@ func (p *parser) errf(format string, args ...any) error {
 }
 
 // expect reads a line, checks the keyword, and scans the remaining
-// fields into dst (pointers to int or *string).
+// fields into dst (pointers to int or string).
 func (p *parser) expect(keyword string, dst ...any) error {
 	f, err := p.next()
 	if err != nil {
@@ -120,29 +193,59 @@ func (p *parser) expect(keyword string, dst ...any) error {
 	if f[0] != keyword {
 		return p.errf("want %q, got %q", keyword, f[0])
 	}
-	if len(f)-1 != len(dst) {
+	switch {
+	case len(f)-1 < len(dst):
+		return p.errf("%s: want %d fields, got %d", keyword, len(dst), len(f)-1)
+	case len(f)-1 > len(dst) && p.mode == ModeStrict:
 		return p.errf("%s: want %d fields, got %d", keyword, len(dst), len(f)-1)
 	}
 	for i, d := range dst {
 		switch v := d.(type) {
 		case *string:
+			// Keep the accepted-implies-writable invariant: a '#'-led
+			// name would turn into a comment on the next hand edit.
+			if strings.HasPrefix(f[i+1], "#") {
+				return p.errf("%s: unserializable name %q", keyword, f[i+1])
+			}
 			*v = f[i+1]
 		case *int:
-			if _, err := fmt.Sscanf(f[i+1], "%d", v); err != nil {
+			n, err := strconv.Atoi(f[i+1])
+			if err != nil {
 				return p.errf("%s: bad int %q", keyword, f[i+1])
 			}
+			*v = n
 		default:
-			panic("bmark: bad expect target")
+			return p.errf("%s: internal: unsupported field target %T", keyword, d)
 		}
 	}
 	return nil
 }
 
-// Read parses a .mcl design.
+// count reads a "<keyword> <n>" section header and rejects negative
+// counts, which would silently skip the section and misalign everything
+// after it.
+func (p *parser) count(keyword string) (int, error) {
+	var n int
+	if err := p.expect(keyword, &n); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, p.errf("%s: negative count %d", keyword, n)
+	}
+	return n, nil
+}
+
+// Read parses a .mcl design in ModeStrict.
 func Read(r io.Reader) (*model.Design, error) {
+	return ReadWithMode(r, ModeStrict)
+}
+
+// ReadWithMode parses a .mcl design with the given tolerance mode.
+// Errors carry the 1-based line number they were detected on.
+func ReadWithMode(r io.Reader, mode ReadMode) (*model.Design, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	p := &parser{sc: sc}
+	sc.Buffer(make([]byte, 64<<10), 1<<24)
+	p := &parser{sc: sc, mode: mode}
 
 	f, err := p.next()
 	if err != nil {
@@ -165,8 +268,8 @@ func Read(r io.Reader) (*model.Design, error) {
 		&t.VRailLayer, &t.VRailPitch, &t.VRailW, &t.VRailOffset); err != nil {
 		return nil, err
 	}
-	var n int
-	if err := p.expect("spacing", &n); err != nil {
+	n, err := p.count("spacing")
+	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -179,13 +282,15 @@ func Read(r io.Reader) (*model.Design, error) {
 		}
 		row := make([]int, n)
 		for j, s := range f {
-			if _, err := fmt.Sscanf(s, "%d", &row[j]); err != nil {
+			v, err := strconv.Atoi(s)
+			if err != nil {
 				return nil, p.errf("bad spacing %q", s)
 			}
+			row[j] = v
 		}
 		t.EdgeSpacing = append(t.EdgeSpacing, row)
 	}
-	if err := p.expect("types", &n); err != nil {
+	if n, err = p.count("types"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -195,6 +300,9 @@ func Read(r io.Reader) (*model.Design, error) {
 			return nil, err
 		}
 		ct.EdgeL, ct.EdgeR = uint8(el), uint8(er)
+		if np < 0 {
+			return nil, p.errf("type %s: negative pin count %d", ct.Name, np)
+		}
 		for j := 0; j < np; j++ {
 			var pin model.PinShape
 			if err := p.expect("pin", &pin.Name, &pin.Layer,
@@ -205,7 +313,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		}
 		d.Types = append(d.Types, ct)
 	}
-	if err := p.expect("fences", &n); err != nil {
+	if n, err = p.count("fences"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -213,6 +321,9 @@ func Read(r io.Reader) (*model.Design, error) {
 		var nr int
 		if err := p.expect("fence", &fe.Name, &nr); err != nil {
 			return nil, err
+		}
+		if nr < 0 {
+			return nil, p.errf("fence %s: negative rect count %d", fe.Name, nr)
 		}
 		for j := 0; j < nr; j++ {
 			var r geom.Rect
@@ -223,7 +334,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		}
 		d.Fences = append(d.Fences, fe)
 	}
-	if err := p.expect("blockages", &n); err != nil {
+	if n, err = p.count("blockages"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -233,7 +344,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		}
 		d.Blockages = append(d.Blockages, r)
 	}
-	if err := p.expect("iopins", &n); err != nil {
+	if n, err = p.count("iopins"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -244,7 +355,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		}
 		d.IOPins = append(d.IOPins, io)
 	}
-	if err := p.expect("cells", &n); err != nil {
+	if n, err = p.count("cells"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -258,7 +369,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		c.Fixed = fx != 0
 		d.Cells = append(d.Cells, c)
 	}
-	if err := p.expect("nets", &n); err != nil {
+	if n, err = p.count("nets"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -266,6 +377,9 @@ func Read(r io.Reader) (*model.Design, error) {
 		var np int
 		if err := p.expect("net", &net.Name, &np); err != nil {
 			return nil, err
+		}
+		if np < 0 {
+			return nil, p.errf("net %s: negative pin count %d", net.Name, np)
 		}
 		for j := 0; j < np; j++ {
 			var pin model.NetPin
@@ -277,6 +391,14 @@ func Read(r io.Reader) (*model.Design, error) {
 			net.Pins = append(net.Pins, pin)
 		}
 		d.Nets = append(d.Nets, net)
+	}
+	if p.mode == ModeStrict {
+		// Only comments and blanks may follow the final section.
+		if f, err := p.next(); err == nil {
+			return nil, p.errf("trailing content %q after nets section", strings.Join(f, " "))
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("bmark: parsed design invalid: %w", err)

@@ -1,0 +1,116 @@
+package bmark
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mclegal/internal/model"
+)
+
+func canonical(t *testing.T) string {
+	t.Helper()
+	d := Generate(Params{Name: "m", Seed: 3, Counts: [4]int{10, 2, 0, 0}, Density: 0.4})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// Strict rejects extra fields on a line; lenient ignores them.
+func TestModeExtraFields(t *testing.T) {
+	s := strings.Replace(canonical(t), "name m", "name m future-flag", 1)
+	if _, err := ReadWithMode(strings.NewReader(s), ModeStrict); err == nil {
+		t.Error("strict accepted extra field")
+	}
+	if _, err := ReadWithMode(strings.NewReader(s), ModeLenient); err != nil {
+		t.Errorf("lenient rejected extra field: %v", err)
+	}
+}
+
+// Strict rejects trailing content after the nets section; lenient
+// ignores it. Trailing comments are fine in both.
+func TestModeTrailingContent(t *testing.T) {
+	s := canonical(t)
+	if _, err := Read(strings.NewReader(s + "# trailing comment\n\n")); err != nil {
+		t.Errorf("strict rejected trailing comment: %v", err)
+	}
+	s += "futuresection 0\n"
+	if _, err := ReadWithMode(strings.NewReader(s), ModeStrict); err == nil {
+		t.Error("strict accepted trailing section")
+	}
+	if _, err := ReadWithMode(strings.NewReader(s), ModeLenient); err != nil {
+		t.Errorf("lenient rejected trailing section: %v", err)
+	}
+}
+
+// Integers with trailing junk were silently truncated by the old
+// Sscanf-based parser; both modes must reject them now.
+func TestBadIntRejectedInBothModes(t *testing.T) {
+	s := strings.Replace(canonical(t), "tech 10", "tech 10x", 1)
+	for _, m := range []ReadMode{ModeStrict, ModeLenient} {
+		if _, err := ReadWithMode(strings.NewReader(s), m); err == nil {
+			t.Errorf("mode %d accepted trailing junk in int", m)
+		}
+	}
+}
+
+// Negative counts would silently skip a section and misalign the rest.
+func TestNegativeCountsRejected(t *testing.T) {
+	head := "MCLEGAL 1\nname x\ntech 10 80 40 4 0 0\nrails 0 0 0 0 0 0 0\n"
+	cases := []string{
+		head + "spacing -1\n",
+		head + "spacing 0\ntypes -2\n",
+		head + "spacing 0\ntypes 1\ntype T 2 1 0 0 -1\n",
+		head + "spacing 0\ntypes 1\ntype T 2 1 0 0 0\nfences 1\nfence f -3\n",
+	}
+	for i, s := range cases {
+		_, err := Read(strings.NewReader(s))
+		if err == nil || !strings.Contains(err.Error(), "negative") {
+			t.Errorf("case %d: err = %v, want negative-count rejection", i, err)
+		}
+	}
+}
+
+// Parse errors carry the 1-based line number they were detected on.
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	s := "MCLEGAL 1\nname x\ntech 10 80 40 4 0 bogus\n"
+	_, err := Read(strings.NewReader(s))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+	// A truncated file reports the line it ended on, wrapping
+	// io.ErrUnexpectedEOF for errors.Is callers.
+	_, err = Read(strings.NewReader("MCLEGAL 1\nname x\n"))
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-numbered unexpected EOF", err)
+	}
+}
+
+// Write refuses names the format cannot round-trip.
+func TestWriteRejectsUnserializableNames(t *testing.T) {
+	mk := func(name string) *model.Design {
+		d := Generate(Params{Name: "w", Seed: 4, Counts: [4]int{4, 0, 0, 0}, Density: 0.3})
+		d.Cells[0].Name = name
+		return d
+	}
+	for _, name := range []string{"", "a b", "#c0", "tab\tbed"} {
+		var buf bytes.Buffer
+		if err := Write(&buf, mk(name)); err == nil {
+			t.Errorf("Write accepted cell name %q", name)
+		}
+	}
+}
+
+// A '#'-led name parsed mid-line would be accepted but unwritable;
+// Read rejects it to keep accepted-implies-writable.
+func TestReadRejectsHashNames(t *testing.T) {
+	s := strings.Replace(canonical(t), "name m", "name #m", 1)
+	_, err := Read(strings.NewReader(s))
+	if err == nil || !strings.Contains(err.Error(), "unserializable") {
+		t.Errorf("err = %v, want unserializable-name rejection", err)
+	}
+}

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"testing"
+
+	"mclegal/internal/model"
+)
+
+// Cells exactly on the die boundary are legal; one site or row past it
+// is not.
+func TestAuditDieBoundary(t *testing.T) {
+	d := design()
+	add(d, 0, 0, 0, 0, 0)   // flush with the left edge, bottom row
+	add(d, 0, 58, 0, 58, 0) // width 2 ending exactly at site 60
+	add(d, 1, 10, 6, 10, 6) // height 2 ending exactly at row 8
+	if v := Audit(d, grid(t, d)); len(v) != 0 {
+		t.Fatalf("boundary-flush cells flagged: %v", v)
+	}
+
+	d2 := design()
+	add(d2, 1, 10, 7, 10, 7) // height 2 starting on the top row
+	v := Audit(d2, grid(t, d2))
+	if len(v) != 1 || v[0].Kind != "out-of-core" {
+		t.Fatalf("row overflow not flagged: %v", v)
+	}
+	d3 := design()
+	add(d3, 0, -1, 0, -1, 0) // one site left of the core
+	v = Audit(d3, grid(t, d3))
+	if len(v) != 1 || v[0].Kind != "out-of-core" {
+		t.Fatalf("negative x not flagged: %v", v)
+	}
+}
+
+// A zero-area cell type is rejected by Design.Validate (the pipeline
+// never audits one), and a direct Audit call must not panic on it or
+// invent overlaps with real cells at the same site.
+func TestAuditZeroAreaCell(t *testing.T) {
+	d := design()
+	d.Types = append(d.Types, model.CellType{Name: "Z", Width: 0, Height: 1})
+	add(d, 0, 5, 1, 5, 1)
+	add(d, 2, 5, 1, 5, 1) // zero-width, same site as the real cell
+	if err := d.Validate(); err == nil {
+		t.Error("zero-area cell type passed Validate")
+	}
+	for _, v := range Audit(d, grid(t, d)) {
+		if v.Kind == "overlap" {
+			t.Errorf("zero-area cell produced an overlap: %v", v)
+		}
+	}
+}
+
+// P/G parity for taller cells: odd heights go anywhere, even heights
+// only on rows with matching rail parity.
+func TestAuditParityTallCells(t *testing.T) {
+	d := design()
+	d.Types = append(d.Types,
+		model.CellType{Name: "T3", Width: 2, Height: 3},
+		model.CellType{Name: "Q4", Width: 2, Height: 4},
+	)
+	add(d, 2, 5, 3, 5, 3)   // height 3 on an odd row: any parity is fine
+	add(d, 3, 20, 2, 20, 2) // height 4 on an even row: aligned
+	if v := Audit(d, grid(t, d)); len(v) != 0 {
+		t.Fatalf("parity-legal tall cells flagged: %v", v)
+	}
+	d2 := design()
+	d2.Types = d.Types
+	add(d2, 3, 20, 1, 20, 1) // height 4 on an odd row
+	v := Audit(d2, grid(t, d2))
+	if len(v) != 1 || v[0].Kind != "parity" {
+		t.Fatalf("misaligned height-4 cell not flagged: %v", v)
+	}
+}
+
+// Two movable cells stacked on the same position are exactly the shape
+// the pipeline's illegal-move injection produces; the audit must report
+// the pair once with both cells named.
+func TestAuditStackedPair(t *testing.T) {
+	d := design()
+	a := add(d, 0, 5, 1, 5, 1)
+	b := add(d, 0, 5, 1, 5, 1)
+	v := Audit(d, grid(t, d))
+	if len(v) != 1 || v[0].Kind != "overlap" {
+		t.Fatalf("stacked pair: %v", v)
+	}
+	if v[0].Cell != a || v[0].Other != b {
+		t.Errorf("pair not named: %+v", v[0])
+	}
+}

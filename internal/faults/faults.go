@@ -1,0 +1,167 @@
+// Package faults is a deterministic fault-injection harness for the
+// legalization pipeline. Production code consults an *Injector at named
+// injection points; tests arm the points they want to exercise and the
+// injector fires on exact, reproducible hit counts — never on timers or
+// randomness — so every failure scenario is replayable.
+//
+// A nil *Injector is inert: every ShouldFire/Err call on it returns the
+// zero value, so call sites need no nil guards and production runs pay
+// a single pointer comparison per injection point.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Point names one injection point. Fixed points are declared as
+// constants; per-stage points are derived with StageError and
+// IllegalMove so the set of points grows with the pipeline.
+type Point string
+
+// Fixed injection points inside the solvers.
+const (
+	// MGLWorkerPanic panics inside an MGL evaluation worker goroutine,
+	// exercising the worker recover() boundary.
+	MGLWorkerPanic Point = "mgl/worker-panic"
+	// MGLInsertOutside forces the occupancy insert-outside-segment
+	// error on the next commit.
+	MGLInsertOutside Point = "mgl/insert-outside"
+	// RefineInfeasible makes the refinement report min-cost-flow
+	// infeasibility instead of solving.
+	RefineInfeasible Point = "refine/infeasible"
+	// MatchingFail makes the maximum-displacement stage report a
+	// matching failure before solving any group.
+	MatchingFail Point = "maxdisp/matching-fail"
+)
+
+// StageError returns the point that fails the named pipeline stage with
+// an injected error before it runs.
+func StageError(stage string) Point { return Point("stage-error/" + stage) }
+
+// IllegalMove returns the point that corrupts the placement (moving one
+// movable cell onto another) right after the named stage succeeds, so a
+// legality gate must catch it.
+func IllegalMove(stage string) Point { return Point("illegal-move/" + stage) }
+
+// InjectedError is the typed error returned by every error-producing
+// injection site, carrying the point that fired.
+type InjectedError struct {
+	Point Point
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected failure at %s", e.Point)
+}
+
+type arm struct {
+	skip  int // hits to let pass before firing
+	limit int // shots; <0 = unlimited
+	hits  int
+	fired int
+}
+
+// Injector decides, per point, whether a fault fires. The zero value
+// and the nil pointer are both inert. Methods are safe for concurrent
+// use (MGL workers hit points in parallel); firing decisions depend
+// only on per-point hit counts, so runs with deterministic hit
+// sequences produce deterministic faults.
+type Injector struct {
+	mu   sync.Mutex
+	arms map[Point]*arm
+}
+
+// New returns an empty (inert) injector; arm points to make it bite.
+func New() *Injector { return &Injector{} }
+
+// Arm makes p fire once, on its next hit. It returns the injector for
+// chaining.
+func (in *Injector) Arm(p Point) *Injector { return in.ArmN(p, 0, 1) }
+
+// ArmN makes p fire count times (count < 0 = every time) after letting
+// skip hits pass. Re-arming a point resets its counters.
+func (in *Injector) ArmN(p Point, skip, count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.arms == nil {
+		in.arms = make(map[Point]*arm)
+	}
+	in.arms[p] = &arm{skip: skip, limit: count}
+	return in
+}
+
+// ShouldFire records one hit at p and reports whether the fault fires.
+// A nil injector never fires.
+func (in *Injector) ShouldFire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a := in.arms[p]
+	if a == nil {
+		return false
+	}
+	a.hits++
+	if a.hits <= a.skip {
+		return false
+	}
+	if a.limit >= 0 && a.fired >= a.limit {
+		return false
+	}
+	a.fired++
+	return true
+}
+
+// Err records one hit at p and returns an *InjectedError when the
+// fault fires, nil otherwise.
+func (in *Injector) Err(p Point) error {
+	if in.ShouldFire(p) {
+		return &InjectedError{Point: p}
+	}
+	return nil
+}
+
+// Fired returns how many times p has fired so far.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a := in.arms[p]; a != nil {
+		return a.fired
+	}
+	return 0
+}
+
+// Hits returns how many times p has been consulted so far, fired or
+// not — a coverage signal for tests asserting a point is actually
+// reached.
+func (in *Injector) Hits(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a := in.arms[p]; a != nil {
+		return a.hits
+	}
+	return 0
+}
+
+// Armed lists the armed points in sorted order.
+func (in *Injector) Armed() []Point {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Point, 0, len(in.arms))
+	for p := range in.arms {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

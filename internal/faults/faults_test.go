@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.ShouldFire(MGLWorkerPanic) {
+		t.Error("nil injector fired")
+	}
+	if err := in.Err(RefineInfeasible); err != nil {
+		t.Errorf("nil injector produced error %v", err)
+	}
+	if in.Fired(MGLWorkerPanic) != 0 || in.Hits(MGLWorkerPanic) != 0 || in.Armed() != nil {
+		t.Error("nil injector reports state")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New().Arm(RefineInfeasible)
+	for i := 0; i < 100; i++ {
+		if in.ShouldFire(MGLWorkerPanic) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestArmFiresExactlyOnce(t *testing.T) {
+	in := New().Arm(MatchingFail)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.ShouldFire(MatchingFail) {
+			fired++
+		}
+	}
+	if fired != 1 || in.Fired(MatchingFail) != 1 {
+		t.Errorf("fired %d times (counter %d), want 1", fired, in.Fired(MatchingFail))
+	}
+	if in.Hits(MatchingFail) != 10 {
+		t.Errorf("hits = %d, want 10", in.Hits(MatchingFail))
+	}
+}
+
+func TestArmNSkipsAndLimits(t *testing.T) {
+	in := New().ArmN(RefineInfeasible, 2, 3)
+	var pattern []bool
+	for i := 0; i < 8; i++ {
+		pattern = append(pattern, in.ShouldFire(RefineInfeasible))
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestArmNUnlimited(t *testing.T) {
+	in := New().ArmN(MGLWorkerPanic, 0, -1)
+	for i := 0; i < 50; i++ {
+		if !in.ShouldFire(MGLWorkerPanic) {
+			t.Fatal("unlimited arm stopped firing")
+		}
+	}
+}
+
+func TestErrReturnsTypedError(t *testing.T) {
+	in := New().Arm(StageError("mgl"))
+	err := in.Err(StageError("mgl"))
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T %v, want *InjectedError", err, err)
+	}
+	if ie.Point != StageError("mgl") {
+		t.Errorf("point = %s", ie.Point)
+	}
+	if in.Err(StageError("mgl")) != nil {
+		t.Error("single-shot arm fired twice via Err")
+	}
+}
+
+func TestDerivedPointsAreDistinct(t *testing.T) {
+	if StageError("mgl") == StageError("refine") || StageError("mgl") == IllegalMove("mgl") {
+		t.Error("derived points collide")
+	}
+}
+
+func TestRearmResetsCounters(t *testing.T) {
+	in := New().Arm(MatchingFail)
+	in.ShouldFire(MatchingFail)
+	in.Arm(MatchingFail)
+	if !in.ShouldFire(MatchingFail) {
+		t.Error("re-armed point did not fire")
+	}
+}
+
+// Concurrent hits must fire exactly the armed count, never more
+// (exercised with -race in CI).
+func TestConcurrentFiresRespectLimit(t *testing.T) {
+	in := New().ArmN(MGLWorkerPanic, 0, 5)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.ShouldFire(MGLWorkerPanic) {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 5 {
+		t.Errorf("fired %d, want 5", fired)
+	}
+}
+
+func TestArmedLists(t *testing.T) {
+	in := New().Arm(RefineInfeasible).Arm(MGLWorkerPanic)
+	pts := in.Armed()
+	if len(pts) != 2 || pts[0] != MGLWorkerPanic || pts[1] != RefineInfeasible {
+		t.Errorf("armed = %v", pts)
+	}
+}

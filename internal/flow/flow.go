@@ -15,7 +15,9 @@ import (
 	"runtime"
 	"time"
 
+	"mclegal/internal/baseline"
 	"mclegal/internal/eval"
+	"mclegal/internal/faults"
 	"mclegal/internal/maxdisp"
 	"mclegal/internal/mgl"
 	"mclegal/internal/model"
@@ -23,6 +25,11 @@ import (
 	"mclegal/internal/route"
 	"mclegal/internal/stage"
 )
+
+// NameGreedyFallback is the stage name of the MGL fallback (the
+// order-preserving greedy legalizer) in timings, observer events and
+// gate reports.
+const NameGreedyFallback = "greedy-fallback"
 
 // Options configures a pipeline run.
 type Options struct {
@@ -53,6 +60,23 @@ type Options struct {
 	// Observer, when set, receives stage start/finish events with
 	// per-stage durations and work counters.
 	Observer stage.Observer
+	// Verify arms the per-stage legality gates: every stage runs
+	// against a position snapshot, its result is audited (eval.Audit)
+	// and checked for metric regressions, and any failure rolls the
+	// stage back before the Recovery policy decides what happens next.
+	Verify bool
+	// Recovery selects the failure-handling policy: RecoverStrict
+	// (default) fails the run on the first gate failure,
+	// RecoverFallback runs per-stage fallback chains (MGL falls back
+	// to the order-preserving greedy legalizer, the matching and
+	// refinement stages are skipped), RecoverBestEffort additionally
+	// never fails — an unrecoverable run ends with a faithfully
+	// reported partial result instead of an error.
+	Recovery stage.RecoveryPolicy
+	// Faults is the optional deterministic fault-injection harness
+	// consulted at the pipeline's injection points; see
+	// internal/faults. Nil (the default) disables injection.
+	Faults *faults.Injector
 }
 
 // Validate checks Options ranges and applies defaults in place. Run
@@ -71,6 +95,9 @@ func (o *Options) Validate() error {
 	if o.MGL.Workers != 0 && o.MGL.Workers != o.Workers {
 		return fmt.Errorf("flow: set Workers on Options, not Options.MGL (got %d vs %d)",
 			o.MGL.Workers, o.Workers)
+	}
+	if o.Recovery < stage.RecoverStrict || o.Recovery > stage.RecoverBestEffort {
+		return fmt.Errorf("flow: unknown recovery policy %d", o.Recovery)
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -99,6 +126,15 @@ type Result struct {
 	// Timings lists every stage that started, in execution order —
 	// including a failed or cancelled one.
 	Timings []stage.Timing
+
+	// Status is the resilience layer's trust verdict: StatusLegal
+	// (every stage passed), StatusRecovered (a fallback or safe skip
+	// repaired the run), or StatusPartial (best-effort recovery was
+	// exhausted; the placement is the best known state but not
+	// verified legal).
+	Status stage.Status
+	// Gates lists every gate intervention of the run, in order.
+	Gates []stage.GateReport
 
 	MGLStats     mgl.Stats
 	MaxDispStats maxdisp.Stats
@@ -163,9 +199,45 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	if err != nil {
 		return res, err
 	}
+	pc.Faults = opt.Faults
 
-	p := stage.Pipeline{Stages: Stages(d, opt), Observer: opt.Observer}
-	timings, perr := p.Run(ctx, pc)
+	p := stage.Pipeline{
+		Stages:   Stages(d, opt),
+		Observer: opt.Observer,
+		Verify:   opt.Verify,
+		Recovery: opt.Recovery,
+		// MGL is the only stage whose failure needs a substitute: the
+		// order-preserving greedy sweep (the Abacus-extension baseline)
+		// is slower on displacement but far harder to break. The
+		// matching and refinement stages recover by skipping, which
+		// keeps the verified pre-stage placement.
+		Fallbacks: map[string]stage.Stage{
+			stage.NameMGL: &stage.FuncStage{
+				StageName: NameGreedyFallback,
+				Fn: func(ctx context.Context, pc *stage.PipelineContext) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return baseline.AbacusExt(pc.Design)
+				},
+			},
+		},
+		// Paper Section 3.2: each matching is an optimal assignment, so
+		// the summed φ cost can never exceed the identity assignment's —
+		// a larger total φ after the stage is a broken invariant. (The
+		// raw max displacement in rows may grow slightly: φ is linear
+		// below δ0, where trades across cells are by design.)
+		MetricChecks: map[string]func(before, after eval.Metrics) error{
+			stage.NameMaxDisp: func(before, after eval.Metrics) error {
+				if st := pc.MaxDispStats; st.CostAfter > st.CostBefore {
+					return fmt.Errorf("maxdisp: phi cost regressed from %d to %d",
+						st.CostBefore, st.CostAfter)
+				}
+				return nil
+			},
+		},
+	}
+	timings, report, perr := p.RunWithReport(ctx, pc)
 
 	// Stage artifacts and timings are reported even when a stage
 	// failed or the run was cancelled.
@@ -173,6 +245,8 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	res.MaxDispStats = pc.MaxDispStats
 	res.RefineReport = pc.RefineReport
 	res.Timings = timings
+	res.Status = report.Status
+	res.Gates = report.Gates
 	for _, tm := range timings {
 		switch tm.Stage {
 		case stage.NameMGL:

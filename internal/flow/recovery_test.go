@@ -1,0 +1,199 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/eval"
+	"mclegal/internal/faults"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+	"mclegal/internal/stage"
+)
+
+func recoveryBench() *model.Design {
+	return bmark.Generate(bmark.Params{
+		Name: "rec", Seed: 77, Counts: [4]int{300, 30, 8, 4},
+		Density: 0.6, NumFences: 1, FenceFrac: 0.5, NetFrac: 0.4,
+	})
+}
+
+func auditClean(t *testing.T, d *model.Design) {
+	t.Helper()
+	grid, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := eval.Audit(d, grid); len(vs) > 0 {
+		t.Fatalf("placement not legal: %d violations, first %v", len(vs), vs[0])
+	}
+}
+
+// Every injection point of the pipeline, with the stage a Strict
+// GateReport must name for it.
+var injectionPoints = []struct {
+	name  string
+	point faults.Point
+	stage string
+}{
+	{"stage-error-mgl", faults.StageError(stage.NameMGL), stage.NameMGL},
+	{"stage-error-maxdisp", faults.StageError(stage.NameMaxDisp), stage.NameMaxDisp},
+	{"stage-error-refine", faults.StageError(stage.NameRefine), stage.NameRefine},
+	{"illegal-move-mgl", faults.IllegalMove(stage.NameMGL), stage.NameMGL},
+	{"illegal-move-maxdisp", faults.IllegalMove(stage.NameMaxDisp), stage.NameMaxDisp},
+	{"illegal-move-refine", faults.IllegalMove(stage.NameRefine), stage.NameRefine},
+	{"mgl-worker-panic", faults.MGLWorkerPanic, stage.NameMGL},
+	{"mgl-insert-outside", faults.MGLInsertOutside, stage.NameMGL},
+	{"matching-fail", faults.MatchingFail, stage.NameMaxDisp},
+	{"refine-infeasible", faults.RefineInfeasible, stage.NameRefine},
+}
+
+// A clean verified run must pass every gate: Status Legal, no
+// interventions, no false positives from the audits.
+func TestVerifiedCleanRun(t *testing.T) {
+	d := recoveryBench()
+	res, err := Run(d, Options{Workers: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != stage.StatusLegal || len(res.Gates) != 0 {
+		t.Errorf("status %v, gates %+v", res.Status, res.Gates)
+	}
+	auditClean(t, d)
+}
+
+// Strict runs fail on the injected fault with a typed GateError naming
+// the offending stage — at every injection point.
+func TestStrictFailsWithTypedGateReport(t *testing.T) {
+	for _, ip := range injectionPoints {
+		t.Run(ip.name, func(t *testing.T) {
+			d := recoveryBench()
+			_, err := Run(d, Options{
+				Workers: 2, Verify: true,
+				Recovery: stage.RecoverStrict,
+				Faults:   faults.New().Arm(ip.point),
+			})
+			var ge *stage.GateError
+			if !errors.As(err, &ge) {
+				t.Fatalf("err = %T %v, want *stage.GateError", err, err)
+			}
+			if ge.Report.Stage != ip.stage {
+				t.Errorf("gate names stage %q, want %q", ge.Report.Stage, ip.stage)
+			}
+			if !ge.Report.RolledBack || ge.Report.Action != stage.ActionFailed {
+				t.Errorf("report = %s", ge.Report.String())
+			}
+		})
+	}
+}
+
+// Fallback runs end legal at every injection point: MGL faults are
+// repaired by the greedy fallback, matching and refinement faults by
+// rolling back and skipping the stage.
+func TestFallbackEndsLegalEverywhere(t *testing.T) {
+	for _, ip := range injectionPoints {
+		t.Run(ip.name, func(t *testing.T) {
+			d := recoveryBench()
+			res, err := Run(d, Options{
+				Workers: 2, Verify: true,
+				Recovery: stage.RecoverFallback,
+				Faults:   faults.New().Arm(ip.point),
+			})
+			if err != nil {
+				t.Fatalf("fallback run failed: %v", err)
+			}
+			if res.Status != stage.StatusRecovered {
+				t.Errorf("status = %v, want recovered", res.Status)
+			}
+			if len(res.Gates) == 0 {
+				t.Error("no gate intervention recorded")
+			} else if g := res.Gates[0]; g.Stage != ip.stage {
+				t.Errorf("gate names stage %q, want %q", g.Stage, ip.stage)
+			}
+			auditClean(t, d)
+		})
+	}
+}
+
+// BestEffort never returns an error, whatever is injected, and every
+// recoverable fault still ends legal.
+func TestBestEffortNeverErrors(t *testing.T) {
+	for _, ip := range injectionPoints {
+		t.Run(ip.name, func(t *testing.T) {
+			d := recoveryBench()
+			res, err := Run(d, Options{
+				Workers: 2, Verify: true,
+				Recovery: stage.RecoverBestEffort,
+				Faults:   faults.New().Arm(ip.point),
+			})
+			if err != nil {
+				t.Fatalf("best-effort returned error: %v", err)
+			}
+			if res.Status == stage.StatusPartial {
+				// Allowed by contract, but every single-point fault here
+				// is recoverable, so partial means a fallback broke.
+				t.Errorf("single recoverable fault ended partial: %+v", res.Gates)
+			}
+			auditClean(t, d)
+		})
+	}
+}
+
+// Exhausting the fallback too (MGL fails, then the greedy fallback is
+// also failed by injection) must distinguish Fallback from BestEffort:
+// a typed error versus a faithfully-reported partial result.
+func TestFallbackChainExhaustion(t *testing.T) {
+	arm := func() *faults.Injector {
+		return faults.New().
+			Arm(faults.StageError(stage.NameMGL)).
+			Arm(faults.StageError(NameGreedyFallback))
+	}
+
+	d := recoveryBench()
+	_, err := Run(d, Options{
+		Workers: 2, Verify: true, Recovery: stage.RecoverFallback, Faults: arm(),
+	})
+	var ge *stage.GateError
+	if !errors.As(err, &ge) || ge.Report.Stage != stage.NameMGL {
+		t.Fatalf("err = %v, want GateError for mgl", err)
+	}
+
+	d2 := recoveryBench()
+	res, err := Run(d2, Options{
+		Workers: 2, Verify: true, Recovery: stage.RecoverBestEffort, Faults: arm(),
+	})
+	if err != nil {
+		t.Fatalf("best-effort returned error: %v", err)
+	}
+	if res.Status != stage.StatusPartial {
+		t.Errorf("status = %v, want partial", res.Status)
+	}
+	// The failed fallback attempt must be visible in the gate log.
+	var sawFallbackFailure bool
+	for _, g := range res.Gates {
+		if g.Stage == NameGreedyFallback && g.Action == stage.ActionFailed {
+			sawFallbackFailure = true
+		}
+	}
+	if !sawFallbackFailure {
+		t.Errorf("fallback failure not recorded: %+v", res.Gates)
+	}
+	// Partial means rolled back to the pre-MGL snapshot: positions are
+	// the (generally illegal) global placement, reported faithfully.
+	if res.Status == stage.StatusPartial {
+		for i := range d2.Cells {
+			if d2.Cells[i].X != d2.Cells[i].GX || d2.Cells[i].Y != d2.Cells[i].GY {
+				t.Fatalf("cell %d moved despite aborted run", i)
+			}
+		}
+	}
+}
+
+// Recovery policies are rejected by Validate when out of range.
+func TestRecoveryOptionValidation(t *testing.T) {
+	o := Options{Recovery: stage.RecoveryPolicy(42)}
+	if err := o.Validate(); err == nil {
+		t.Fatal("bad recovery policy accepted")
+	}
+}

@@ -12,9 +12,11 @@ package maxdisp
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
+	"mclegal/internal/faults"
 	"mclegal/internal/geom"
 	"mclegal/internal/matching"
 	"mclegal/internal/model"
@@ -29,6 +31,10 @@ type Options struct {
 	// spatially coherent chunks (the paper is silent on group-size
 	// handling; exact matching is cubic). Zero means 400.
 	MaxGroup int
+	// Faults is the optional fault-injection harness; the armed
+	// faults.MatchingFail point fails the optimization before any
+	// group is solved. Nil disables injection.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +87,10 @@ func Optimize(d *model.Design, opt Options) Stats {
 // partial Stats are returned alongside ctx.Err().
 func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, error) {
 	opt = opt.withDefaults()
+	var st Stats
+	if err := opt.Faults.Err(faults.MatchingFail); err != nil {
+		return st, fmt.Errorf("maxdisp: matching failed: %w", err)
+	}
 	delta0 := int64(opt.Delta0Rows * float64(d.Tech.RowH))
 
 	type key struct {
@@ -107,7 +117,6 @@ func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, 
 		return keys[a].f < keys[b].f
 	})
 
-	var st Stats
 	for _, k := range keys {
 		if err := ctx.Err(); err != nil {
 			return st, err

@@ -29,9 +29,30 @@ type Arc struct {
 
 // Graph is a min-cost-flow problem under construction. The zero value
 // is an empty graph; add nodes before arcs.
+//
+// Malformed construction (out-of-range endpoints, negative capacity)
+// does not panic: the first such mistake is recorded as a typed
+// *BuildError and returned by BuildErr and by every solver, so a bad
+// network surfaces as a stage error instead of a process crash.
 type Graph struct {
 	supply []int64
 	arcs   []Arc
+	err    error
+}
+
+// BuildError reports a malformed AddArc call: an endpoint outside the
+// node range or a negative capacity.
+type BuildError struct {
+	Arc      int // index the arc would have had
+	From, To int
+	Nodes    int
+	Cap      int64
+	Reason   string
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("mcf: arc %d (%d->%d, cap %d): %s (graph has %d nodes)",
+		e.Arc, e.From, e.To, e.Cap, e.Reason, e.Nodes)
 }
 
 // NewGraph returns a graph with n nodes (numbered 0..n-1) and zero
@@ -59,17 +80,38 @@ func (g *Graph) SetSupply(v int, b int64) { g.supply[v] = b }
 func (g *Graph) AddSupply(v int, b int64) { g.supply[v] += b }
 
 // AddArc appends an arc and returns its index. Capacity must be
-// non-negative; cost may have any sign.
+// non-negative; cost may have any sign. An invalid arc (endpoint out
+// of range, negative capacity) is not appended: it records a
+// *BuildError — the first one wins — and returns -1; the error is
+// reported by BuildErr and by every solver.
 func (g *Graph) AddArc(from, to int, cap, cost int64) int {
 	if from < 0 || from >= len(g.supply) || to < 0 || to >= len(g.supply) {
-		panic(fmt.Sprintf("mcf: arc endpoints (%d,%d) out of range n=%d", from, to, len(g.supply)))
+		g.setErr(&BuildError{
+			Arc: len(g.arcs), From: from, To: to, Nodes: len(g.supply), Cap: cap,
+			Reason: "endpoint out of range",
+		})
+		return -1
 	}
 	if cap < 0 {
-		panic(fmt.Sprintf("mcf: negative capacity %d", cap))
+		g.setErr(&BuildError{
+			Arc: len(g.arcs), From: from, To: to, Nodes: len(g.supply), Cap: cap,
+			Reason: "negative capacity",
+		})
+		return -1
 	}
 	g.arcs = append(g.arcs, Arc{From: from, To: to, Cap: cap, Cost: cost})
 	return len(g.arcs) - 1
 }
+
+func (g *Graph) setErr(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// BuildErr returns the first construction error recorded by AddArc,
+// or nil for a well-formed graph.
+func (g *Graph) BuildErr() error { return g.err }
 
 // Arc returns arc a.
 func (g *Graph) Arc(a int) Arc { return g.arcs[a] }

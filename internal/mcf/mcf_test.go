@@ -281,15 +281,45 @@ func TestVerifyOptimalCatchesBadResults(t *testing.T) {
 	}
 }
 
-func TestAddArcPanics(t *testing.T) {
+func TestAddArcRecordsBuildError(t *testing.T) {
 	g := NewGraph(1)
-	mustPanic := func(f func()) {
-		defer func() { _ = recover() }()
-		f()
-		t.Errorf("expected panic")
+	if a := g.AddArc(0, 5, 1, 1); a != -1 {
+		t.Errorf("out-of-range arc got index %d, want -1", a)
 	}
-	mustPanic(func() { g.AddArc(0, 5, 1, 1) })
-	mustPanic(func() { g.AddArc(0, 0, -1, 1) })
+	var be *BuildError
+	if !errors.As(g.BuildErr(), &be) {
+		t.Fatalf("BuildErr = %v, want *BuildError", g.BuildErr())
+	}
+	if be.From != 0 || be.To != 5 || be.Nodes != 1 {
+		t.Errorf("build error fields = %+v", be)
+	}
+	// The first error wins; later mistakes don't overwrite it.
+	if a := g.AddArc(0, 0, -1, 1); a != -1 {
+		t.Errorf("negative-cap arc got index %d, want -1", a)
+	}
+	if got := g.BuildErr(); got != error(be) {
+		t.Errorf("first error overwritten: %v", got)
+	}
+	// The invalid arcs were not appended.
+	if g.NumArcs() != 0 {
+		t.Errorf("invalid arcs appended: %d", g.NumArcs())
+	}
+	// Every solver refuses a malformed graph with the recorded error.
+	if _, err := g.Solve(); !errors.As(err, &be) {
+		t.Errorf("Solve err = %v, want *BuildError", err)
+	}
+	if _, err := g.SolveSSP(); !errors.As(err, &be) {
+		t.Errorf("SolveSSP err = %v, want *BuildError", err)
+	}
+}
+
+func TestNegativeCapacityBuildError(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, -1, 0)
+	var be *BuildError
+	if !errors.As(g.BuildErr(), &be) || be.Reason != "negative capacity" {
+		t.Fatalf("BuildErr = %v", g.BuildErr())
+	}
 }
 
 func TestAddNodeAndAccessors(t *testing.T) {

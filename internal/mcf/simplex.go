@@ -33,6 +33,9 @@ func (g *Graph) Solve() (*Result, error) { return g.SolveWith(FirstEligible) }
 // SolveWith runs the network simplex with the given pivot rule and
 // returns optimal flows, potentials and cost.
 func (g *Graph) SolveWith(rule PivotRule) (*Result, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	n := len(g.supply)
 	m := len(g.arcs)
 	var sum int64

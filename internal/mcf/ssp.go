@@ -5,6 +5,9 @@ package mcf
 // network simplex and serves as the reference oracle in tests; it is
 // far too slow for production graphs.
 func (g *Graph) SolveSSP() (*Result, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
 	n := len(g.supply)
 	m := len(g.arcs)
 	flow := make([]int64, m)

@@ -1,0 +1,50 @@
+package mgl
+
+import (
+	"fmt"
+
+	"mclegal/internal/model"
+)
+
+// InsertError reports a commit that tried to register a cell outside
+// any segment of the grid — an internal inconsistency between the plan
+// and the segmentation, surfaced as an error instead of a panic so the
+// pipeline can roll the stage back.
+type InsertError struct {
+	Cell model.CellID
+	Name string
+	X, Y int
+	Row  int // the spanned row with no segment under the cell
+}
+
+func (e *InsertError) Error() string {
+	return fmt.Sprintf("mgl: cell %q (%d) at (%d,%d) outside any segment of row %d",
+		e.Name, e.Cell, e.X, e.Y, e.Row)
+}
+
+// InfeasibleError reports a cell with no feasible position anywhere in
+// its fence region: the instance (or the fence assignment) is overfull.
+type InfeasibleError struct {
+	Cell  model.CellID
+	Name  string
+	Fence model.FenceID
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("mgl: cell %q (%d) cannot be legalized: no feasible position in fence %d",
+		e.Name, e.Cell, e.Fence)
+}
+
+// WorkerPanicError reports a panic recovered inside an evaluation
+// worker: the panic value, the cell whose window was being evaluated,
+// and the worker's stack at the point of the panic. The batch run that
+// observed it fails with this error instead of crashing the process.
+type WorkerPanicError struct {
+	Cell  model.CellID
+	Value any
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("mgl: worker panic evaluating cell %d: %v", e.Cell, e.Value)
+}

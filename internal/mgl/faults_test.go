@@ -1,0 +1,98 @@
+package mgl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mclegal/internal/faults"
+	"mclegal/internal/seg"
+)
+
+// faultLegalizer builds a fresh n-cell legalizer per call so armed
+// injectors never leak between runs.
+func faultLegalizer(t *testing.T, n int) func(opt Options) *Legalizer {
+	t.Helper()
+	d := newDesign(80, 8)
+	for i := 0; i < n; i++ {
+		addCell(d, 0, (7*i)%70, i%6, 0)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return func(opt Options) *Legalizer {
+		dd := d.Clone()
+		grid, err := seg.Build(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(dd, grid, opt)
+	}
+}
+
+// An injected panic inside an evaluation worker is recovered into a
+// typed *WorkerPanicError — the process survives, the error names the
+// cell and carries a stack.
+func TestWorkerPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		mk := faultLegalizer(t, 30)
+		l := mk(Options{Workers: workers, Faults: faults.New().Arm(faults.MGLWorkerPanic)})
+		err := l.Run()
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("workers=%d: err = %T %v, want *WorkerPanicError", workers, err, err)
+		}
+		if len(wp.Stack) == 0 || wp.Value == nil {
+			t.Errorf("workers=%d: incomplete panic error %+v", workers, wp)
+		}
+		if !strings.Contains(wp.Error(), "worker panic") {
+			t.Errorf("workers=%d: error text %q", workers, wp.Error())
+		}
+	}
+}
+
+// With every evaluation panicking, the reported cell is the lowest
+// batch index regardless of worker count: first panic wins
+// deterministically.
+func TestWorkerPanicDeterministic(t *testing.T) {
+	report := func(workers int) *WorkerPanicError {
+		mk := faultLegalizer(t, 30)
+		l := mk(Options{Workers: workers, Faults: faults.New().ArmN(faults.MGLWorkerPanic, 0, -1)})
+		err := l.Run()
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		return wp
+	}
+	a, b := report(1), report(8)
+	if a.Cell != b.Cell {
+		t.Errorf("panic attribution depends on workers: cell %d vs %d", a.Cell, b.Cell)
+	}
+}
+
+// The injected insert-outside fault surfaces as a typed *InsertError
+// with the offending cell's placement recorded.
+func TestInsertOutsideTypedError(t *testing.T) {
+	mk := faultLegalizer(t, 10)
+	l := mk(Options{Workers: 1, Faults: faults.New().Arm(faults.MGLInsertOutside)})
+	err := l.Run()
+	var ie *InsertError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T %v, want *InsertError", err, err)
+	}
+	if ie.Name == "" || !strings.Contains(ie.Error(), "outside any segment") {
+		t.Errorf("insert error incomplete: %v", ie)
+	}
+}
+
+func TestTypedErrorStrings(t *testing.T) {
+	ie := &InfeasibleError{Cell: 3, Name: "u3", Fence: 1}
+	if !strings.Contains(ie.Error(), "u3") || !strings.Contains(ie.Error(), "fence 1") {
+		t.Errorf("infeasible error text %q", ie.Error())
+	}
+	we := &WorkerPanicError{Cell: 7, Value: "boom"}
+	if !strings.Contains(we.Error(), "boom") {
+		t.Errorf("worker panic text %q", we.Error())
+	}
+}

@@ -3,9 +3,11 @@ package mgl
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"mclegal/internal/faults"
 	"mclegal/internal/geom"
 	"mclegal/internal/model"
 	"mclegal/internal/seg"
@@ -209,14 +211,20 @@ func (l *Legalizer) insertionReps(f model.FenceID, y, h int, win geom.Rect) []in
 
 // commit applies a plan: chain cells shift, the target is placed and
 // registered. Shifts preserve the x-order of every occupancy list.
-func (l *Legalizer) commit(p plan) {
+func (l *Legalizer) commit(p plan) error {
 	for _, mv := range p.moves {
 		l.d.Cells[mv.id].X = mv.newX
 	}
 	c := &l.d.Cells[p.target]
 	c.X, c.Y = p.x, p.y
-	l.occ.insert(p.target)
+	if l.opt.Faults.ShouldFire(faults.MGLInsertOutside) {
+		return &InsertError{Cell: p.target, Name: c.Name, X: c.X, Y: c.Y, Row: c.Y}
+	}
+	if err := l.occ.insert(p.target); err != nil {
+		return err
+	}
 	l.Stats.Placed++
+	return nil
 }
 
 // coverageBound returns the minimum possible target-displacement cost
@@ -303,15 +311,33 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 		// Evaluation against the current snapshot: inline for a single
 		// worker, parallel otherwise. Cancelled workers leave oks[i]
 		// false, but those entries are never interpreted — the ctx
-		// check below returns before any commit.
+		// check below returns before any commit. A panic inside an
+		// evaluation (worker or inline) is recovered into a typed
+		// *WorkerPanicError carrying the cell and stack — the first
+		// panic wins deterministically (lowest batch index) — so a
+		// degenerate window can never crash the process.
 		plans := make([]plan, len(batch))
 		oks := make([]bool, len(batch))
+		panics := make([]*WorkerPanicError, len(batch))
+		evalOne := func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = &WorkerPanicError{
+						Cell: batch[i], Value: r, Stack: debug.Stack(),
+					}
+				}
+			}()
+			if l.opt.Faults.ShouldFire(faults.MGLWorkerPanic) {
+				panic("injected worker panic")
+			}
+			plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+		}
 		if l.opt.Workers == 1 {
 			for i := range batch {
 				if ctx.Err() != nil {
 					break
 				}
-				plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+				evalOne(i)
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -325,13 +351,18 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 					if ctx.Err() != nil {
 						return
 					}
-					plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+					evalOne(i)
 				}(i)
 			}
 			wg.Wait()
 		}
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		for _, pe := range panics {
+			if pe != nil {
+				return pe
+			}
 		}
 
 		// Sequential deterministic commit; failures grow their window
@@ -354,14 +385,15 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 					l.Stats.WindowRetries++
 					continue
 				}
-				l.commit(plans[i])
+				if err := l.commit(plans[i]); err != nil {
+					return err
+				}
 				committed = append(committed, t)
 				continue
 			}
 			l.Stats.WindowRetries++
 			if wins[i] == core {
-				return fmt.Errorf("mgl: cell %q (%d) cannot be legalized: no feasible position in fence %d",
-					l.d.Cells[t].Name, t, l.d.Cells[t].Fence)
+				return &InfeasibleError{Cell: t, Name: l.d.Cells[t].Name, Fence: l.d.Cells[t].Fence}
 			}
 			attempt[t]++
 			failed[t] = true

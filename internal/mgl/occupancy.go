@@ -39,14 +39,17 @@ func newOccupancy(d *model.Design, grid *seg.Grid) *occupancy {
 }
 
 // insert registers a placed cell in the segments of all rows it spans.
-// The cell's X/Y must already be final.
-func (o *occupancy) insert(id model.CellID) {
+// The cell's X/Y must already be final. A cell outside any segment —
+// an inconsistency between the committed plan and the grid — yields a
+// typed *InsertError; the partially-registered rows are left in place
+// (the stage runner rolls the whole stage back on error).
+func (o *occupancy) insert(id model.CellID) error {
 	c := &o.d.Cells[id]
 	ct := &o.d.Types[c.Type]
 	for r := c.Y; r < c.Y+ct.Height; r++ {
 		s, ok := o.grid.At(r, c.X)
 		if !ok {
-			panic("mgl: inserting cell outside any segment")
+			return &InsertError{Cell: id, Name: c.Name, X: c.X, Y: c.Y, Row: r}
 		}
 		lst := o.segs[s.ID]
 		i := sort.Search(len(lst), func(k int) bool { return o.d.Cells[lst[k]].X > c.X })
@@ -70,6 +73,7 @@ func (o *occupancy) insert(id model.CellID) {
 		}
 		o.prefW[s.ID] = pw
 	}
+	return nil
 }
 
 // occupiedWidth returns the summed width (in sites) of the parts of

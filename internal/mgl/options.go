@@ -3,6 +3,7 @@ package mgl
 import (
 	"runtime"
 
+	"mclegal/internal/faults"
 	"mclegal/internal/model"
 )
 
@@ -83,6 +84,10 @@ type Options struct {
 	// aborts the run. Intended for tests and debugging (e.g.
 	// cancelling a context mid-run at a deterministic point).
 	DebugAfterBatch func(placed []model.CellID) bool
+	// Faults is the optional fault-injection harness; armed points
+	// (faults.MGLWorkerPanic, faults.MGLInsertOutside) force failures
+	// at deterministic spots. Nil disables injection.
+	Faults *faults.Injector
 	// CostFromCurrent makes local-cell displacement curves measure from
 	// the cells' *current* positions instead of their GP positions.
 	// This reproduces the MLL baseline (reference [12]) whose curves

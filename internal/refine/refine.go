@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mclegal/internal/faults"
 	"mclegal/internal/geom"
 	"mclegal/internal/mcf"
 	"mclegal/internal/model"
@@ -45,6 +46,10 @@ type Options struct {
 	// uses it to keep pins off rails (Section 3.4, C_L = C_R = C). The
 	// returned range is widened if needed to include the current x.
 	Ranges func(id model.CellID) (lo, hi int, ok bool)
+	// Faults is the optional fault-injection harness; the armed
+	// faults.RefineInfeasible point reports min-cost-flow
+	// infeasibility instead of solving. Nil disables injection.
+	Faults *faults.Injector
 }
 
 // Report describes the solved flow problem.
@@ -253,6 +258,9 @@ func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt O
 
 	if err := ctx.Err(); err != nil {
 		return rep, err
+	}
+	if opt.Faults.ShouldFire(faults.RefineInfeasible) {
+		return rep, fmt.Errorf("refine: injected: %w", mcf.ErrInfeasible)
 	}
 	res, err := g.Solve()
 	if err != nil {

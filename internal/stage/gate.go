@@ -1,0 +1,331 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"mclegal/internal/eval"
+	"mclegal/internal/faults"
+)
+
+// This file is the pipeline's resilience layer: legality gates that
+// snapshot cell positions before a stage, verify the paper's per-stage
+// contract after it (every stage must leave the placement legal, and
+// the matching stage must not create new violations or a larger
+// maximum displacement, Sections 3.1-3.3), and on failure roll the
+// stage back; recovery policies that decide what happens next; and a
+// recover() boundary turning stage panics into typed errors so no
+// input can crash the process.
+
+// RecoveryPolicy selects what the pipeline does when a gated stage
+// fails (stage error, panic, legality audit, or metric regression).
+type RecoveryPolicy int
+
+const (
+	// RecoverStrict (the default) fails the run on the first gate
+	// failure with a typed *GateError naming the offending stage.
+	RecoverStrict RecoveryPolicy = iota
+	// RecoverFallback rolls the failing stage back and runs its
+	// fallback chain: a substitute stage when one is registered (MGL
+	// falls back to the order-preserving greedy), otherwise the stage
+	// is skipped if the pipeline can still end legal without it. A
+	// critical stage with no working fallback fails the run.
+	RecoverFallback
+	// RecoverBestEffort is RecoverFallback that never fails the run:
+	// when even a critical stage's fallbacks are exhausted, the
+	// pipeline stops and faithfully reports a partial result instead
+	// of returning an error.
+	RecoverBestEffort
+)
+
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverStrict:
+		return "strict"
+	case RecoverFallback:
+		return "fallback"
+	case RecoverBestEffort:
+		return "besteffort"
+	}
+	return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+}
+
+// ParsePolicy converts a policy name ("strict", "fallback",
+// "besteffort") to its RecoveryPolicy.
+func ParsePolicy(s string) (RecoveryPolicy, error) {
+	switch strings.ToLower(s) {
+	case "strict":
+		return RecoverStrict, nil
+	case "fallback":
+		return RecoverFallback, nil
+	case "besteffort", "best-effort":
+		return RecoverBestEffort, nil
+	}
+	return RecoverStrict, fmt.Errorf("stage: unknown recovery policy %q (want strict, fallback or besteffort)", s)
+}
+
+// Status summarizes how trustworthy a finished pipeline run is.
+type Status int
+
+const (
+	// StatusLegal: every stage passed its gate; no recovery was needed.
+	StatusLegal Status = iota
+	// StatusRecovered: at least one stage failed but a fallback (or a
+	// safe skip) kept the pipeline on a verified placement.
+	StatusRecovered
+	// StatusPartial: recovery was exhausted; the reported placement is
+	// the best known state but is not verified legal.
+	StatusPartial
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusLegal:
+		return "legal"
+	case StatusRecovered:
+		return "recovered"
+	case StatusPartial:
+		return "partial"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Gate failure reasons recorded in GateReport.Reason.
+const (
+	ReasonStageError = "stage-error" // the stage returned an error
+	ReasonPanic      = "panic"       // the stage (or a worker) panicked
+	ReasonAudit      = "audit"       // eval.Audit found violations after the stage
+	ReasonMetric     = "metric"      // the metric-regression check failed
+)
+
+// Recovery actions recorded in GateReport.Action.
+const (
+	ActionFailed   = "failed"   // run aborted with a *GateError
+	ActionFallback = "fallback" // a substitute stage repaired the run
+	ActionSkipped  = "skipped"  // stage rolled back and left out
+	ActionAborted  = "aborted"  // best-effort run stopped here (partial)
+)
+
+// GateReport describes one gate intervention: which stage failed, why,
+// what the gate observed, and how the pipeline recovered.
+type GateReport struct {
+	// Stage is the name of the failing stage.
+	Stage string
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Err is the underlying failure: the stage's error, a *PanicError,
+	// or nil for pure audit/metric failures.
+	Err error
+	// NumViolations is the total audit violation count (Reason ==
+	// ReasonAudit); Violations is a bounded sample of them.
+	NumViolations int
+	Violations    []eval.Violation
+	// RolledBack reports whether cell positions were restored to the
+	// pre-stage snapshot.
+	RolledBack bool
+	// Action is one of the Action* constants; for ActionFallback,
+	// Fallback names the substitute stage that repaired the run.
+	Action   string
+	Fallback string
+}
+
+func (r GateReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage %s: gate failed (%s", r.Stage, r.Reason)
+	if r.Err != nil {
+		fmt.Fprintf(&b, ": %v", r.Err)
+	}
+	if r.NumViolations > 0 {
+		fmt.Fprintf(&b, "; %d violations", r.NumViolations)
+		if len(r.Violations) > 0 {
+			fmt.Fprintf(&b, ", e.g. %s", r.Violations[0].String())
+		}
+	}
+	b.WriteString(")")
+	switch r.Action {
+	case ActionFallback:
+		fmt.Fprintf(&b, ", recovered via %s", r.Fallback)
+	case ActionSkipped:
+		b.WriteString(", stage skipped")
+	case ActionAborted:
+		b.WriteString(", run aborted (partial result)")
+	}
+	return b.String()
+}
+
+// GateError is the typed error a strict (or fallback-exhausted) run
+// fails with; it carries the full GateReport of the offending stage.
+type GateError struct {
+	Report GateReport
+}
+
+func (e *GateError) Error() string { return e.Report.String() }
+
+// Unwrap exposes the underlying stage error (if any) to errors.Is/As.
+func (e *GateError) Unwrap() error { return e.Report.Err }
+
+// PanicError is a panic recovered at the pipeline's stage boundary,
+// converted into an error carrying the panic value and stack.
+type PanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stage %s: panic: %v", e.Stage, e.Value)
+}
+
+// RunReport summarizes the resilience layer's view of a finished run.
+type RunReport struct {
+	// Status is StatusLegal when no gate intervened, StatusRecovered
+	// when fallbacks kept the run on a verified placement, and
+	// StatusPartial when recovery was exhausted under
+	// RecoverBestEffort.
+	Status Status
+	// Gates lists every gate intervention in execution order.
+	Gates []GateReport
+}
+
+// maxViolationSample bounds the violations copied into a GateReport;
+// NumViolations always carries the full count.
+const maxViolationSample = 8
+
+// runIsolated executes s.Run under a recover() boundary: a panic
+// anywhere in the stage (worker panics are converted inside mgl; this
+// catches everything else) becomes a typed *PanicError instead of a
+// process crash.
+func runIsolated(ctx context.Context, s Stage, pc *PipelineContext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Stage: s.Name(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s.Run(ctx, pc)
+}
+
+// gateOutcome is the result of one gated stage execution.
+type gateOutcome struct {
+	err    error  // nil = stage passed its gate
+	reason string // Reason* constant when err != nil
+	numV   int
+	sample []eval.Violation
+}
+
+// runGated executes one stage with the resilience wrapper: snapshot,
+// isolated run (with the stage-error injection point), then — when
+// verify is on — the post-stage legality audit (with the illegal-move
+// injection point) and the stage's metric-regression check. On any
+// failure the placement is rolled back to the snapshot unless the
+// failure is a context cancellation (cancelled runs keep their partial
+// progress, matching the engine's documented semantics).
+func (p *Pipeline) runGated(ctx context.Context, pc *PipelineContext, s Stage, verify bool) gateOutcome {
+	snap := pc.Design.SnapshotXY()
+	var before eval.Metrics
+	check := p.MetricChecks[s.Name()]
+	if verify && check != nil {
+		before = eval.Measure(pc.Design)
+	}
+
+	err := pc.Faults.Err(faults.StageError(s.Name()))
+	if err == nil {
+		err = runIsolated(ctx, s, pc)
+	}
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return gateOutcome{err: err, reason: ""} // cancellation: no rollback
+		}
+		pc.Design.RestoreXY(snap)
+		reason := ReasonStageError
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			reason = ReasonPanic
+		}
+		return gateOutcome{err: err, reason: reason}
+	}
+	if !verify {
+		return gateOutcome{}
+	}
+
+	if pc.Faults.ShouldFire(faults.IllegalMove(s.Name())) {
+		injectIllegalMove(pc)
+	}
+	if vs := eval.Audit(pc.Design, pc.Grid); len(vs) > 0 {
+		pc.Design.RestoreXY(snap)
+		sample := vs
+		if len(sample) > maxViolationSample {
+			sample = sample[:maxViolationSample]
+		}
+		return gateOutcome{
+			err:    fmt.Errorf("stage %s: left %d legality violations (first: %s)", s.Name(), len(vs), vs[0]),
+			reason: ReasonAudit,
+			numV:   len(vs),
+			sample: sample,
+		}
+	}
+	if check != nil {
+		if merr := check(before, eval.Measure(pc.Design)); merr != nil {
+			pc.Design.RestoreXY(snap)
+			return gateOutcome{err: fmt.Errorf("stage %s: %w", s.Name(), merr), reason: ReasonMetric}
+		}
+	}
+	return gateOutcome{}
+}
+
+// injectIllegalMove deterministically corrupts the placement: the
+// first movable cell is stacked onto the second one, guaranteeing an
+// overlap the audit must report.
+func injectIllegalMove(pc *PipelineContext) {
+	d := pc.Design
+	first := -1
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		d.Cells[first].X = d.Cells[i].X
+		d.Cells[first].Y = d.Cells[i].Y
+		return
+	}
+}
+
+// NoMaxDispRegression is the metric-regression check of the matching
+// stage: paper Section 3.2 guarantees its swaps cannot create any new
+// violation, and in particular cannot increase the maximum
+// displacement the matching minimizes.
+func NoMaxDispRegression(before, after eval.Metrics) error {
+	if after.MaxDisp > before.MaxDisp {
+		return fmt.Errorf("max displacement regressed from %.3f to %.3f rows", before.MaxDisp, after.MaxDisp)
+	}
+	return nil
+}
+
+// FuncStage adapts a plain function to the Stage interface; the flow
+// package uses it for fallback stages.
+type FuncStage struct {
+	StageName string
+	Fn        func(ctx context.Context, pc *PipelineContext) error
+}
+
+func (f *FuncStage) Name() string { return f.StageName }
+
+func (f *FuncStage) Run(ctx context.Context, pc *PipelineContext) error { return f.Fn(ctx, pc) }
+
+// CriticalStage marks stages the pipeline cannot recover from by
+// skipping: without their output a legal result is unreachable (MGL is
+// the only built-in one — the later stages only improve an already
+// legal placement).
+type CriticalStage interface {
+	Critical() bool
+}
+
+func isCritical(s Stage) bool {
+	c, ok := s.(CriticalStage)
+	return ok && c.Critical()
+}

@@ -17,7 +17,11 @@ type MaxDispStage struct{ Opt maxdisp.Options }
 func (s *MaxDispStage) Name() string { return NameMaxDisp }
 
 func (s *MaxDispStage) Run(ctx context.Context, pc *PipelineContext) error {
-	st, err := maxdisp.OptimizeContext(ctx, pc.Design, s.Opt)
+	opt := s.Opt
+	if opt.Faults == nil {
+		opt.Faults = pc.Faults
+	}
+	st, err := maxdisp.OptimizeContext(ctx, pc.Design, opt)
 	pc.MaxDispStats = st
 	return err
 }

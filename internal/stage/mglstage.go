@@ -25,10 +25,18 @@ type MGLStage struct{ Opt mgl.Options }
 
 func (s *MGLStage) Name() string { return NameMGL }
 
+// Critical marks MGL as unskippable: every later stage refines an
+// already legal placement, so without MGL (or its fallback) the
+// pipeline cannot end legal.
+func (s *MGLStage) Critical() bool { return true }
+
 func (s *MGLStage) Run(ctx context.Context, pc *PipelineContext) error {
 	opt := s.Opt
 	if pc.Rules != nil {
 		opt.Rules = pc.Rules
+	}
+	if opt.Faults == nil {
+		opt.Faults = pc.Faults
 	}
 	l := mgl.New(pc.Design, pc.Grid, opt)
 	err := l.RunContext(ctx)

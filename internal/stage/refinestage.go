@@ -29,6 +29,9 @@ func (s *RefineStage) Run(ctx context.Context, pc *PipelineContext) error {
 	if s.UseRanges && pc.Rules != nil {
 		opt.Ranges = pc.Rules.RangeProvider(pc.Grid)
 	}
+	if opt.Faults == nil {
+		opt.Faults = pc.Faults
+	}
 	rep, err := refine.OptimizeContext(ctx, pc.Design, pc.Grid, opt)
 	pc.RefineReport = rep
 	return err

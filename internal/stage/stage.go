@@ -14,9 +14,12 @@ package stage
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"mclegal/internal/eval"
+	"mclegal/internal/faults"
 	"mclegal/internal/maxdisp"
 	"mclegal/internal/mgl"
 	"mclegal/internal/model"
@@ -54,6 +57,10 @@ type PipelineContext struct {
 	// Checker counts pin and edge-spacing violations; it is always
 	// present so post-run scoring works with or without routability.
 	Checker *route.Checker
+	// Faults is the optional fault-injection harness shared by the
+	// run; gates consult the per-stage stage-error and illegal-move
+	// points on it. Nil disables injection.
+	Faults *faults.Injector
 
 	// Artifacts of the built-in stages, populated by their Run methods
 	// (partially populated artifacts survive a failed or cancelled
@@ -104,10 +111,26 @@ type Timing struct {
 // Pipeline runs a stage list over a shared context. The runner owns
 // what every stage would otherwise duplicate: cancellation checks
 // between stages, per-stage timing, error wrapping with the stage
-// name, and observer notification.
+// name, observer notification, panic isolation, and — when Verify or
+// a non-strict Recovery policy is set — the legality gates and
+// fallback chains of gate.go.
 type Pipeline struct {
 	Stages   []Stage
 	Observer Observer // optional
+
+	// Verify arms the legality gates: every stage runs against a
+	// position snapshot, is audited (eval.Audit) afterwards, checked
+	// for metric regressions, and rolled back on any failure.
+	Verify bool
+	// Recovery selects what a gate failure does to the run; see the
+	// RecoveryPolicy constants. The zero value is RecoverStrict.
+	Recovery RecoveryPolicy
+	// Fallbacks maps a stage name to the substitute stage run (also
+	// gated) after the primary failed and was rolled back.
+	Fallbacks map[string]Stage
+	// MetricChecks maps a stage name to its metric-regression
+	// predicate, evaluated by the gate when Verify is on.
+	MetricChecks map[string]func(before, after eval.Metrics) error
 }
 
 // Run executes the stages in order. It returns the timing of every
@@ -115,37 +138,124 @@ type Pipeline struct {
 // partial run remains attributable; the error is wrapped with the
 // failing stage's name.
 func (p *Pipeline) Run(ctx context.Context, pc *PipelineContext) ([]Timing, error) {
+	timings, _, err := p.RunWithReport(ctx, pc)
+	return timings, err
+}
+
+// RunWithReport is Run plus the resilience layer's RunReport: the
+// run's trust status and every gate intervention. Without gates
+// (Verify off, strict recovery) stages still run under panic
+// isolation, so a panicking stage fails the run with a *PanicError
+// instead of crashing the process.
+func (p *Pipeline) RunWithReport(ctx context.Context, pc *PipelineContext) ([]Timing, RunReport, error) {
+	report := RunReport{Status: StatusLegal}
 	timings := make([]Timing, 0, len(p.Stages))
-	cells := pc.Design.MovableCount()
+	gated := p.Verify || p.Recovery != RecoverStrict
+
 	for i, s := range p.Stages {
 		if err := ctx.Err(); err != nil {
-			return timings, err
+			return timings, report, err
 		}
-		if p.Observer != nil {
-			p.Observer.StageStart(StartEvent{
-				Stage: s.Name(), Index: i, Total: len(p.Stages), Cells: cells,
+		out := p.runObserved(ctx, pc, s, i, gated, &timings)
+		if out.err == nil {
+			continue
+		}
+		if ctx.Err() != nil && errors.Is(out.err, ctx.Err()) {
+			return timings, report, out.err // cancellation, not a gate failure
+		}
+		if !gated {
+			// Engine-compatible strict path: wrapped error, partial
+			// artifacts preserved, no rollback.
+			return timings, report, fmt.Errorf("stage %s: %w", s.Name(), out.err)
+		}
+
+		rep := GateReport{
+			Stage: s.Name(), Reason: out.reason, Err: out.err,
+			NumViolations: out.numV, Violations: out.sample, RolledBack: true,
+		}
+		if p.Recovery == RecoverStrict {
+			rep.Action = ActionFailed
+			report.Gates = append(report.Gates, rep)
+			return timings, report, &GateError{Report: rep}
+		}
+
+		// Fallback chain: substitute stage first, then skipping.
+		if fb := p.Fallbacks[s.Name()]; fb != nil {
+			fbOut := p.runObserved(ctx, pc, fb, i, gated, &timings)
+			if fbOut.err == nil {
+				rep.Action, rep.Fallback = ActionFallback, fb.Name()
+				report.Gates = append(report.Gates, rep)
+				report.Status = StatusRecovered
+				continue
+			}
+			if ctx.Err() != nil && errors.Is(fbOut.err, ctx.Err()) {
+				report.Gates = append(report.Gates, rep)
+				return timings, report, fbOut.err
+			}
+			report.Gates = append(report.Gates, GateReport{
+				Stage: fb.Name(), Reason: fbOut.reason, Err: fbOut.err,
+				NumViolations: fbOut.numV, Violations: fbOut.sample,
+				RolledBack: true, Action: ActionFailed,
 			})
 		}
-		t0 := time.Now()
-		err := s.Run(ctx, pc)
-		dur := time.Since(t0)
-		timings = append(timings, Timing{Stage: s.Name(), Duration: dur})
-		if p.Observer != nil {
-			ev := FinishEvent{
-				Stage: s.Name(), Index: i, Total: len(p.Stages),
-				Duration: dur, Err: err,
-			}
-			if cp, ok := s.(CounterProvider); ok {
-				ev.Counters = cp.Counters(pc)
-			}
-			if secs := dur.Seconds(); secs > 0 {
-				ev.CellsPerSec = float64(cells) / secs
-			}
-			p.Observer.StageFinish(ev)
+		if !isCritical(s) {
+			rep.Action = ActionSkipped
+			report.Gates = append(report.Gates, rep)
+			report.Status = StatusRecovered
+			continue
 		}
-		if err != nil {
-			return timings, fmt.Errorf("stage %s: %w", s.Name(), err)
+		// A critical stage with its fallbacks exhausted.
+		if p.Recovery == RecoverFallback {
+			rep.Action = ActionFailed
+			report.Gates = append(report.Gates, rep)
+			return timings, report, &GateError{Report: rep}
+		}
+		rep.Action = ActionAborted
+		report.Gates = append(report.Gates, rep)
+		report.Status = StatusPartial
+		return timings, report, nil
+	}
+	return timings, report, nil
+}
+
+// runObserved executes one stage (gated or merely panic-isolated) with
+// observer notification and timing capture.
+func (p *Pipeline) runObserved(ctx context.Context, pc *PipelineContext, s Stage, index int, gated bool, timings *[]Timing) gateOutcome {
+	cells := pc.Design.MovableCount()
+	if p.Observer != nil {
+		p.Observer.StageStart(StartEvent{
+			Stage: s.Name(), Index: index, Total: len(p.Stages), Cells: cells,
+		})
+	}
+	t0 := time.Now()
+	var out gateOutcome
+	if gated {
+		out = p.runGated(ctx, pc, s, p.Verify)
+	} else {
+		out.err = runIsolated(ctx, s, pc)
+		if out.err != nil {
+			var pe *PanicError
+			if errors.As(out.err, &pe) {
+				out.reason = ReasonPanic
+			} else {
+				out.reason = ReasonStageError
+			}
 		}
 	}
-	return timings, nil
+	dur := time.Since(t0)
+	*timings = append(*timings, Timing{Stage: s.Name(), Duration: dur})
+	if p.Observer != nil {
+		ev := FinishEvent{
+			Stage: s.Name(), Index: index, Total: len(p.Stages),
+			Duration: dur, Err: out.err,
+		}
+		if cp, ok := s.(CounterProvider); ok {
+			ev.Counters = cp.Counters(pc)
+		}
+		if secs := dur.Seconds(); secs > 0 {
+			ev.CellsPerSec = float64(cells) / secs
+		}
+		p.Observer.StageFinish(ev)
+	}
+	return out
 }

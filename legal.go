@@ -33,6 +33,7 @@ import (
 
 	"mclegal/internal/bmark"
 	"mclegal/internal/eval"
+	"mclegal/internal/faults"
 	"mclegal/internal/flow"
 	"mclegal/internal/gp"
 	"mclegal/internal/model"
@@ -95,6 +96,53 @@ type (
 	// StageFinish reports a completed (or failed) stage.
 	StageFinish = stage.FinishEvent
 )
+
+// Resilience layer (see docs/ROBUSTNESS.md): legality gates, recovery
+// policies and the deterministic fault-injection harness.
+type (
+	// RecoveryPolicy selects what a failed stage does to the run; set it
+	// on Options.Recovery.
+	RecoveryPolicy = stage.RecoveryPolicy
+	// RunStatus is the trust verdict of a run (Result.Status).
+	RunStatus = stage.Status
+	// GateReport records one gate intervention: the stage, why it was
+	// rolled back, and what the recovery policy did about it.
+	GateReport = stage.GateReport
+	// GateError is the typed error a Strict (or exhausted Fallback) run
+	// fails with; its Report names the offending stage.
+	GateError = stage.GateError
+	// FaultInjector deterministically forces failures at the pipeline's
+	// injection points (Options.Faults); nil disables injection.
+	FaultInjector = faults.Injector
+	// FaultPoint names one injection point.
+	FaultPoint = faults.Point
+)
+
+// Recovery policies for Options.Recovery and the statuses they yield.
+const (
+	// RecoverStrict fails the run on the first gate failure.
+	RecoverStrict = stage.RecoverStrict
+	// RecoverFallback runs per-stage fallback chains before giving up.
+	RecoverFallback = stage.RecoverFallback
+	// RecoverBestEffort never errors; unrecoverable runs end partial.
+	RecoverBestEffort = stage.RecoverBestEffort
+
+	// StatusLegal: every stage passed its gate.
+	StatusLegal = stage.StatusLegal
+	// StatusRecovered: a fallback or safe skip repaired the run.
+	StatusRecovered = stage.StatusRecovered
+	// StatusPartial: recovery was exhausted; the result is the best
+	// known state, faithfully reported as not verified legal.
+	StatusPartial = stage.StatusPartial
+)
+
+// ParseRecoveryPolicy parses "strict", "fallback" or "besteffort"
+// (case-insensitive; "best-effort" is accepted too).
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) { return stage.ParsePolicy(s) }
+
+// NewFaultInjector returns an empty (inert) fault injector; arm points
+// on it and set it as Options.Faults.
+func NewFaultInjector() *FaultInjector { return faults.New() }
 
 // NewLogObserver returns an observer writing human-readable per-stage
 // progress lines to w.
