@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean fuzz faults
+.PHONY: all build test vet race check bench bench-smoke bench-json clean fuzz faults
 
 all: check
 
@@ -38,6 +38,19 @@ check: vet build race fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# One-iteration run of the MGL throughput bench: catches bit-rot in the
+# bench harness itself without paying for a real measurement. CI runs
+# this on every push.
+bench-smoke:
+	$(GO) test -bench MGLThroughput -benchtime 1x -run '^$$' .
+
+# The benchmark-trajectory harness: sweeps MGL worker counts and writes
+# BENCH_mgl.json (ns/op, allocs/op, cells/sec, speedup vs workers=1).
+# Compare the committed baseline against a fresh run to judge a perf
+# change; see docs/PERFORMANCE.md.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_mgl.json
 
 clean:
 	$(GO) clean ./...

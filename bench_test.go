@@ -6,6 +6,8 @@
 package mclegal_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -58,27 +60,32 @@ func ispdDesigns() []*mclegal.Design {
 // BenchmarkTable1 regenerates the Table 1 comparison: the full
 // routability-aware flow vs the contest-champion stand-in.
 func BenchmarkTable1(b *testing.B) {
-	b.Run("ours", func(b *testing.B) {
-		var avg, max float64
-		var pins int
-		for i := 0; i < b.N; i++ {
-			avg, max, pins = 0, 0, 0
-			for _, base := range contestDesigns() {
-				d := base.Clone()
-				res, err := mclegal.Legalize(d, mclegal.Options{Routability: true, Workers: 1})
-				if err != nil {
-					b.Fatal(err)
+	ours := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var avg, max float64
+			var pins int
+			for i := 0; i < b.N; i++ {
+				avg, max, pins = 0, 0, 0
+				for _, base := range contestDesigns() {
+					d := base.Clone()
+					res, err := mclegal.Legalize(d, mclegal.Options{Routability: true, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					avg += res.Metrics.AvgDisp
+					max += res.Metrics.MaxDisp
+					pins += res.Violations.Pin()
 				}
-				avg += res.Metrics.AvgDisp
-				max += res.Metrics.MaxDisp
-				pins += res.Violations.Pin()
 			}
+			n := float64(len(contestDesigns()))
+			b.ReportMetric(avg/n, "avgdisp/rows")
+			b.ReportMetric(max/n, "maxdisp/rows")
+			b.ReportMetric(float64(pins)/n, "pinviol/design")
 		}
-		n := float64(len(contestDesigns()))
-		b.ReportMetric(avg/n, "avgdisp/rows")
-		b.ReportMetric(max/n, "maxdisp/rows")
-		b.ReportMetric(float64(pins)/n, "pinviol/design")
-	})
+	}
+	b.Run("ours", ours(1))
+	b.Run("ours-numcpu", ours(runtime.NumCPU()))
 	b.Run("champion", func(b *testing.B) {
 		var avg, max float64
 		var pins int
@@ -390,18 +397,42 @@ func BenchmarkAblationRefineVsAbacus(b *testing.B) {
 	})
 }
 
-// BenchmarkMGLThroughput measures raw legalization throughput
-// (cells/second) on a moderate-density instance.
-func BenchmarkMGLThroughput(b *testing.B) {
+// mglThroughputRun is the shared body of the throughput benches: one
+// MGL-only legalization of fft_a per iteration, reporting cells/sec so
+// worker counts are comparable at a glance.
+func mglThroughputRun(b *testing.B, workers int) {
+	b.Helper()
 	base := ispdDesigns()[1].Clone() // fft_a, low density
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := base.Clone()
 		if _, err := mclegal.Legalize(d, mclegal.Options{
-			TotalDisplacement: true, Workers: 1, SkipMaxDisp: true, SkipRefine: true,
+			TotalDisplacement: true, Workers: workers, SkipMaxDisp: true, SkipRefine: true,
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(base.MovableCount()), "cells")
+	b.StopTimer()
+	cells := float64(base.MovableCount())
+	b.ReportMetric(cells, "cells")
+	b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkMGLThroughput measures raw legalization throughput
+// (cells/second) on a moderate-density instance, serial and at the
+// machine's core count. Results are byte-identical across worker
+// counts (see docs/PERFORMANCE.md); only the wall clock changes.
+func BenchmarkMGLThroughput(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { mglThroughputRun(b, 1) })
+	b.Run("workers=numcpu", func(b *testing.B) { mglThroughputRun(b, runtime.NumCPU()) })
+}
+
+// BenchmarkWorkersSweep sweeps the MGL worker count to expose the
+// parallel-scaling trajectory; `make bench-json` persists the same
+// sweep (via cmd/benchjson) into BENCH_mgl.json.
+func BenchmarkWorkersSweep(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { mglThroughputRun(b, w) })
+	}
 }

@@ -1,0 +1,131 @@
+// benchjson runs the MGL throughput sweep programmatically (via
+// testing.Benchmark) and writes a machine-readable trajectory file so
+// perf changes can be compared across commits without parsing `go test
+// -bench` text output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_mgl.json] [-scale 0.01] [-workers 1,2,4,8]
+//
+// The recorded environment (numcpu, gomaxprocs, goversion) travels with
+// the numbers: speedup figures are only meaningful relative to the
+// machine that produced them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mclegal"
+)
+
+var (
+	out     = flag.String("out", "BENCH_mgl.json", "output file (- for stdout)")
+	scale   = flag.Float64("scale", 0.01, "cell-count scale vs published sizes")
+	workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+)
+
+type run struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
+}
+
+type report struct {
+	Bench      string  `json:"bench"`
+	Design     string  `json:"design"`
+	Scale      float64 `json:"scale"`
+	Cells      int     `json:"cells"`
+	NumCPU     int     `json:"numcpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"goversion"`
+	Runs       []run   `json:"runs"`
+}
+
+func main() {
+	flag.Parse()
+	log.SetFlags(0)
+
+	var ws []int
+	for _, f := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			log.Fatalf("bad -workers entry %q", f)
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		log.Fatal("-workers is empty")
+	}
+
+	// Same instance as BenchmarkMGLThroughput: fft_a at bench scale,
+	// MGL stage only (post-processing excluded from the measurement).
+	bench := mclegal.ISPDBenches()[6] // fft_a
+	base := mclegal.ISPDDesign(bench, *scale)
+
+	rep := report{
+		Bench:      "MGLThroughput",
+		Design:     bench.Name,
+		Scale:      *scale,
+		Cells:      base.MovableCount(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	var nsW1 int64
+	for _, w := range ws {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				if _, err := mclegal.Legalize(d, mclegal.Options{
+					TotalDisplacement: true, Workers: w,
+					SkipMaxDisp: true, SkipRefine: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := r.NsPerOp()
+		if nsW1 == 0 {
+			// Baseline for the speedup column: the first (serial) run.
+			nsW1 = ns
+		}
+		rr := run{
+			Workers:     w,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			CellsPerSec: float64(rep.Cells) * 1e9 / float64(ns),
+			SpeedupVsW1: float64(nsW1) / float64(ns),
+		}
+		rep.Runs = append(rep.Runs, rr)
+		log.Printf("workers=%d  %12d ns/op  %8d allocs/op  %10.0f cells/sec  %.2fx",
+			w, rr.NsPerOp, rr.AllocsPerOp, rr.CellsPerSec, rr.SpeedupVsW1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%s, %d cells, %d CPUs)\n", *out, rep.Design, rep.Cells, rep.NumCPU)
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mclegal"
@@ -32,6 +34,8 @@ var (
 	only     = flag.String("bench", "", "restrict to one benchmark name")
 	workers  = flag.Int("workers", 0, "MGL workers (0 = all cores)")
 	progress = flag.Bool("progress", false, "emit per-stage JSON progress events to stderr")
+	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // observer returns the stage observer for our Legalize runs, or nil
@@ -45,6 +49,30 @@ func observer() mclegal.StageObserver {
 
 func main() {
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 	switch {
 	case *table == 1:
 		table1()

@@ -15,7 +15,10 @@
 // would need to guarantee convexity, so the scan must not assume it).
 package curve
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 type breakpoint struct {
 	x  int64
@@ -97,6 +100,55 @@ func PushLeft(cur, g, off, w int64) *Curve {
 	}
 }
 
+// ResetAbs reinitializes c in place to f(x) = w*|x-g| + k, reusing the
+// breakpoint storage. It is the allocation-free form of Abs, used by the
+// legalizer's hot path to rebuild the summed curve for every insertion
+// point without heap traffic.
+func (c *Curve) ResetAbs(g, w, k int64) {
+	c.vref, c.xref, c.slope0 = k, g, -w
+	c.breaks = append(c.breaks[:0], breakpoint{x: g, ds: 2 * w})
+	c.sorted = true
+}
+
+// AddPushRight accumulates PushRight(cur, g, off, w) into c without
+// allocating the intermediate curve: the contribution at c.xref is
+// evaluated in closed form (w*|max(cur, xref+off) - g|) and the
+// breakpoints are appended to c's own storage.
+func (c *Curve) AddPushRight(cur, g, off, w int64) {
+	p := c.xref + off
+	if cur > p {
+		p = cur
+	}
+	c.vref += w * abs64(p-g)
+	if cur >= g {
+		c.breaks = append(c.breaks, breakpoint{x: cur - off, ds: w})
+	} else {
+		c.breaks = append(c.breaks,
+			breakpoint{x: cur - off, ds: -w},
+			breakpoint{x: g - off, ds: 2 * w})
+	}
+	c.sorted = false
+}
+
+// AddPushLeft mirrors AddPushRight for PushLeft: the contribution at
+// c.xref is w*|min(cur, xref-off) - g|.
+func (c *Curve) AddPushLeft(cur, g, off, w int64) {
+	p := c.xref - off
+	if cur < p {
+		p = cur
+	}
+	c.vref += w * abs64(p-g)
+	c.slope0 -= w
+	if cur <= g {
+		c.breaks = append(c.breaks, breakpoint{x: cur + off, ds: w})
+	} else {
+		c.breaks = append(c.breaks,
+			breakpoint{x: g + off, ds: 2 * w},
+			breakpoint{x: cur + off, ds: -w})
+	}
+	c.sorted = false
+}
+
 // Add accumulates o into c.
 func (c *Curve) Add(o *Curve) {
 	c.vref += o.Eval(c.xref)
@@ -121,7 +173,7 @@ func (c *Curve) ensureSorted() {
 			}
 		}
 	} else {
-		sort.Slice(c.breaks, func(i, j int) bool { return c.breaks[i].x < c.breaks[j].x })
+		slices.SortFunc(c.breaks, func(a, b breakpoint) int { return cmp.Compare(a.x, b.x) })
 	}
 	c.sorted = true
 }

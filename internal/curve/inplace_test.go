@@ -1,0 +1,65 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The in-place accumulation methods (ResetAbs, AddPushLeft,
+// AddPushRight) must agree pointwise with the allocating constructors
+// they replace on the legalizer's hot path.
+func TestInPlaceAccumulationMatchesConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		g0 := int64(rng.Intn(200) - 100)
+		w := int64(1 + rng.Intn(10))
+		k := int64(rng.Intn(1000))
+
+		ref := Abs(g0, w, k)
+		var got Curve
+		got.ResetAbs(g0, w, k)
+
+		for term := 0; term < 1+rng.Intn(8); term++ {
+			cur := int64(rng.Intn(200) - 100)
+			g := int64(rng.Intn(200) - 100)
+			off := int64(1 + rng.Intn(20))
+			if rng.Intn(2) == 0 {
+				ref.Add(PushLeft(cur, g, off, w))
+				got.AddPushLeft(cur, g, off, w)
+			} else {
+				ref.Add(PushRight(cur, g, off, w))
+				got.AddPushRight(cur, g, off, w)
+			}
+		}
+
+		for probe := 0; probe < 40; probe++ {
+			x := int64(rng.Intn(400) - 200)
+			if rv, gv := ref.Eval(x), got.Eval(x); rv != gv {
+				t.Fatalf("trial %d: Eval(%d) = %d in place, %d via constructors",
+					trial, x, gv, rv)
+			}
+		}
+		rx, rv := ref.MinOn(-150, 150, 0)
+		gx, gv := got.MinOn(-150, 150, 0)
+		if rx != gx || rv != gv {
+			t.Fatalf("trial %d: MinOn = (%d,%d) in place, (%d,%d) via constructors",
+				trial, gx, gv, rx, rv)
+		}
+	}
+}
+
+// ResetAbs must fully overwrite previous state so a recycled curve
+// cannot leak breakpoints or reference values between evaluations.
+func TestResetAbsClearsState(t *testing.T) {
+	var c Curve
+	c.ResetAbs(10, 2, 0)
+	c.AddPushRight(30, 25, 3, 2)
+	c.AddPushLeft(-5, 0, 4, 2)
+	c.ResetAbs(7, 3, 11)
+	want := Abs(7, 3, 11)
+	for x := int64(-30); x <= 30; x++ {
+		if c.Eval(x) != want.Eval(x) {
+			t.Fatalf("Eval(%d) = %d after reset, want %d", x, c.Eval(x), want.Eval(x))
+		}
+	}
+}

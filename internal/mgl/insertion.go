@@ -3,7 +3,6 @@ package mgl
 import (
 	"sort"
 
-	"mclegal/internal/curve"
 	"mclegal/internal/geom"
 	"mclegal/internal/model"
 )
@@ -98,6 +97,35 @@ func abs64(x int64) int64 {
 	return x
 }
 
+// Chain-membership helpers on scratch. These were closures capturing
+// the chain slice; as methods over explicit state they keep the chain
+// builders allocation-free.
+
+// chainAt returns the chain index of id if it carries the current
+// stamp.
+func (s *scratch) chainAt(id model.CellID) (int32, bool) {
+	if s.inChain[id] == s.stamp {
+		return s.chainIdx[id], true
+	}
+	return 0, false
+}
+
+// bumpOff raises the seeded frontier offset requirement of id.
+func (s *scratch) bumpOff(id model.CellID, off int64) {
+	if s.offStamp[id] != s.stamp || off > s.offReq[id] {
+		s.offStamp[id] = s.stamp
+		s.offReq[id] = off
+	}
+}
+
+// seedOff returns the seeded frontier offset of id (0 if none).
+func (s *scratch) seedOff(id model.CellID) int64 {
+	if s.offStamp[id] == s.stamp {
+		return s.offReq[id]
+	}
+	return 0
+}
+
 // buildLeftChain collects the movable cells pushed left when the target
 // (rows [y,y+h)) is inserted with its left edge at variable x. It
 // returns the chain cells (off and minPos filled in) and the x lower
@@ -112,44 +140,6 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 	capN := l.chainCap(win)
 	var xlo int64
 
-	inChain := func(id model.CellID) (int32, bool) {
-		if sc.inChain[id] == sc.stamp {
-			return sc.chainIdx[id], true
-		}
-		return 0, false
-	}
-	addChain := func(id model.CellID) {
-		if sc.inChain[id] == sc.stamp {
-			return
-		}
-		sc.inChain[id] = sc.stamp
-		sc.chainIdx[id] = int32(len(chain))
-		chain = append(chain, chainCell{id: id})
-		queue = append(queue, int32(id))
-	}
-	bumpOff := func(id model.CellID, off int64) {
-		if sc.offStamp[id] != sc.stamp || off > sc.offReq[id] {
-			sc.offStamp[id] = sc.stamp
-			sc.offReq[id] = off
-		}
-	}
-	seedOff := func(id model.CellID) int64 {
-		if sc.offStamp[id] == sc.stamp {
-			return sc.offReq[id]
-		}
-		return 0
-	}
-
-	// boundary returns the barrier coordinate for row r (segment start
-	// or padded window edge).
-	boundary := func(r int, at int) (int64, bool) {
-		s, ok := l.grid.At(r, at)
-		if !ok {
-			return 0, false
-		}
-		return l.winPadLo(win, s.X.Lo), true
-	}
-
 	// Seed with per-target-row frontiers.
 	for r := y; r < y+h; r++ {
 		s, ok := l.grid.At(r, x0)
@@ -158,11 +148,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 		}
 		idx := l.leftNeighborIdx(s.ID, x0)
 		if idx < 0 {
-			b, ok := boundary(r, x0)
-			if !ok {
-				return nil, chainInfeasible
-			}
-			if b > xlo {
+			if b := l.winPadLo(win, s.X.Lo); b > xlo {
 				xlo = b
 			}
 			continue
@@ -177,8 +163,13 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 			}
 			continue
 		}
-		addChain(nb)
-		bumpOff(nb, int64(nbct.Width)+l.spacing(nbc.Type, tct))
+		if sc.inChain[nb] != sc.stamp {
+			sc.inChain[nb] = sc.stamp
+			sc.chainIdx[nb] = int32(len(chain))
+			chain = append(chain, chainCell{id: nb})
+			queue = append(queue, int32(nb))
+		}
+		sc.bumpOff(nb, int64(nbct.Width)+l.spacing(nbc.Type, tct))
 	}
 
 	// BFS: explore left neighbors of chain members across all their rows.
@@ -197,13 +188,16 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 				continue
 			}
 			nb := lst[i-1]
-			if _, dup := inChain(nb); dup {
+			if sc.inChain[nb] == sc.stamp {
 				continue
 			}
 			if !l.isLocal(nb, win) || len(chain) >= capN {
 				continue // becomes a barrier below, via minPos
 			}
-			addChain(nb)
+			sc.inChain[nb] = sc.stamp
+			sc.chainIdx[nb] = int32(len(chain))
+			chain = append(chain, chainCell{id: nb})
+			queue = append(queue, int32(nb))
 		}
 	}
 
@@ -222,7 +216,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 		c := chain[ci].id
 		cc := &d.Cells[c]
 		cct := &d.Types[cc.Type]
-		off := seedOff(c)
+		off := sc.seedOff(c)
 		for r := cc.Y; r < cc.Y+cct.Height; r++ {
 			s, ok := l.grid.At(r, cc.X)
 			if !ok {
@@ -234,7 +228,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 				continue
 			}
 			rn := lst[i]
-			ri, ok2 := inChain(rn)
+			ri, ok2 := sc.chainAt(rn)
 			if !ok2 {
 				continue
 			}
@@ -264,11 +258,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 			lst := l.occ.cellsIn(s.ID)
 			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X >= cc.X })
 			if i-1 < 0 {
-				b, ok := boundary(r, cc.X)
-				if !ok {
-					return nil, chainInfeasible
-				}
-				if b > minPos {
+				if b := l.winPadLo(win, s.X.Lo); b > minPos {
 					minPos = b
 				}
 				continue
@@ -276,7 +266,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 			nb := lst[i-1]
 			nbc := &d.Cells[nb]
 			nbct := &d.Types[nbc.Type]
-			if ni, ok2 := inChain(nb); ok2 {
+			if ni, ok2 := sc.chainAt(nb); ok2 {
 				b := chain[ni].bound + int64(nbct.Width) + l.spacing(nbc.Type, cc.Type)
 				if b > minPos {
 					minPos = b
@@ -319,42 +309,6 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 	capN := l.chainCap(win)
 	xhi := int64(1) << 60
 
-	inChain := func(id model.CellID) (int32, bool) {
-		if sc.inChain[id] == sc.stamp {
-			return sc.chainIdx[id], true
-		}
-		return 0, false
-	}
-	addChain := func(id model.CellID) {
-		if sc.inChain[id] == sc.stamp {
-			return
-		}
-		sc.inChain[id] = sc.stamp
-		sc.chainIdx[id] = int32(len(chain))
-		chain = append(chain, chainCell{id: id})
-		queue = append(queue, int32(id))
-	}
-	bumpOff := func(id model.CellID, off int64) {
-		if sc.offStamp[id] != sc.stamp || off > sc.offReq[id] {
-			sc.offStamp[id] = sc.stamp
-			sc.offReq[id] = off
-		}
-	}
-	seedOff := func(id model.CellID) int64 {
-		if sc.offStamp[id] == sc.stamp {
-			return sc.offReq[id]
-		}
-		return 0
-	}
-
-	boundary := func(r int, at int) (int64, bool) {
-		s, ok := l.grid.At(r, at)
-		if !ok {
-			return 0, false
-		}
-		return l.winPadHi(win, s.X.Hi), true
-	}
-
 	for r := y; r < y+h; r++ {
 		s, ok := l.grid.At(r, x0)
 		if !ok || s.Fence != tc.Fence {
@@ -363,11 +317,7 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 		lst := l.occ.cellsIn(s.ID)
 		i := l.occ.splitAt(s.ID, x0)
 		if i >= len(lst) {
-			b, ok := boundary(r, x0)
-			if !ok {
-				return nil, -chainInfeasible
-			}
-			if v := b - tw; v < xhi {
+			if v := l.winPadHi(win, s.X.Hi) - tw; v < xhi {
 				xhi = v
 			}
 			continue
@@ -381,8 +331,13 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 			}
 			continue
 		}
-		addChain(nb)
-		bumpOff(nb, tw+l.spacing(tc.Type, nbc.Type))
+		if sc.inChain[nb] != sc.stamp {
+			sc.inChain[nb] = sc.stamp
+			sc.chainIdx[nb] = int32(len(chain))
+			chain = append(chain, chainCell{id: nb})
+			queue = append(queue, int32(nb))
+		}
+		sc.bumpOff(nb, tw+l.spacing(tc.Type, nbc.Type))
 	}
 
 	for qi := 0; qi < len(queue); qi++ {
@@ -400,13 +355,16 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 				continue
 			}
 			nb := lst[i]
-			if _, dup := inChain(nb); dup {
+			if sc.inChain[nb] == sc.stamp {
 				continue
 			}
 			if !l.isLocal(nb, win) || len(chain) >= capN {
 				continue
 			}
-			addChain(nb)
+			sc.inChain[nb] = sc.stamp
+			sc.chainIdx[nb] = int32(len(chain))
+			chain = append(chain, chainCell{id: nb})
+			queue = append(queue, int32(nb))
 		}
 	}
 
@@ -424,7 +382,7 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 	for _, ci := range order {
 		c := chain[ci].id
 		cc := &d.Cells[c]
-		off := seedOff(c)
+		off := sc.seedOff(c)
 		for r := cc.Y; r < cc.Y+d.Types[cc.Type].Height; r++ {
 			s, ok := l.grid.At(r, cc.X)
 			if !ok {
@@ -436,7 +394,7 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 				continue
 			}
 			ln := lst[i-1]
-			li, ok2 := inChain(ln)
+			li, ok2 := sc.chainAt(ln)
 			if !ok2 {
 				continue
 			}
@@ -468,18 +426,14 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 			lst := l.occ.cellsIn(s.ID)
 			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X > cc.X })
 			if i >= len(lst) {
-				b, ok := boundary(r, cc.X)
-				if !ok {
-					return nil, -chainInfeasible
-				}
-				if v := b - cw; v < maxPos {
+				if v := l.winPadHi(win, s.X.Hi) - cw; v < maxPos {
 					maxPos = v
 				}
 				continue
 			}
 			nb := lst[i]
 			nbc := &d.Cells[nb]
-			if ni, ok2 := inChain(nb); ok2 {
+			if ni, ok2 := sc.chainAt(nb); ok2 {
 				b := chain[ni].bound - l.spacing(cc.Type, nbc.Type) - cw
 				if b < maxPos {
 					maxPos = b
@@ -509,7 +463,9 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 
 // evaluateInsertion builds the displacement curve for the insertion
 // point defined by (y, x0) and returns the best position and cost. The
-// second return is false if the point is infeasible.
+// second return is false if the point is infeasible. The returned
+// plan's moves alias sc.moves and are only valid until the next
+// evaluation with the same scratch.
 func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) (plan, bool) {
 	d := l.d
 	tc := &d.Cells[t]
@@ -557,13 +513,12 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 		return plan{}, false
 	}
 
-	total := curve.Abs(int64(tc.GX), siteW, int64(geom.Abs(y-tc.GY))*rowH)
-	gRef := func(c *model.Cell) int64 {
-		if l.opt.CostFromCurrent {
-			return int64(c.X) // MLL semantics: cost from current position
-		}
-		return int64(c.GX)
-	}
+	// The summed curve lives in the scratch and is accumulated in
+	// place: the former per-cell curve constructors allocated a curve
+	// plus breakpoint storage for every local cell of every insertion
+	// point.
+	total := &sc.total
+	total.ResetAbs(int64(tc.GX), siteW, int64(geom.Abs(y-tc.GY))*rowH)
 	// Each local cell contributes its *incremental* displacement: the
 	// curve minus its current (sunk) displacement. Without the
 	// subtraction, insertion points whose windows happen to contain
@@ -574,8 +529,11 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 		if left[i].off <= 0 {
 			continue
 		}
-		g := gRef(c)
-		total.Add(curve.PushLeft(int64(c.X), g, left[i].off, siteW))
+		g := int64(c.GX)
+		if l.opt.CostFromCurrent {
+			g = int64(c.X) // MLL semantics: cost from current position
+		}
+		total.AddPushLeft(int64(c.X), g, left[i].off, siteW)
 		total.AddConst(-siteW * abs64(int64(c.X)-g))
 	}
 	for i := range right {
@@ -583,8 +541,11 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 		if right[i].off <= 0 {
 			continue
 		}
-		g := gRef(c)
-		total.Add(curve.PushRight(int64(c.X), g, right[i].off, siteW))
+		g := int64(c.GX)
+		if l.opt.CostFromCurrent {
+			g = int64(c.X)
+		}
+		total.AddPushRight(int64(c.X), g, right[i].off, siteW)
 		total.AddConst(-siteW * abs64(int64(c.X)-g))
 	}
 
@@ -625,6 +586,7 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 	}
 
 	p := plan{target: t, x: int(bestX), y: y, cost: bestV, ok: true}
+	moves := sc.moves[:0]
 	for i := range left {
 		if left[i].off <= 0 {
 			continue
@@ -635,7 +597,7 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 			nx = int64(c.X)
 		}
 		if nx != int64(c.X) {
-			p.moves = append(p.moves, move{id: left[i].id, newX: int(nx)})
+			moves = append(moves, move{id: left[i].id, newX: int(nx)})
 		}
 	}
 	for i := range right {
@@ -648,8 +610,10 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 			nx = int64(c.X)
 		}
 		if nx != int64(c.X) {
-			p.moves = append(p.moves, move{id: right[i].id, newX: int(nx)})
+			moves = append(moves, move{id: right[i].id, newX: int(nx)})
 		}
 	}
+	sc.moves = moves
+	p.moves = moves
 	return p, true
 }

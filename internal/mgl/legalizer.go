@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"slices"
 	"sort"
 	"sync"
 
@@ -18,6 +19,10 @@ type Stats struct {
 	Placed        int
 	WindowRetries int
 	Batches       int
+	// Workers is the evaluation concurrency the run actually used
+	// (after defaulting). It never affects the placement — see
+	// Options.Workers — and is reported for observability only.
+	Workers int
 }
 
 // Legalizer runs multi-row global legalization over one design.
@@ -27,6 +32,7 @@ type Legalizer struct {
 	occ   *occupancy
 	opt   Options
 	maxSp int
+	rs    runState
 
 	// Stats is populated by Run; it remains valid (partially filled)
 	// after a failed or cancelled run.
@@ -46,7 +52,7 @@ func New(d *model.Design, grid *seg.Grid, opt Options) *Legalizer {
 
 // Order returns the cell legalization order under the configured policy.
 func (l *Legalizer) Order() []model.CellID {
-	var ids []model.CellID
+	ids := make([]model.CellID, 0, l.d.MovableCount())
 	for i := range l.d.Cells {
 		if !l.d.Cells[i].Fixed {
 			ids = append(ids, model.CellID(i))
@@ -105,9 +111,31 @@ func (l *Legalizer) windowFor(t model.CellID, attempt int) geom.Rect {
 	return win.Intersect(core)
 }
 
+// betterPlan reports whether p beats best: by cost, then by |Δrow| to
+// the GP row, then by lower y, then lower x. An unset best always
+// loses. The tiebreak chain makes the choice worker-independent.
+func betterPlan(p, best plan, gy int) bool {
+	if !best.ok {
+		return true
+	}
+	if p.cost != best.cost {
+		return p.cost < best.cost
+	}
+	da, db := geom.Abs(p.y-gy), geom.Abs(best.y-gy)
+	if da != db {
+		return da < db
+	}
+	if p.y != best.y {
+		return p.y < best.y
+	}
+	return p.x < best.x
+}
+
 // bestInWindow evaluates every insertion point of t in win and returns
-// the cheapest feasible plan.
-func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect) (plan, bool) {
+// the cheapest feasible plan. The winning plan's moves are copied into
+// *dst (reusing its capacity), so the returned plan stays valid after
+// the evaluation's scratch buffers are recycled.
+func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect, dst *[]move) (plan, bool) {
 	d := l.d
 	tc := &d.Cells[t]
 	tct := &d.Types[tc.Type]
@@ -117,60 +145,71 @@ func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect) (plan, bool) {
 	defer scratchPool.Put(sc)
 
 	var best plan
-	better := func(p plan) bool {
-		if !best.ok {
-			return true
-		}
-		if p.cost != best.cost {
-			return p.cost < best.cost
-		}
-		da, db := geom.Abs(p.y-tc.GY), geom.Abs(best.y-tc.GY)
-		if da != db {
-			return da < db
-		}
-		if p.y != best.y {
-			return p.y < best.y
-		}
-		return p.x < best.x
-	}
 
-	// Scan candidate rows outward from the GP row so that row pruning
-	// (PruneSlackRows) can stop early: once the y-cost alone exceeds
-	// the best cost plus the slack, no farther row can win.
-	rows := make([]int, 0, win.H())
-	for y := win.YLo; y+h <= win.YHi; y++ {
-		if y < 0 || y+h > d.Tech.NumRows {
-			continue
-		}
-		rows = append(rows, y)
+	// Scan candidate rows outward from the GP row — distance ascending,
+	// lower row first on ties — so that row pruning (PruneSlackRows) can
+	// stop early: once the y-cost alone exceeds the best cost plus the
+	// slack, no farther row can win. The order is generated directly
+	// (no row buffer, no sort): for each distance dist, try GY-dist
+	// then GY+dist.
+	yLo := win.YLo
+	if yLo < 0 {
+		yLo = 0
 	}
-	sort.Slice(rows, func(a, b int) bool {
-		da, db := geom.Abs(rows[a]-tc.GY), geom.Abs(rows[b]-tc.GY)
-		if da != db {
-			return da < db
+	yHi := win.YHi
+	if yHi > d.Tech.NumRows {
+		yHi = d.Tech.NumRows
+	}
+	yHi -= h // highest valid bottom row
+	gy := tc.GY
+	dMax := -1
+	if yHi >= yLo {
+		dMax = geom.Abs(gy - yLo)
+		if v := geom.Abs(yHi - gy); v > dMax {
+			dMax = v
 		}
-		return rows[a] < rows[b]
-	})
+	}
 	rowH := int64(d.Tech.RowH)
-	for _, y := range rows {
-		if l.opt.PruneSlackRows >= 0 && best.ok {
-			yCost := int64(geom.Abs(y-tc.GY)) * rowH
-			if yCost > best.cost+int64(l.opt.PruneSlackRows)*rowH {
-				break
+rowLoop:
+	for dist := 0; dist <= dMax; dist++ {
+		for side := 0; side < 2; side++ {
+			y := gy - dist
+			if side == 1 {
+				if dist == 0 {
+					continue
+				}
+				y = gy + dist
+			}
+			if y < yLo || y > yHi {
+				continue
+			}
+			if l.opt.PruneSlackRows >= 0 && best.ok {
+				yCost := int64(dist) * rowH
+				if yCost > best.cost+int64(l.opt.PruneSlackRows)*rowH {
+					break rowLoop
+				}
+			}
+			if !d.Tech.RowAllowed(h, y) {
+				continue
+			}
+			if l.opt.Rules != nil && l.opt.Rules.RowForbidden(tc.Type, y) {
+				continue
+			}
+			for _, x0 := range l.insertionReps(sc, tc.Fence, y, h, win) {
+				p, ok := l.evaluateInsertion(sc, t, y, h, x0, win)
+				if ok && betterPlan(p, best, gy) {
+					// p.moves aliases sc.moves, which the next
+					// evaluation overwrites: keep a stable copy.
+					sc.bestMoves = append(sc.bestMoves[:0], p.moves...)
+					best = p
+					best.moves = sc.bestMoves
+				}
 			}
 		}
-		if !d.Tech.RowAllowed(h, y) {
-			continue
-		}
-		if l.opt.Rules != nil && l.opt.Rules.RowForbidden(tc.Type, y) {
-			continue
-		}
-		for _, x0 := range l.insertionReps(tc.Fence, y, h, win) {
-			p, ok := l.evaluateInsertion(sc, t, y, h, x0, win)
-			if ok && better(p) {
-				best = p
-			}
-		}
+	}
+	if best.ok {
+		*dst = append((*dst)[:0], best.moves...)
+		best.moves = *dst
 	}
 	return best, best.ok
 }
@@ -178,34 +217,46 @@ func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect) (plan, bool) {
 // insertionReps returns the representative x positions that enumerate
 // all distinct insertion points for rows [y,y+h) within win: one per
 // elementary interval between segment starts and placed-cell left
-// edges.
-func (l *Legalizer) insertionReps(f model.FenceID, y, h int, win geom.Rect) []int {
-	var reps []int
-	add := func(x int) {
-		if x >= win.XLo && x < win.XHi {
-			reps = append(reps, x)
-		}
+// edges. The returned slice is owned by sc and valid until the next
+// call.
+func (l *Legalizer) insertionReps(sc *scratch, f model.FenceID, y, h int, win geom.Rect) []int {
+	reps := sc.reps[:0]
+	lo, hi := win.XLo, win.XHi
+	if lo < hi {
+		reps = append(reps, lo)
 	}
-	add(win.XLo)
+	cells := l.d.Cells
 	for r := y; r < y+h; r++ {
 		for _, sid := range l.grid.Row(r) {
 			s := l.grid.Segs[sid]
-			if s.Fence != f || !s.X.Overlaps(geom.Interval{Lo: win.XLo, Hi: win.XHi}) {
+			if s.Fence != f || !s.X.Overlaps(geom.Interval{Lo: lo, Hi: hi}) {
 				continue
 			}
-			add(s.X.Lo)
-			for _, id := range l.occ.cellsIn(sid) {
-				add(l.d.Cells[id].X)
+			if x := s.X.Lo; x >= lo && x < hi {
+				reps = append(reps, x)
+			}
+			// Only cells whose left edge lies inside [lo, hi) can
+			// contribute; the occupancy list is x-sorted, so binary
+			// search to the first candidate and stop at the window end.
+			lst := l.occ.cellsIn(sid)
+			start := sort.Search(len(lst), func(k int) bool { return cells[lst[k]].X >= lo })
+			for _, id := range lst[start:] {
+				x := cells[id].X
+				if x >= hi {
+					break
+				}
+				reps = append(reps, x)
 			}
 		}
 	}
-	sort.Ints(reps)
+	slices.Sort(reps)
 	out := reps[:0]
 	for i, x := range reps {
 		if i == 0 || x != reps[i-1] {
 			out = append(out, x)
 		}
 	}
+	sc.reps = reps
 	return out
 }
 
@@ -259,16 +310,185 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// runState holds the scheduler's per-run buffers: per-cell retry
+// counters, epoch-stamped batch membership (replacing per-batch maps),
+// the per-slot evaluation results, and the sorted-interval sweep over
+// the chosen windows. Everything is allocated once per design size and
+// reused across batches and runs.
+type runState struct {
+	// Per-cell state, indexed by CellID. attempt and quality persist
+	// across batches within one run; selEpoch/failEpoch mark batch
+	// membership by carrying the batch's epoch value, so "clearing"
+	// them between batches is a single counter increment.
+	attempt   []int32
+	quality   []int32
+	selEpoch  []uint32
+	failEpoch []uint32
+	epoch     uint32
+
+	// Per-batch slots, capacity BatchCap.
+	batch     []model.CellID
+	wins      []geom.Rect
+	plans     []plan
+	oks       []bool
+	panics    []*WorkerPanicError
+	moves     [][]move // stable backing storage for plans[i].moves
+	committed []model.CellID
+
+	// Window-overlap sweep: indices into wins sorted by XLo, with a
+	// parallel prefix-maximum of XHi (see overlapsChosen).
+	byXLo []int32
+	maxHi []int
+}
+
+func (rs *runState) ensure(nCells, batchCap int) {
+	if len(rs.attempt) < nCells {
+		rs.attempt = make([]int32, nCells)
+		rs.quality = make([]int32, nCells)
+		rs.selEpoch = make([]uint32, nCells)
+		rs.failEpoch = make([]uint32, nCells)
+	} else {
+		// Repeat runs restart the retry counters; the epoch stamps
+		// stay valid because the epoch counter keeps increasing.
+		clear(rs.attempt[:nCells])
+		clear(rs.quality[:nCells])
+	}
+	if cap(rs.plans) < batchCap {
+		rs.batch = make([]model.CellID, 0, batchCap)
+		rs.wins = make([]geom.Rect, 0, batchCap)
+		rs.plans = make([]plan, batchCap)
+		rs.oks = make([]bool, batchCap)
+		rs.panics = make([]*WorkerPanicError, batchCap)
+		rs.moves = make([][]move, batchCap)
+		rs.byXLo = make([]int32, 0, batchCap)
+		rs.maxHi = make([]int, 0, batchCap)
+	}
+}
+
+// overlapsChosen reports whether w overlaps any window already chosen
+// for the current batch. Instead of the former O(batch) pairwise scan
+// per candidate, the chosen windows are kept sorted by XLo with a
+// running prefix-max of XHi: windows starting at or right of w.XHi are
+// skipped by binary search, and the backward scan stops as soon as the
+// prefix maximum right edge falls at or left of w.XLo. The residual
+// rectangle test is exact, so batch composition — and therefore the
+// final placement — is identical to the pairwise version.
+func (rs *runState) overlapsChosen(w geom.Rect) bool {
+	k := sort.Search(len(rs.byXLo), func(i int) bool {
+		return rs.wins[rs.byXLo[i]].XLo >= w.XHi
+	})
+	for j := k - 1; j >= 0; j-- {
+		if rs.maxHi[j] <= w.XLo {
+			return false
+		}
+		if rs.wins[rs.byXLo[j]].Overlaps(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// addChosen inserts wins[idx] into the sweep structures, keeping byXLo
+// sorted and maxHi its prefix maximum of XHi.
+func (rs *runState) addChosen(idx int) {
+	w := rs.wins[idx]
+	k := sort.Search(len(rs.byXLo), func(i int) bool {
+		return rs.wins[rs.byXLo[i]].XLo > w.XLo
+	})
+	rs.byXLo = append(rs.byXLo, 0)
+	copy(rs.byXLo[k+1:], rs.byXLo[k:])
+	rs.byXLo[k] = int32(idx)
+	rs.maxHi = append(rs.maxHi, 0)
+	for j := k; j < len(rs.byXLo); j++ {
+		hi := rs.wins[rs.byXLo[j]].XHi
+		if j > 0 && rs.maxHi[j-1] > hi {
+			hi = rs.maxHi[j-1]
+		}
+		rs.maxHi[j] = hi
+	}
+}
+
+// evalOne evaluates batch slot i against the current snapshot. A panic
+// inside the evaluation is recovered into a typed *WorkerPanicError
+// carrying the cell and stack — the first panic wins deterministically
+// (lowest batch index) — so a degenerate window can never crash the
+// process.
+func (l *Legalizer) evalOne(i int) {
+	rs := &l.rs
+	defer func() {
+		if r := recover(); r != nil {
+			rs.panics[i] = &WorkerPanicError{
+				Cell: rs.batch[i], Value: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if l.opt.Faults.ShouldFire(faults.MGLWorkerPanic) {
+		panic("injected worker panic")
+	}
+	rs.plans[i], rs.oks[i] = l.bestInWindow(rs.batch[i], rs.wins[i], &rs.moves[i])
+}
+
+// evalPool is the persistent evaluation worker pool of one RunContext:
+// opt.Workers goroutines started once, fed batch slot indices over a
+// channel, and torn down by stop() on every return path. This replaces
+// the former per-batch goroutine+semaphore spawn, whose setup cost was
+// paid thousands of times per run.
+type evalPool struct {
+	work    chan int
+	workers sync.WaitGroup // worker goroutine lifetimes
+	pending sync.WaitGroup // outstanding evaluations of the current batch
+}
+
+// startPool launches the workers. Workers observing a cancelled ctx
+// drain their indices without evaluating (oks stays false); RunContext
+// checks ctx before interpreting any result.
+func (l *Legalizer) startPool(ctx context.Context) *evalPool {
+	// The buffer covers a full batch, so dispatch never blocks.
+	p := &evalPool{work: make(chan int, l.opt.BatchCap)}
+	p.workers.Add(l.opt.Workers)
+	for w := 0; w < l.opt.Workers; w++ {
+		go func() {
+			defer p.workers.Done()
+			for i := range p.work {
+				if ctx.Err() == nil {
+					l.evalOne(i)
+				}
+				p.pending.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run evaluates slots [0,n) of the current batch and blocks until all
+// are done. The WaitGroup handoff orders the workers' writes to the
+// runState slots before RunContext reads them.
+func (p *evalPool) run(n int) {
+	p.pending.Add(n)
+	for i := 0; i < n; i++ {
+		p.work <- i
+	}
+	p.pending.Wait()
+}
+
+// stop tears the pool down and waits for every worker to exit, so a
+// returned RunContext never leaks goroutines (see
+// TestPoolShutdownNoGoroutineLeak).
+func (p *evalPool) stop() {
+	close(p.work)
+	p.workers.Wait()
+}
+
 // Run legalizes every movable cell (see RunContext).
 func (l *Legalizer) Run() error { return l.RunContext(context.Background()) }
 
 // RunContext legalizes every movable cell using the deterministic
 // window scheduler of paper Section 3.5: each iteration selects up to
 // BatchCap cells (in queue order) whose windows are pairwise disjoint,
-// evaluates them (in parallel for Workers > 1) against the iteration's
-// snapshot, then commits the results in queue order. Batch composition
-// and commit order never depend on Workers, so the final placement is
-// byte-identical for every worker count.
+// evaluates them (on the persistent worker pool for Workers > 1)
+// against the iteration's snapshot, then commits the results in queue
+// order. Batch composition and commit order never depend on Workers,
+// so the final placement is byte-identical for every worker count.
 //
 // Cancelling ctx aborts between batches — never mid-commit — with
 // ctx.Err(): cells already committed keep their legal positions and
@@ -276,90 +496,63 @@ func (l *Legalizer) Run() error { return l.RunContext(context.Background()) }
 // consistent and auditable (though not legal).
 func (l *Legalizer) RunContext(ctx context.Context) error {
 	queue := l.Order()
-	attempt := make(map[model.CellID]int, len(queue))
-	quality := make(map[model.CellID]int, len(queue))
+	rs := &l.rs
+	rs.ensure(len(l.d.Cells), l.opt.BatchCap)
+	l.Stats.Workers = l.opt.Workers
+	var pool *evalPool
+	if l.opt.Workers > 1 {
+		pool = l.startPool(ctx)
+		defer pool.stop()
+	}
 	core := l.d.Tech.CoreRect()
 	for len(queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Select the batch L_p: queue-ordered, pairwise-disjoint windows.
-		var batch []model.CellID
-		var wins []geom.Rect
-		selected := make(map[model.CellID]bool, l.opt.BatchCap)
+		rs.epoch++
+		rs.batch = rs.batch[:0]
+		rs.wins = rs.wins[:0]
+		rs.byXLo = rs.byXLo[:0]
+		rs.maxHi = rs.maxHi[:0]
 		for _, t := range queue {
-			if len(batch) >= l.opt.BatchCap {
+			if len(rs.batch) >= l.opt.BatchCap {
 				break
 			}
-			w := l.windowFor(t, attempt[t])
-			clash := false
-			for _, o := range wins {
-				if w.Overlaps(o) {
-					clash = true
-					break
-				}
-			}
-			if clash {
+			w := l.windowFor(t, int(rs.attempt[t]))
+			if rs.overlapsChosen(w) {
 				continue
 			}
-			batch = append(batch, t)
-			wins = append(wins, w)
-			selected[t] = true
+			rs.batch = append(rs.batch, t)
+			rs.wins = append(rs.wins, w)
+			rs.addChosen(len(rs.batch) - 1)
+			rs.selEpoch[t] = rs.epoch
 		}
 		l.Stats.Batches++
 
 		// Evaluation against the current snapshot: inline for a single
-		// worker, parallel otherwise. Cancelled workers leave oks[i]
-		// false, but those entries are never interpreted — the ctx
-		// check below returns before any commit. A panic inside an
-		// evaluation (worker or inline) is recovered into a typed
-		// *WorkerPanicError carrying the cell and stack — the first
-		// panic wins deterministically (lowest batch index) — so a
-		// degenerate window can never crash the process.
-		plans := make([]plan, len(batch))
-		oks := make([]bool, len(batch))
-		panics := make([]*WorkerPanicError, len(batch))
-		evalOne := func(i int) {
-			defer func() {
-				if r := recover(); r != nil {
-					panics[i] = &WorkerPanicError{
-						Cell: batch[i], Value: r, Stack: debug.Stack(),
-					}
-				}
-			}()
-			if l.opt.Faults.ShouldFire(faults.MGLWorkerPanic) {
-				panic("injected worker panic")
-			}
-			plans[i], oks[i] = l.bestInWindow(batch[i], wins[i])
+		// worker, on the pool otherwise. Cancelled evaluations leave
+		// oks[i] false, but those entries are never interpreted — the
+		// ctx check below returns before any commit.
+		n := len(rs.batch)
+		for i := 0; i < n; i++ {
+			rs.oks[i] = false
+			rs.panics[i] = nil
 		}
-		if l.opt.Workers == 1 {
-			for i := range batch {
+		if pool != nil {
+			pool.run(n)
+		} else {
+			for i := 0; i < n; i++ {
 				if ctx.Err() != nil {
 					break
 				}
-				evalOne(i)
+				l.evalOne(i)
 			}
-		} else {
-			var wg sync.WaitGroup
-			sem := make(chan struct{}, l.opt.Workers)
-			for i := range batch {
-				wg.Add(1)
-				sem <- struct{}{}
-				go func(i int) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					if ctx.Err() != nil {
-						return
-					}
-					evalOne(i)
-				}(i)
-			}
-			wg.Wait()
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for _, pe := range panics {
+		for _, pe := range rs.panics[:n] {
 			if pe != nil {
 				return pe
 			}
@@ -367,45 +560,44 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 
 		// Sequential deterministic commit; failures grow their window
 		// and return to the queue.
-		failed := make(map[model.CellID]bool)
-		var committed []model.CellID
-		for i, t := range batch {
-			if oks[i] {
+		rs.committed = rs.committed[:0]
+		for i, t := range rs.batch {
+			if rs.oks[i] {
 				// Quality-driven growth (see legalizeOne): if a
 				// cheaper position may lie outside this window and the
 				// budget allows, retry with a bigger window instead of
 				// committing. The next batch re-evaluates fresh, which
 				// keeps batch windows disjoint.
-				if wins[i] != core && l.opt.QualityGrowths >= 0 &&
-					quality[t] < l.opt.QualityGrowths &&
-					plans[i].cost > l.coverageBound(t, wins[i]) {
-					quality[t]++
-					attempt[t]++
-					failed[t] = true
+				if rs.wins[i] != core && l.opt.QualityGrowths >= 0 &&
+					int(rs.quality[t]) < l.opt.QualityGrowths &&
+					rs.plans[i].cost > l.coverageBound(t, rs.wins[i]) {
+					rs.quality[t]++
+					rs.attempt[t]++
+					rs.failEpoch[t] = rs.epoch
 					l.Stats.WindowRetries++
 					continue
 				}
-				if err := l.commit(plans[i]); err != nil {
+				if err := l.commit(rs.plans[i]); err != nil {
 					return err
 				}
-				committed = append(committed, t)
+				rs.committed = append(rs.committed, t)
 				continue
 			}
 			l.Stats.WindowRetries++
-			if wins[i] == core {
+			if rs.wins[i] == core {
 				return &InfeasibleError{Cell: t, Name: l.d.Cells[t].Name, Fence: l.d.Cells[t].Fence}
 			}
-			attempt[t]++
-			failed[t] = true
+			rs.attempt[t]++
+			rs.failEpoch[t] = rs.epoch
 		}
 		next := queue[:0]
 		for _, t := range queue {
-			if !selected[t] || failed[t] {
+			if rs.selEpoch[t] != rs.epoch || rs.failEpoch[t] == rs.epoch {
 				next = append(next, t)
 			}
 		}
 		queue = next
-		if l.opt.DebugAfterBatch != nil && !l.opt.DebugAfterBatch(committed) {
+		if l.opt.DebugAfterBatch != nil && !l.opt.DebugAfterBatch(rs.committed) {
 			return fmt.Errorf("mgl: aborted by debug hook")
 		}
 	}

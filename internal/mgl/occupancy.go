@@ -38,6 +38,19 @@ func newOccupancy(d *model.Design, grid *seg.Grid) *occupancy {
 	}
 }
 
+// reserve returns s with room for one more element, growing by at
+// least eight slots at a time: append's doubling reallocates four
+// times to reach the first eight elements, so small segment lists were
+// re-copying on nearly every insert.
+func reserve[T any](s []T) []T {
+	if len(s) < cap(s) {
+		return s[:len(s)+1]
+	}
+	ns := make([]T, len(s)+1, 2*cap(s)+8)
+	copy(ns, s)
+	return ns
+}
+
 // insert registers a placed cell in the segments of all rows it spans.
 // The cell's X/Y must already be final. A cell outside any segment —
 // an inconsistency between the committed plan and the grid — yields a
@@ -51,25 +64,26 @@ func (o *occupancy) insert(id model.CellID) error {
 		if !ok {
 			return &InsertError{Cell: id, Name: c.Name, X: c.X, Y: c.Y, Row: r}
 		}
-		lst := o.segs[s.ID]
-		i := sort.Search(len(lst), func(k int) bool { return o.d.Cells[lst[k]].X > c.X })
-		lst = append(lst, 0)
+		lst := reserve(o.segs[s.ID])
+		i := sort.Search(len(lst)-1, func(k int) bool { return o.d.Cells[lst[k]].X > c.X })
 		copy(lst[i+1:], lst[i:])
 		lst[i] = id
 		o.segs[s.ID] = lst
 
+		// One shift-and-add pass keeps prefW a prefix sum of widths:
+		// entries after the insertion point slide right one slot
+		// (pw[i+1] becomes a copy of pw[i], the prefix up to the new
+		// cell), then the new cell's width is added to the whole tail.
 		pw := o.prefW[s.ID]
 		if len(pw) == 0 {
 			pw = append(pw, 0)
 		}
-		pw = append(pw, 0)
+		pw = reserve(pw)
 		copy(pw[i+2:], pw[i+1:])
+		pw[i+1] = pw[i]
+		w := int32(ct.Width)
 		for k := i + 1; k < len(pw); k++ {
-			if k == i+1 {
-				pw[k] = pw[k-1] + int32(ct.Width)
-			} else {
-				pw[k] += int32(ct.Width)
-			}
+			pw[k] += w
 		}
 		o.prefW[s.ID] = pw
 	}

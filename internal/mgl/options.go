@@ -82,7 +82,8 @@ type Options struct {
 	// DebugAfterBatch, when set, is called after each batch commit
 	// with the cells actually placed by the batch; returning false
 	// aborts the run. Intended for tests and debugging (e.g.
-	// cancelling a context mid-run at a deterministic point).
+	// cancelling a context mid-run at a deterministic point). The
+	// slice is reused between batches: copy it if you keep it.
 	DebugAfterBatch func(placed []model.CellID) bool
 	// Faults is the optional fault-injection harness; armed points
 	// (faults.MGLWorkerPanic, faults.MGLInsertOutside) force failures

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mgl
+
+const raceEnabled = false

@@ -1,10 +1,17 @@
 package mgl
 
-import "sync"
+import (
+	"sync"
+
+	"mclegal/internal/curve"
+)
 
 // scratch holds reusable per-evaluation buffers indexed by cell ID,
 // replacing per-insertion-point map allocations on the hot path. Each
-// chain build bumps the stamp, implicitly clearing the arrays.
+// chain build bumps the stamp, implicitly clearing the arrays. After a
+// few windows of warm-up every buffer has reached its steady-state
+// capacity and a window evaluation performs zero heap allocations (see
+// TestBestInWindowZeroAlloc).
 type scratch struct {
 	stamp    int32
 	inChain  []int32 // stamp marker: cell is in the current chain
@@ -16,6 +23,11 @@ type scratch struct {
 	chainR []chainCell
 	queue  []int32
 	order  []int
+
+	reps      []int       // insertion-point representatives (insertionReps)
+	total     curve.Curve // summed displacement curve (evaluateInsertion)
+	moves     []move      // candidate plan moves (evaluateInsertion)
+	bestMoves []move      // current best plan's moves (bestInWindow)
 }
 
 func (s *scratch) reset(n int) {

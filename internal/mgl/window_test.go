@@ -122,7 +122,8 @@ func TestInsertionRepsEnumeration(t *testing.T) {
 	l.occ.insert(a)
 	l.occ.insert(b)
 	win := geom.Rect{XLo: 5, YLo: 0, XHi: 50, YHi: 3}
-	reps := l.insertionReps(model.DefaultFence, 1, 1, win)
+	sc := new(scratch)
+	reps := l.insertionReps(sc, model.DefaultFence, 1, 1, win)
 	// Expected: window start 5, cell edges 10 and 30. The segment start
 	// (0) is left of the window.
 	want := []int{5, 10, 30}
@@ -138,7 +139,7 @@ func TestInsertionRepsEnumeration(t *testing.T) {
 	c := addCell(d, 0, 20, 2, 0)
 	d.Cells[c].X, d.Cells[c].Y = 20, 2
 	l.occ.insert(c)
-	reps = l.insertionReps(model.DefaultFence, 1, 2, win)
+	reps = l.insertionReps(sc, model.DefaultFence, 1, 2, win)
 	want = []int{5, 10, 20, 30}
 	if len(reps) != len(want) {
 		t.Fatalf("2-row reps = %v, want %v", reps, want)

@@ -51,5 +51,6 @@ func (s *MGLStage) Counters(pc *PipelineContext) map[string]int64 {
 		"cells_placed":   int64(pc.MGLStats.Placed),
 		"window_retries": int64(pc.MGLStats.WindowRetries),
 		"batches":        int64(pc.MGLStats.Batches),
+		"eval_workers":   int64(pc.MGLStats.Workers),
 	}
 }
