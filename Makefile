@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-smoke bench-json clean fuzz faults
+.PHONY: all build test vet lint race check bench bench-smoke bench-json clean fuzz faults
 
 all: check
 
@@ -9,6 +9,19 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: go vet, staticcheck when installed (offline
+# sandboxes have no module proxy, so it is only mandatory in CI where
+# the lint job installs it), and the in-tree mclegal-vet analyzer suite
+# enforcing the determinism/aliasing/numeric invariants
+# (docs/STATIC_ANALYSIS.md). Any diagnostic fails the target.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs and enforces it)"; \
+	fi
+	$(GO) run ./cmd/mclegal-vet ./...
 
 test:
 	$(GO) test ./...
@@ -31,10 +44,11 @@ faults:
 	$(GO) test -race -run 'Gate|Recovery|Fallback|BestEffort|Strict|Panic|Inject|Fault' \
 		./internal/stage/ ./internal/flow/ ./internal/mgl/ ./internal/faults/
 
-# The full gate: vet + build + the whole suite under the race detector
-# (includes the worker-count determinism, cancellation and
-# fault-injection tests), plus the fuzz smoke run.
-check: vet build race fuzz
+# The full gate: lint (vet + staticcheck + mclegal-vet) + build + the
+# whole suite under the race detector (includes the worker-count
+# determinism, cancellation and fault-injection tests), plus the fuzz
+# smoke run.
+check: lint build race fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

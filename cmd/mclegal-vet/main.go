@@ -1,0 +1,186 @@
+// Command mclegal-vet runs the in-tree analyzer suite
+// (internal/analysis) over the module: determinism (maporder,
+// nowallclock), aliasing (scratchescape), numeric (floatcmp), and
+// error-taxonomy (typederr) invariants. See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//
+//	mclegal-vet [packages]
+//
+// Package arguments are import paths of this module or the ./... and
+// ./dir/... wildcard forms; with no arguments it checks ./... from the
+// working directory's module root. Exits 1 if any diagnostic is
+// reported, 2 on usage or load errors.
+package main
+
+import (
+	"fmt"
+	"go/build"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mclegal/internal/analysis"
+	"mclegal/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclegal-vet:", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	paths, err := expandPatterns(modRoot, modPath, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclegal-vet:", err)
+		return 2
+	}
+
+	loader := framework.NewLoader(modPath, modRoot)
+	analyzers := analysis.All()
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.LoadTarget(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
+			exit = 2
+			continue
+		}
+		diags, err := framework.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mclegal-vet: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and reads its module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s", filepath.Join(dir, "go.mod"))
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns turns package arguments into a sorted list of module
+// import paths. Supported forms: explicit import paths ("mclegal/...",
+// "internal/mgl"), relative paths ("./internal/mgl"), and the
+// recursive wildcards "./..." and "dir/...".
+func expandPatterns(modRoot, modPath string, args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		rel, recursive := normalizePattern(modPath, arg)
+		if !recursive {
+			if containsGoPackage(filepath.Join(modRoot, filepath.FromSlash(rel))) {
+				add(joinImport(modPath, rel))
+				continue
+			}
+			return nil, fmt.Errorf("no Go package in %q", arg)
+		}
+		base := filepath.Join(modRoot, filepath.FromSlash(rel))
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if containsGoPackage(p) {
+				sub, err := filepath.Rel(modRoot, p)
+				if err != nil {
+					return err
+				}
+				add(joinImport(modPath, filepath.ToSlash(sub)))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expanding %q: %w", arg, err)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// normalizePattern reduces one argument to a module-relative directory
+// and whether it ends in the /... wildcard.
+func normalizePattern(modPath, arg string) (rel string, recursive bool) {
+	if arg == "./..." || arg == "..." {
+		return ".", true
+	}
+	if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+		rel, _ := normalizePattern(modPath, rest)
+		return rel, true
+	}
+	arg = strings.TrimPrefix(arg, "./")
+	if arg == "" || arg == "." {
+		return ".", false
+	}
+	if arg == modPath {
+		return ".", false
+	}
+	if rest, ok := strings.CutPrefix(arg, modPath+"/"); ok {
+		return rest, false
+	}
+	return arg, false
+}
+
+// containsGoPackage reports whether dir holds buildable non-test Go
+// files under the host build constraints.
+func containsGoPackage(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles)+len(bp.CgoFiles) > 0
+}
+
+func joinImport(modPath, rel string) string {
+	if rel == "." || rel == "" {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,24 @@
+// Package analysis bundles the mclegal-vet analyzer suite: mechanical
+// enforcement of the pipeline's determinism, aliasing, and numeric
+// invariants (docs/STATIC_ANALYSIS.md).
+package analysis
+
+import (
+	"mclegal/internal/analysis/floatcmp"
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/maporder"
+	"mclegal/internal/analysis/nowallclock"
+	"mclegal/internal/analysis/scratchescape"
+	"mclegal/internal/analysis/typederr"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		floatcmp.Analyzer,
+		maporder.Analyzer,
+		nowallclock.Analyzer,
+		scratchescape.Analyzer,
+		typederr.Analyzer,
+	}
+}

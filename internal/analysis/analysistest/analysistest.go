@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// and compares its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-tree
+// framework.
+//
+// A fixture line expecting a diagnostic carries a trailing comment of
+// the form
+//
+//	// want "regexp" `another regexp`
+//
+// with one Go string literal per expected diagnostic on that line.
+// Every diagnostic must be matched by a want and every want must be
+// matched by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mclegal/internal/analysis/framework"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	for _, path := range paths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			ld := framework.NewLoader("", "")
+			ld.FixtureRoot = src
+			pkg, err := ld.LoadTarget(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			wants := collectWants(t, pkg)
+		diagLoop:
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, w := range wants {
+					if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+						w.matched = true
+						continue diagLoop
+					}
+				}
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// collectWants extracts the // want expectations from every fixture
+// file.
+func collectWants(t *testing.T, pkg *framework.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *framework.Package, c *ast.Comment) []*want {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*want
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		lit, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed // want comment: %q", pos, c.Text)
+		}
+		pattern, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: malformed // want literal %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad // want regexp %q: %v", pos, pattern, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Package floatcmp flags == and != on floating-point operands in the
+// metric-critical packages (geom, curve, eval). Exact float equality
+// is almost always a latent bug there: metric values feed the
+// benchmark trajectory and gate checks, where representation noise
+// must be absorbed by an explicit epsilon.
+//
+// Comparisons inside the approved epsilon helpers — functions whose
+// name starts with "Approx" (geom.ApproxEq, geom.ApproxZero) — are
+// exempt; anything else needs a //mclegal:floatcmp <why> directive
+// (e.g. an intentional bit-exactness check).
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/scope"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on float operands outside Approx* epsilon helpers (suppress with //mclegal:floatcmp)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathMatchesAny(pass.Pkg.Path(), scope.FloatCritical) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Body ranges of the approved helpers, skipped wholesale.
+		var approved [][2]token.Pos
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && strings.HasPrefix(fd.Name.Name, "Approx") {
+				approved = append(approved, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			for _, r := range approved {
+				if be.Pos() >= r[0] && be.Pos() < r[1] {
+					return true
+				}
+			}
+			if pass.Suppressed("floatcmp", be.Pos()) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"%s on floating-point operands in %s: use an Approx* epsilon helper (geom.ApproxEq) or justify with //mclegal:floatcmp <why>",
+				be.Op, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,13 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "../testdata", floatcmp.Analyzer,
+		"floatcmp/internal/geom", "floatcmp/internal/other")
+}

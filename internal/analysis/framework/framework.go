@@ -1,0 +1,165 @@
+// Package framework is a self-contained re-implementation of the slice
+// of golang.org/x/tools/go/analysis that the mclegal-vet suite needs:
+// an Analyzer/Pass/Diagnostic vocabulary, a runner, and justification
+// directives. The container this repository builds in has no module
+// proxy access, so the upstream module cannot be vendored; the API
+// shape mirrors go/analysis closely enough that swapping the import
+// path (and the *_test.go harness) back to x/tools is mechanical.
+//
+// Directives: a diagnostic can be suppressed by a comment of the form
+//
+//	//mclegal:<name> <justification>
+//
+// on the flagged line or the line directly above it. The justification
+// text is mandatory — a bare directive is itself a diagnostic — so
+// every suppression in the tree documents why the invariant does not
+// apply. Each analyzer documents its directive name (e.g. maporder
+// honours //mclegal:ordered).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// mclegal-vet command line.
+	Name string
+	// Doc is the help text: first line is a summary, the rest explains
+	// the invariant being enforced.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives map[string]map[int]directive // filename -> line -> directive
+	diags      *[]Diagnostic
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+type directive struct {
+	name   string
+	reason string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+var directiveRe = regexp.MustCompile(`^//mclegal:([a-z]+)(?:[ \t]+(.*))?$`)
+
+// Suppressed reports whether a finding at pos is covered by a
+// //mclegal:<name> directive on the same line or the line above. A
+// directive without a justification suppresses the finding but is
+// reported itself, so suppressions can never silently lose their why.
+func (p *Pass) Suppressed(name string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, ln := range [2]int{position.Line, position.Line - 1} {
+		d, ok := lines[ln]
+		if !ok || d.name != name {
+			continue
+		}
+		if strings.TrimSpace(d.reason) == "" {
+			p.Reportf(pos, "//mclegal:%s directive is missing a justification", name)
+		}
+		return true
+	}
+	return false
+}
+
+// buildDirectives indexes every //mclegal: comment by file and line.
+func buildDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]directive {
+	out := make(map[string]map[int]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]directive)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = directive{name: m[1], reason: m[2]}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and returns
+// the combined diagnostics in position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	dirs := buildDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			directives: dirs,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// PathMatchesAny reports whether pkgPath is one of the target packages:
+// equal to a target or ending in "/"+target. Matching by suffix lets
+// analysistest fixtures (whose import paths are rooted in testdata/src)
+// scope themselves exactly like the real module packages.
+func PathMatchesAny(pkgPath string, targets []string) bool {
+	for _, t := range targets {
+		if pkgPath == t || strings.HasSuffix(pkgPath, "/"+t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages from source without invoking
+// the go command or touching the network: module-local import paths
+// resolve under ModuleRoot, everything else under GOROOT/src (or the
+// fixture tree when FixtureRoot is set). Target packages are checked
+// strictly with full bodies; dependencies are checked leniently with
+// IgnoreFuncBodies, which keeps a whole-module run cheap.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath/ModuleRoot map the current module's import paths to
+	// directories ("mclegal" -> the repository root). Empty disables
+	// module resolution (fixture loads).
+	ModulePath string
+	ModuleRoot string
+	// FixtureRoot, when set, resolves import paths that exist under it
+	// before falling back to GOROOT; analysistest points it at a
+	// testdata/src tree.
+	FixtureRoot string
+
+	headers map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for one module (both arguments may be
+// empty for fixture-only loading).
+func NewLoader(modulePath, moduleRoot string) *Loader {
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModulePath: modulePath,
+		ModuleRoot: moduleRoot,
+		headers:    make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// dirFor resolves an import path to a source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleRoot, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), nil
+		}
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q (not in module, fixtures, or GOROOT)", path)
+}
+
+// parseDir parses the buildable non-test Go files of dir, applying the
+// host build constraints via go/build (no go command involved).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := append(append([]string{}, bp.GoFiles...), bp.CgoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer for dependency packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.headers[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Dependencies only have to expose their declarations; bodies are
+	// skipped and residual errors (e.g. references into even deeper
+	// internals) tolerated, matching what an export-data importer would
+	// provide.
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %q produced no package", path)
+	}
+	l.headers[path] = pkg
+	return pkg, nil
+}
+
+// LoadTarget loads one package for analysis: full bodies, full
+// types.Info, and hard failure on any type error so analyzers never
+// run over half-resolved syntax.
+func (l *Loader) LoadTarget(path string) (*Package, error) {
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w (and %d more)", path, errs[0], len(errs)-1)
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s produced no package", path)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

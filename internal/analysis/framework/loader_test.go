@@ -1,0 +1,54 @@
+package framework_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// TestLoadModulePackage exercises the offline loader against the real
+// module tree: full type-check of a target package, lenient header
+// loading of its dependencies, no go command, no network.
+func TestLoadModulePackage(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := framework.NewLoader("mclegal", root)
+	pkg, err := ld.LoadTarget("mclegal/internal/refine")
+	if err != nil {
+		t.Fatalf("LoadTarget: %v", err)
+	}
+	if pkg.Types.Name() != "refine" {
+		t.Errorf("package name = %q, want %q", pkg.Types.Name(), "refine")
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("no files parsed")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Error("types.Info not populated")
+	}
+}
+
+func TestLoadStdlibDependency(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := framework.NewLoader("mclegal", root)
+	pkg, err := ld.Import("sort")
+	if err != nil {
+		t.Fatalf("Import(sort): %v", err)
+	}
+	if pkg.Scope().Lookup("Slice") == nil {
+		t.Error("sort.Slice not visible through header load")
+	}
+}
+
+func TestUnresolvableImport(t *testing.T) {
+	ld := framework.NewLoader("", "")
+	if _, err := ld.Import("no/such/package"); err == nil {
+		t.Error("expected an error for an unresolvable import path")
+	}
+}

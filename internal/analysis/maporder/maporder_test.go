@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", maporder.Analyzer,
+		"maporder/internal/mgl", "maporder/internal/other")
+}

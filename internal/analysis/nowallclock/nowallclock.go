@@ -1,0 +1,77 @@
+// Package nowallclock forbids nondeterministic inputs in the
+// deterministic core packages: wall-clock reads (time.Now/time.Since),
+// pseudo-randomness (importing math/rand or math/rand/v2), and select
+// statements with more than one communication case (the runtime picks
+// a ready case pseudo-randomly).
+//
+// Observability-only uses — stage timing that feeds observer events
+// but never influences placement — are suppressed with a
+// //mclegal:wallclock <why> directive.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/scope"
+)
+
+// Analyzer is the nowallclock check.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/time.Since, math/rand, and multi-case selects in deterministic packages (suppress with //mclegal:wallclock)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathMatchesAny(pass.Pkg.Path(), scope.DeterministicCore) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.Suppressed("wallclock", imp.Pos()) {
+					pass.Reportf(imp.Pos(),
+						"import of %s in deterministic package %s: pseudo-randomness breaks byte-identical output",
+						path, pass.Pkg.Path())
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if name := fn.Name(); name == "Now" || name == "Since" {
+					if !pass.Suppressed("wallclock", n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"time.%s in deterministic package %s: wall-clock reads must not influence results; justify observability-only uses with //mclegal:wallclock <why>",
+							name, pass.Pkg.Path())
+					}
+				}
+			case *ast.SelectStmt:
+				comms := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comms++
+					}
+				}
+				if comms >= 2 && !pass.Suppressed("wallclock", n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"select with %d communication cases in deterministic package %s: the runtime chooses a ready case pseudo-randomly; restructure or justify with //mclegal:wallclock <why>",
+						comms, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

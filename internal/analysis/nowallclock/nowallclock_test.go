@@ -1,0 +1,13 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, "../testdata", nowallclock.Analyzer,
+		"nowallclock/internal/stage", "nowallclock/internal/other")
+}

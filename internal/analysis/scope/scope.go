@@ -1,0 +1,37 @@
+// Package scope centralizes which packages each mclegal-vet invariant
+// applies to, so the analyzers and the documentation cannot drift
+// apart. Paths are matched by suffix (framework.PathMatchesAny), which
+// makes the same analyzers scope correctly over both the real module
+// ("mclegal/internal/mgl") and analysistest fixtures
+// ("maporder/internal/mgl").
+package scope
+
+// DeterministicCore lists the packages whose output must be
+// byte-identical across runs and worker counts: the three pipeline
+// stages, their composition layers, and the matching solver. See
+// docs/PERFORMANCE.md (determinism) and docs/STATIC_ANALYSIS.md.
+var DeterministicCore = []string{
+	"internal/mgl",
+	"internal/refine",
+	"internal/maxdisp",
+	"internal/matching",
+	"internal/flow",
+	"internal/stage",
+}
+
+// FloatCritical lists the packages where float64 equality comparisons
+// are banned outside the approved Approx* epsilon helpers: the
+// geometry vocabulary and the metric/curve arithmetic whose values
+// feed benchmark comparisons.
+var FloatCritical = []string{
+	"internal/geom",
+	"internal/curve",
+	"internal/eval",
+}
+
+// GateBoundary lists the packages whose errors cross the pipeline's
+// gate boundary and therefore must be the typed kinds of
+// docs/ROBUSTNESS.md rather than bare fmt.Errorf values.
+var GateBoundary = []string{
+	"internal/stage",
+}

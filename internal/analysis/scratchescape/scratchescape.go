@@ -1,0 +1,354 @@
+// Package scratchescape enforces the pooled scratch-buffer ownership
+// rule of internal/mgl/scratch.go: slices handed out by the scratch
+// pool (reps, chain, moves, ...) are valid only until the evaluation
+// returns its scratch to the pool, so they must never be aliased past
+// the evaluation boundary. The legal hand-off is the three-stage copy
+// chain sc.moves -> sc.bestMoves -> caller storage, each step an
+// append(dst[:0], src...) copy.
+//
+// A "scratch type" is any struct type named scratch, or any type whose
+// doc comment contains the marker mclegal:scratch. Within functions of
+// a package declaring such a type, the analyzer taints values derived
+// from scratch slice fields and reports when a tainted value
+//
+//   - is stored through a pointer, into a package-level variable, or
+//     into a field/element reachable outside the function (storing back
+//     into the scratch itself, or into a function-local value struct,
+//     is fine);
+//   - is sent on a channel;
+//   - is returned from an exported function or method (unexported
+//     helpers returning scratch-owned slices are the intra-boundary
+//     idiom: "the returned slice is owned by sc");
+//   - is appended as an element into another container.
+//
+// Spread copies (append(dst[:0], buf...)) never alias and are always
+// accepted. Suppress deliberate violations with //mclegal:escape <why>.
+package scratchescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// Analyzer is the scratchescape check.
+var Analyzer = &framework.Analyzer{
+	Name: "scratchescape",
+	Doc:  "flag pooled scratch-buffer slices escaping the evaluation boundary (suppress with //mclegal:escape)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	scratchTypes := findScratchTypes(pass)
+	if len(scratchTypes) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd, scratchTypes)
+			}
+		}
+	}
+	return nil
+}
+
+// findScratchTypes collects the pooled scratch type objects of the
+// package: structs named "scratch" or marked with mclegal:scratch in
+// their doc comment.
+func findScratchTypes(pass *framework.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				marked := ts.Name.Name == "scratch" ||
+					(ts.Doc != nil && strings.Contains(ts.Doc.Text(), "mclegal:scratch")) ||
+					(gd.Doc != nil && strings.Contains(gd.Doc.Text(), "mclegal:scratch"))
+				if !marked {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass    *framework.Pass
+	scratch map[types.Object]bool
+	fn      *ast.FuncDecl
+	taint   map[types.Object]bool
+	funcLit [][2]token.Pos
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, scratchTypes map[types.Object]bool) {
+	c := &checker{pass: pass, scratch: scratchTypes, fn: fd, taint: make(map[types.Object]bool)}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.funcLit = append(c.funcLit, [2]token.Pos{fl.Body.Pos(), fl.Body.End()})
+		}
+		return true
+	})
+	c.propagate()
+	c.report()
+}
+
+// propagate computes the tainted local variables to a fixed point:
+// anything assigned (directly or through slicing) from a scratch slice
+// field or an already-tainted variable.
+func (c *checker) propagate() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !c.tainted(rhs) {
+						continue
+					}
+					if id, ok := unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if obj := c.identObj(id); obj != nil && !c.taint[obj] {
+							c.taint[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && c.tainted(n.Values[i]) {
+						if obj := c.pass.TypesInfo.Defs[name]; obj != nil && !c.taint[obj] {
+							c.taint[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// report walks the function flagging every escape of a tainted value.
+func (c *checker) report() {
+	pass := c.pass
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if c.tainted(rhs) && c.escapingLHS(n.Lhs[i]) && !pass.Suppressed("escape", n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"scratch buffer %s is aliased past the evaluation boundary by this store; copy it with append(dst[:0], src...) (three-stage ownership rule, internal/mgl/scratch.go)",
+						types.ExprString(rhs))
+				}
+			}
+		case *ast.SendStmt:
+			if c.tainted(n.Value) && !pass.Suppressed("escape", n.Pos()) {
+				pass.Reportf(n.Pos(),
+					"scratch buffer %s sent on a channel escapes the evaluation boundary; send a copy instead",
+					types.ExprString(n.Value))
+			}
+		case *ast.ReturnStmt:
+			if !c.fn.Name.IsExported() || c.insideFuncLit(n.Pos()) {
+				return true
+			}
+			for _, res := range n.Results {
+				if c.tainted(res) && !pass.Suppressed("escape", n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"scratch buffer %s returned from exported %s escapes the evaluation boundary; return a copy",
+						types.ExprString(res), c.fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := unparen(n.Fun).(*ast.Ident)
+			if !ok || n.Ellipsis != token.NoPos {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "append" {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if c.tainted(arg) && !pass.Suppressed("escape", n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"scratch buffer %s appended as an element aliases it into another container; append a copy or spread with ...",
+						types.ExprString(arg))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tainted reports whether e aliases a scratch slice buffer: a scratch
+// slice field selector, a tainted identifier, or a slice expression
+// over either.
+func (c *checker) tainted(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.taint[obj]
+	case *ast.SliceExpr:
+		return c.tainted(e.X)
+	case *ast.SelectorExpr:
+		return c.isScratchSliceField(e)
+	}
+	return false
+}
+
+// isScratchSliceField reports whether sel reads a slice-typed field of
+// a scratch struct.
+func (c *checker) isScratchSliceField(sel *ast.SelectorExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[sel]
+	if !ok {
+		return false
+	}
+	if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	return c.isScratchType(c.pass.TypesInfo.Types[sel.X].Type)
+}
+
+func (c *checker) isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && c.scratch[named.Obj()]
+}
+
+// escapingLHS reports whether storing into lhs publishes the value
+// outside the current function.
+func (c *checker) escapingLHS(lhs ast.Expr) bool {
+	lhs = unparen(lhs)
+	// Storing back into the scratch itself is the idiom (sc.chain =
+	// chain after growth), never an escape.
+	if c.scratchRooted(lhs) {
+		return false
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := c.identObj(l)
+		return isPackageLevel(obj)
+	case *ast.StarExpr:
+		return true
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		root := rootIdent(lhs)
+		if root == nil {
+			return true
+		}
+		obj := c.identObj(root)
+		if obj == nil || isPackageLevel(obj) {
+			return true
+		}
+		// A store through a pointer-typed root reaches memory the
+		// caller can see; a field of a function-local value struct
+		// cannot outlive the frame without a further (checked) store.
+		if v, ok := obj.(*types.Var); ok {
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// scratchRooted reports whether the selector/index chain of e passes
+// through a scratch-typed base.
+func (c *checker) scratchRooted(e ast.Expr) bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if c.isScratchType(c.pass.TypesInfo.Types[x.X].Type) {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (c *checker) identObj(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+func (c *checker) insideFuncLit(pos token.Pos) bool {
+	for _, r := range c.funcLit {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Parent() != nil && obj.Parent().Parent() == types.Universe
+}
+
+// rootIdent walks a selector/index/slice/deref chain to its base
+// identifier (nil if the base is not an identifier).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

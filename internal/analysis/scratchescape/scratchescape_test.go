@@ -1,0 +1,13 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, "../testdata", scratchescape.Analyzer,
+		"scratchescape/internal/mgl", "scratchescape/internal/other")
+}

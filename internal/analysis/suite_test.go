@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mclegal/internal/analysis"
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/scope"
+)
+
+// TestSuiteCleanOnScopedPackages runs the full analyzer suite over
+// every real package any analyzer scopes itself to, asserting zero
+// diagnostics. This keeps plain `go test ./...` enforcing the
+// invariants even where `make lint` is not run.
+func TestSuiteCleanOnScopedPackages(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := framework.NewLoader("mclegal", root)
+	seen := make(map[string]bool)
+	var paths []string
+	for _, set := range [][]string{scope.DeterministicCore, scope.FloatCritical, scope.GateBoundary} {
+		for _, p := range set {
+			full := "mclegal/" + p
+			if !seen[full] {
+				seen[full] = true
+				paths = append(paths, full)
+			}
+		}
+	}
+	for _, path := range paths {
+		pkg, err := ld.LoadTarget(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := framework.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

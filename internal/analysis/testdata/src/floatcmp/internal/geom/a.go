@@ -1,0 +1,37 @@
+package geom
+
+const eps = 1e-9
+
+func Bad(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func BadNeq(a, b float64) bool {
+	return a != b // want `!= on floating-point operands`
+}
+
+func BadFloat32(a, b float32) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+// ApproxEq is an approved epsilon helper: exact comparisons inside
+// Approx* bodies are the fast path of the tolerance check itself.
+func ApproxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func Ints(a, b int) bool {
+	return a == b
+}
+
+func Justified(a float64) bool {
+	//mclegal:floatcmp zero is an exact sentinel assigned, never computed
+	return a == 0
+}

@@ -1,0 +1,71 @@
+package mgl
+
+import (
+	"slices"
+	"sort"
+)
+
+func flagged(m map[int]string) int {
+	total := 0
+	for k := range m { // want `range over map m in deterministic package`
+		total += k
+	}
+	return total
+}
+
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectThenSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func justified(m map[int]int) int {
+	total := 0
+	//mclegal:ordered summing values is commutative, order cannot matter
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func bareDirective(m map[int]int) int {
+	total := 0
+	//mclegal:ordered
+	for _, v := range m { // want `//mclegal:ordered directive is missing a justification`
+		total += v
+	}
+	return total
+}
+
+type pair struct{ k, v int }
+
+// Appending composite values is not the blessed projection idiom even
+// when a sort follows: the loop body could do anything order-dependent.
+func compositeAppend(m map[int]int) []pair {
+	pairs := make([]pair, 0, len(m))
+	for k, v := range m { // want `range over map m in deterministic package`
+		pairs = append(pairs, pair{k, v})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	return pairs
+}
+
+func collectUnsorted(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `range over map m in deterministic package`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic core, so maporder must
+// stay silent here.
+package other
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Package other is outside the deterministic core, so nowallclock must
+// stay silent here.
+package other
+
+import "time"
+
+func Timestamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,42 @@
+package stage
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func Timestamp() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+func Justified() time.Duration {
+	//mclegal:wallclock observability-only timing, never influences placement
+	start := time.Now()
+	return time.Since(start) //mclegal:wallclock observability-only timing
+}
+
+func Roll() int {
+	return rand.Intn(6)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 communication cases in deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func okSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,11 @@
+// Package other declares no scratch type, so scratchescape must stay
+// silent even for patterns that would be escapes elsewhere.
+package other
+
+type buffers struct{ vals []int }
+
+var sink []int
+
+func Store(b *buffers) {
+	sink = b.vals
+}

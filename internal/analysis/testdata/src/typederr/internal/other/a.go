@@ -1,0 +1,9 @@
+// Package other is outside the gate boundary, so typederr must stay
+// silent here.
+package other
+
+import "errors"
+
+func Untyped() error {
+	return errors.New("fine here")
+}

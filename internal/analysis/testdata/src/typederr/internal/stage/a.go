@@ -1,0 +1,23 @@
+package stage
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Untyped() error {
+	return errors.New("boom") // want `errors.New crosses the stage gate boundary untyped`
+}
+
+func BareErrorf(n int) error {
+	return fmt.Errorf("bad count %d", n) // want `bare fmt.Errorf crosses the stage gate boundary`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("stage: %w", err)
+}
+
+func Justified() error {
+	//mclegal:typederr CLI usage error, never crosses the gate boundary
+	return errors.New("usage: stage <name>")
+}

@@ -1,0 +1,13 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "../testdata", typederr.Analyzer,
+		"typederr/internal/stage", "typederr/internal/other")
+}

@@ -192,6 +192,7 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	if err := d.Validate(); err != nil {
 		return res, err
 	}
+	//mclegal:wallclock total-runtime reporting only, never influences placement
 	start := time.Now()
 	res.HPWLBefore = eval.HPWL(d)
 
@@ -257,6 +258,7 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 			res.RefineTime = tm.Duration
 		}
 	}
+	//mclegal:wallclock total-runtime reporting only, never influences placement
 	res.Total = time.Since(start)
 	if perr != nil {
 		return res, fmt.Errorf("flow: %w", perr)

@@ -1,0 +1,25 @@
+package geom
+
+// Eps is the tolerance used by the Approx* helpers: metric values are
+// displacements measured in sites or rows, so anything below 1e-9 is
+// representation noise, not signal.
+const Eps = 1e-9
+
+// ApproxEq reports whether two float64 metric values are equal within
+// Eps. It is the approved alternative to == on floats in the
+// metric-critical packages (enforced by the floatcmp analyzer).
+func ApproxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= Eps
+}
+
+// ApproxZero reports whether a float64 metric value is zero within Eps.
+func ApproxZero(a float64) bool {
+	return ApproxEq(a, 0)
+}

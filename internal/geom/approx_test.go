@@ -1,0 +1,32 @@
+package geom
+
+import "testing"
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1.5, 1.5, true},
+		{1.5, 1.5 + 1e-12, true},
+		{1.5, 1.5 - 1e-12, true},
+		{1.5, 1.5 + 1e-6, false},
+		{-2, 2, false},
+		{0.1 + 0.2, 0.3, true}, // classic representation noise
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApproxZero(t *testing.T) {
+	if !ApproxZero(0) || !ApproxZero(1e-12) || !ApproxZero(-1e-12) {
+		t.Error("ApproxZero should absorb sub-epsilon noise")
+	}
+	if ApproxZero(1e-6) || ApproxZero(-1) {
+		t.Error("ApproxZero must reject real values")
+	}
+}

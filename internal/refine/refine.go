@@ -13,6 +13,7 @@ package refine
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"mclegal/internal/faults"
@@ -158,16 +159,17 @@ func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt O
 			}
 		}
 	}
-	edges := make([]edge, 0, len(edgeGap))
-	for k, gap := range edgeGap {
-		edges = append(edges, edge{i: int(k / int64(m)), j: int(k % int64(m)), gap: gap})
+	// Iterate edgeGap in sorted key order: the key i*m+j orders edges by
+	// (i, j), so the edge list is deterministic without a second sort.
+	edgeKeys := make([]int64, 0, len(edgeGap))
+	for k := range edgeGap {
+		edgeKeys = append(edgeKeys, k)
 	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].i != edges[b].i {
-			return edges[a].i < edges[b].i
-		}
-		return edges[a].j < edges[b].j
-	})
+	slices.Sort(edgeKeys)
+	edges := make([]edge, 0, len(edgeKeys))
+	for _, k := range edgeKeys {
+		edges = append(edges, edge{i: int(k / int64(m)), j: int(k % int64(m)), gap: edgeGap[k]})
+	}
 	rep.Edges = len(edges)
 
 	// Feasible ranges [l_i, r_i] for the left edge, in sites.

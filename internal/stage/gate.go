@@ -64,7 +64,7 @@ func ParsePolicy(s string) (RecoveryPolicy, error) {
 	case "besteffort", "best-effort":
 		return RecoverBestEffort, nil
 	}
-	return RecoverStrict, fmt.Errorf("stage: unknown recovery policy %q (want strict, fallback or besteffort)", s)
+	return RecoverStrict, &PolicyError{Input: s}
 }
 
 // Status summarizes how trustworthy a finished pipeline run is.
@@ -179,6 +179,42 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("stage %s: panic: %v", e.Stage, e.Value)
 }
 
+// PolicyError reports an unknown recovery-policy name handed to
+// ParsePolicy (typically from a CLI flag).
+type PolicyError struct {
+	Input string
+}
+
+func (e *PolicyError) Error() string {
+	return fmt.Sprintf("stage: unknown recovery policy %q (want strict, fallback or besteffort)", e.Input)
+}
+
+// AuditError reports that a stage left the placement illegal: the
+// post-stage audit found violations and the snapshot was restored.
+type AuditError struct {
+	Stage         string
+	NumViolations int
+	First         eval.Violation
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("stage %s: left %d legality violations (first: %s)", e.Stage, e.NumViolations, e.First)
+}
+
+// MetricRegressionError reports a stage worsening a metric it is
+// guaranteed not to worsen (e.g. matching and maximum displacement,
+// paper Section 3.2).
+type MetricRegressionError struct {
+	Metric string
+	Unit   string
+	Before float64
+	After  float64
+}
+
+func (e *MetricRegressionError) Error() string {
+	return fmt.Sprintf("%s regressed from %.3f to %.3f %s", e.Metric, e.Before, e.After, e.Unit)
+}
+
 // RunReport summarizes the resilience layer's view of a finished run.
 type RunReport struct {
 	// Status is StatusLegal when no gate intervened, StatusRecovered
@@ -260,7 +296,7 @@ func (p *Pipeline) runGated(ctx context.Context, pc *PipelineContext, s Stage, v
 			sample = sample[:maxViolationSample]
 		}
 		return gateOutcome{
-			err:    fmt.Errorf("stage %s: left %d legality violations (first: %s)", s.Name(), len(vs), vs[0]),
+			err:    &AuditError{Stage: s.Name(), NumViolations: len(vs), First: vs[0]},
 			reason: ReasonAudit,
 			numV:   len(vs),
 			sample: sample,
@@ -301,7 +337,7 @@ func injectIllegalMove(pc *PipelineContext) {
 // displacement the matching minimizes.
 func NoMaxDispRegression(before, after eval.Metrics) error {
 	if after.MaxDisp > before.MaxDisp {
-		return fmt.Errorf("max displacement regressed from %.3f to %.3f rows", before.MaxDisp, after.MaxDisp)
+		return &MetricRegressionError{Metric: "max displacement", Unit: "rows", Before: before.MaxDisp, After: after.MaxDisp}
 	}
 	return nil
 }

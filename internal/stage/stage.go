@@ -227,6 +227,7 @@ func (p *Pipeline) runObserved(ctx context.Context, pc *PipelineContext, s Stage
 			Stage: s.Name(), Index: index, Total: len(p.Stages), Cells: cells,
 		})
 	}
+	//mclegal:wallclock stage timing feeds observer events only, never placement
 	t0 := time.Now()
 	var out gateOutcome
 	if gated {
@@ -242,6 +243,7 @@ func (p *Pipeline) runObserved(ctx context.Context, pc *PipelineContext, s Stage
 			}
 		}
 	}
+	//mclegal:wallclock stage timing feeds observer events only, never placement
 	dur := time.Since(t0)
 	*timings = append(*timings, Timing{Stage: s.Name(), Duration: dur})
 	if p.Observer != nil {
