@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench bench-smoke bench-json clean fuzz faults
+.PHONY: all build test vet lint vet-json race check bench bench-smoke bench-json clean fuzz faults
 
 all: check
 
@@ -13,8 +13,10 @@ vet:
 # Static analysis gate: go vet, staticcheck when installed (offline
 # sandboxes have no module proxy, so it is only mandatory in CI where
 # the lint job installs it), and the in-tree mclegal-vet analyzer suite
-# enforcing the determinism/aliasing/numeric invariants
-# (docs/STATIC_ANALYSIS.md). Any diagnostic fails the target.
+# enforcing the determinism/aliasing/numeric/allocation/exhaustiveness
+# invariants (docs/STATIC_ANALYSIS.md). Any diagnostic fails the
+# target. The second mclegal-vet run is the self-check: the analysis
+# machinery is held to its own rules.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -22,6 +24,13 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI installs and enforces it)"; \
 	fi
 	$(GO) run ./cmd/mclegal-vet ./...
+	$(GO) run ./cmd/mclegal-vet ./internal/analysis/...
+
+# Machine-readable diagnostics: the same analyzer suite as lint, as a
+# stable position-sorted JSON array (file/line/column/analyzer/message)
+# for editor and CI-annotation tooling. Exit codes match the text mode.
+vet-json:
+	$(GO) run ./cmd/mclegal-vet -json ./...
 
 test:
 	$(GO) test ./...

@@ -164,6 +164,8 @@ func run() int {
 	}
 
 	switch res.Status {
+	case mclegal.StatusLegal:
+		return exitLegal
 	case mclegal.StatusRecovered:
 		return exitRecovered
 	case mclegal.StatusPartial:

@@ -1,21 +1,33 @@
 // Command mclegal-vet runs the in-tree analyzer suite
-// (internal/analysis) over the module: determinism (maporder,
-// nowallclock), aliasing (scratchescape), numeric (floatcmp), and
-// error-taxonomy (typederr) invariants. See docs/STATIC_ANALYSIS.md.
+// (internal/analysis) over the module: cancellation plumbing (ctxflow),
+// enum coverage (exhaustive), determinism (maporder, nowallclock),
+// aliasing (scratchescape), numeric (floatcmp), hot-path allocation
+// (noalloc), and error-taxonomy (typederr) invariants. See
+// docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
-//	mclegal-vet [packages]
+//	mclegal-vet [-json] [packages]
 //
 // Package arguments are import paths of this module or the ./... and
 // ./dir/... wildcard forms; with no arguments it checks ./... from the
-// working directory's module root. Exits 1 if any diagnostic is
-// reported, 2 on usage or load errors.
+// working directory's module root. All named packages are loaded as
+// one program, so cross-package analyses (the noalloc call-graph
+// proof) see every function body named on the command line.
+//
+// With -json, diagnostics are emitted as a single JSON array of
+// {file, line, column, analyzer, message} objects in the same stable
+// order as the text output (position, then analyzer name); an empty
+// run prints []. Exit codes are identical in both modes: 1 if any
+// diagnostic is reported, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"go/build"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,10 +38,27 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("mclegal-vet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+
 	modRoot, modPath, err := findModule()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mclegal-vet:", err)
@@ -45,29 +74,44 @@ func run(args []string) int {
 	}
 
 	loader := framework.NewLoader(modPath, modRoot)
-	analyzers := analysis.All()
-	exit := 0
-	for _, path := range paths {
-		pkg, err := loader.LoadTarget(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
-			exit = 2
-			continue
-		}
-		diags, err := framework.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mclegal-vet: %s: %v\n", path, err)
-			exit = 2
-			continue
-		}
+	prog, err := framework.LoadProgram(loader, paths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
+		return 2
+	}
+	diags, err := prog.Run(analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
 		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			if exit == 0 {
-				exit = 1
-			}
+			pos := prog.Fset().Position(d.Pos)
+			out = append(out, jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", prog.Fset().Position(d.Pos), d.Analyzer, d.Message)
 		}
 	}
-	return exit
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // findModule walks up from the working directory to the enclosing

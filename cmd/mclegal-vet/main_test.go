@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway Go module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/vetfix\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// dirty has two exhaustive violations on ascending lines so the test
+// can assert the stable position ordering of both output modes.
+const dirty = `package p
+
+const (
+	A = 1
+	B = 2
+	C = 3
+)
+
+func First(x int) int {
+	switch x {
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0
+}
+
+func Second(x int) int {
+	switch x {
+	case A:
+		return 1
+	}
+	return 0
+}
+`
+
+func TestRunJSONViolations(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": dirty})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &buf); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(diags), buf.String())
+	}
+	for i, d := range diags {
+		if d.Analyzer != "exhaustive" {
+			t.Errorf("diag %d analyzer = %q, want exhaustive", i, d.Analyzer)
+		}
+		if filepath.Base(d.File) != "p.go" || d.Line == 0 || d.Column == 0 {
+			t.Errorf("diag %d position = %s:%d:%d, want a real p.go position", i, d.File, d.Line, d.Column)
+		}
+		if !strings.Contains(d.Message, "missing cases") {
+			t.Errorf("diag %d message = %q, want a missing-cases message", i, d.Message)
+		}
+	}
+	if len(diags) == 2 && diags[0].Line >= diags[1].Line {
+		t.Errorf("diagnostics out of position order: line %d before line %d", diags[0].Line, diags[1].Line)
+	}
+}
+
+func TestRunTextViolations(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": dirty})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"./..."}, &buf); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d text lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, ": exhaustive: ") {
+			t.Errorf("line %q missing the analyzer label", line)
+		}
+	}
+}
+
+func TestRunJSONClean(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n\nfunc Fine() int { return 1 }\n"})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &buf); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"./nonexistent"}, &buf); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for a bad package argument", code)
+	}
+}

@@ -4,9 +4,12 @@
 package analysis
 
 import (
+	"mclegal/internal/analysis/ctxflow"
+	"mclegal/internal/analysis/exhaustive"
 	"mclegal/internal/analysis/floatcmp"
 	"mclegal/internal/analysis/framework"
 	"mclegal/internal/analysis/maporder"
+	"mclegal/internal/analysis/noalloc"
 	"mclegal/internal/analysis/nowallclock"
 	"mclegal/internal/analysis/scratchescape"
 	"mclegal/internal/analysis/typederr"
@@ -15,8 +18,11 @@ import (
 // All returns the full analyzer suite in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		ctxflow.Analyzer,
+		exhaustive.Analyzer,
 		floatcmp.Analyzer,
 		maporder.Analyzer,
+		noalloc.Analyzer,
 		nowallclock.Analyzer,
 		scratchescape.Analyzer,
 		typederr.Analyzer,

@@ -33,7 +33,9 @@ type want struct {
 }
 
 // Run loads each fixture package under testdata/src and checks the
-// analyzer's diagnostics against the // want comments.
+// analyzer's diagnostics against the // want comments. Each path is
+// its own single-package program; use RunGroup for analyses that need
+// several fixture packages in one program.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
 	t.Helper()
 	src := filepath.Join(testdata, "src")
@@ -42,32 +44,59 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) 
 			t.Helper()
 			ld := framework.NewLoader("", "")
 			ld.FixtureRoot = src
-			pkg, err := ld.LoadTarget(path)
+			prog, err := framework.LoadProgram(ld, []string{path})
 			if err != nil {
 				t.Fatalf("loading fixture %s: %v", path, err)
 			}
-			diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
-			if err != nil {
-				t.Fatalf("running %s on %s: %v", a.Name, path, err)
-			}
-			wants := collectWants(t, pkg)
-		diagLoop:
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				for _, w := range wants {
-					if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
-						w.matched = true
-						continue diagLoop
-					}
-				}
-				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
-			}
-			for _, w := range wants {
-				if !w.matched {
-					t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
-				}
-			}
+			checkProgram(t, prog, a)
 		})
+	}
+}
+
+// RunGroup loads all fixture paths as ONE program and checks the
+// analyzer's diagnostics against the // want comments of every
+// package. Cross-package analyses (noalloc's call-graph walk) need the
+// whole group in a single types.Object universe, exactly as
+// mclegal-vet loads the real module.
+func RunGroup(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	ld := framework.NewLoader("", "")
+	ld.FixtureRoot = filepath.Join(testdata, "src")
+	prog, err := framework.LoadProgram(ld, paths)
+	if err != nil {
+		t.Fatalf("loading fixture group %v: %v", paths, err)
+	}
+	checkProgram(t, prog, a)
+}
+
+// checkProgram runs the analyzer over the program and matches every
+// diagnostic against the fixtures' // want comments, both ways.
+func checkProgram(t *testing.T, prog *framework.Program, a *framework.Analyzer) {
+	t.Helper()
+	diags, err := prog.Run([]*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var wants []*want
+	for _, pkg := range prog.Pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	fset := prog.Fset()
+diagLoop:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				continue diagLoop
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
 	}
 }
 

@@ -1,0 +1,244 @@
+// Package exhaustive enforces that value switches over the repo's
+// enum-like constant sets either cover every member or say why not
+// with an explicit default. A switch that silently ignores a member is
+// how a new RecoveryPolicy or run Status slips through a reporting
+// path unrendered (the bug class fixed in stage.GateReport.String and
+// cmd/legalize's exit-code mapping).
+//
+// Two shapes count as an enum:
+//
+//   - A named type declared in this module with at least two
+//     package-level constants of that exact type in its declaring
+//     package (Status, RecoveryPolicy, curve.Kind). Coverage is
+//     checked by constant value, so facade re-exports
+//     (mclegal.StatusRecovered = stage.StatusRecovered) count as
+//     covering the underlying member.
+//   - A single `const (...)` declaration group of basic-typed
+//     constants (the stage name and gate action string groups). A
+//     switch whose cases all name members of one group must cover the
+//     whole group.
+//
+// A default clause — even an empty one — opts the switch out: it is
+// the author's statement that the remainder is handled. Suppress a
+// finding with //mclegal:exhaustive <why> on the switch line or the
+// line above.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// Analyzer is the exhaustive check.
+var Analyzer = &framework.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over enum-like constant sets must cover all members or carry a default (suppress with //mclegal:exhaustive)",
+	Run:  run,
+}
+
+// member is one enum constant: the declared object plus its value for
+// cross-package (facade re-export) coverage matching.
+type member struct {
+	name string
+	val  constant.Value
+}
+
+// groups indexes every multi-constant `const (...)` declaration in the
+// program, built once and shared across passes.
+type groups struct {
+	of map[*types.Const][]member // const object -> its group's members
+	id map[*types.Const]int      // const object -> group identity
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	gs, err := constGroups(pass.Prog)
+	if err != nil {
+		return err
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, gs, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *framework.Pass, gs *groups, sw *ast.SwitchStmt) {
+	var caseVals []constant.Value
+	var caseConsts []*types.Const
+	for _, s := range sw.Body.List {
+		cc, ok := s.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause opts the switch out
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is not decidable
+			}
+			caseVals = append(caseVals, tv.Value)
+			caseConsts = append(caseConsts, constObj(pass.TypesInfo, e))
+		}
+	}
+	if len(caseVals) == 0 {
+		return
+	}
+
+	members, what := namedEnum(pass, sw.Tag)
+	if members == nil {
+		members, what = caseGroup(gs, caseConsts)
+	}
+	if members == nil {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		covered := false
+		for _, v := range caseVals {
+			if constant.Compare(m.val, token.EQL, v) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if pass.Suppressed("exhaustive", sw.Switch) {
+		return
+	}
+	pass.Reportf(sw.Switch, "switch over %s is missing cases %s; add them or an explicit default",
+		what, strings.Join(missing, ", "))
+}
+
+// namedEnum returns the members of the switch tag's type when that
+// type is an in-program named enum: at least two package-level
+// constants of the exact type in its declaring package.
+func namedEnum(pass *framework.Pass, tag ast.Expr) ([]member, string) {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok || !tv.IsValue() {
+		return nil, ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	if pass.Prog.PackageFor(named.Obj().Pkg()) == nil {
+		return nil, "" // not declared in this program: not ours to police
+	}
+	var members []member
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), tv.Type) {
+			continue
+		}
+		members = append(members, member{name: c.Name(), val: c.Val()})
+	}
+	if len(members) < 2 {
+		return nil, ""
+	}
+	return members, named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// caseGroup returns the group members when every case expression names
+// a constant and all of them belong to the same multi-constant
+// declaration group.
+func caseGroup(gs *groups, caseConsts []*types.Const) ([]member, string) {
+	var members []member
+	id := -1
+	for _, c := range caseConsts {
+		if c == nil {
+			return nil, ""
+		}
+		g, ok := gs.id[c]
+		if !ok || (id != -1 && g != id) {
+			return nil, ""
+		}
+		id = g
+		members = gs.of[c]
+	}
+	if members == nil {
+		return nil, ""
+	}
+	return members, "the " + members[0].name + " constant group"
+}
+
+// constObj resolves a case expression to the constant object it names,
+// or nil for literals and expressions.
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+func constGroups(prog *framework.Program) (*groups, error) {
+	v, err := prog.CacheLoad("exhaustive-groups", func() (any, error) {
+		gs := &groups{of: make(map[*types.Const][]member), id: make(map[*types.Const]int)}
+		next := 0
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					gd, ok := d.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					var objs []*types.Const
+					var members []member
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							c, ok := pkg.Info.Defs[name].(*types.Const)
+							if !ok || c.Name() == "_" {
+								continue
+							}
+							objs = append(objs, c)
+							members = append(members, member{name: c.Name(), val: c.Val()})
+						}
+					}
+					if len(objs) < 2 {
+						continue
+					}
+					for _, c := range objs {
+						gs.of[c] = members
+						gs.id[c] = next
+					}
+					next++
+				}
+			}
+		}
+		return gs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*groups), nil
+}

@@ -1,0 +1,16 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/exhaustive"
+)
+
+// The fixture packages load as one program so the facade package sees
+// the enum's declaring package in-program (the value-based coverage
+// path).
+func TestExhaustive(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", exhaustive.Analyzer,
+		"exhaustive/internal/stage", "exhaustive/internal/other")
+}

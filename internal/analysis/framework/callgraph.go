@@ -1,0 +1,341 @@
+// Call-graph construction. The graph is type-aware and conservative:
+//
+//   - Static calls (package functions, methods called on concrete
+//     receivers) produce one EdgeStatic to the callee, across package
+//     boundaries — the loader guarantees every in-program package
+//     shares one types.Object universe, so a *types.Func seen at a
+//     call site in package A is the same object as the one declared in
+//     package B.
+//   - Interface method calls produce one EdgeInterface per concrete
+//     in-program type whose method set satisfies the interface (the
+//     sound over-approximation: any of them may be the dynamic
+//     callee).
+//   - Calls of function values (parameters, fields, channel receives)
+//     produce an EdgeDynamic with a nil Callee: the analyzer decides
+//     how pessimistic to be. Calls of a local variable that is bound
+//     exactly once to a function literal in the same function are
+//     resolved like static calls would be: the literal's body already
+//     contributes its facts to the enclosing function's summary, so
+//     such edges are omitted entirely.
+//
+// Function literals are attributed to their enclosing declared
+// function: calls inside a literal become edges out of the declaration
+// that lexically contains it. Generic functions and methods are keyed
+// by their Origin, so instantiations collapse onto one node.
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a known function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is an interface method call, one edge per
+	// in-program implementation.
+	EdgeInterface
+	// EdgeDynamic is a call of a function value whose target is
+	// unknown; Callee is nil.
+	EdgeDynamic
+)
+
+// A Node is one function in the call graph. Decl and Pkg are nil for
+// functions outside the program (header-only dependencies such as
+// sort.Search), which have in-edges but no analyzable body.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []*Edge
+	In   []*Edge
+
+	summary *Summary
+}
+
+// An Edge is one (conservative) call.
+type Edge struct {
+	Caller *Node
+	Callee *Node // nil for EdgeDynamic
+	Site   *ast.CallExpr
+	Kind   EdgeKind
+}
+
+// A CallGraph holds every declared function of the program plus
+// external nodes for called dependencies.
+type CallGraph struct {
+	prog  *Program
+	nodes map[*types.Func]*Node
+}
+
+// Node returns the graph node for fn (its Origin, for instantiated
+// generics), or nil if fn was never declared in or called from the
+// program.
+func (g *CallGraph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns every node in a deterministic order (by full name).
+func (g *CallGraph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Func.FullName() < out[j].Func.FullName()
+	})
+	return out
+}
+
+// External reports whether the node has no analyzable body in the
+// program.
+func (n *Node) External() bool { return n.Decl == nil }
+
+func (g *CallGraph) node(fn *types.Func) *Node {
+	fn = fn.Origin()
+	n, ok := g.nodes[fn]
+	if !ok {
+		n = &Node{Func: fn}
+		g.nodes[fn] = n
+	}
+	return n
+}
+
+func buildCallGraph(p *Program) (*CallGraph, error) {
+	g := &CallGraph{prog: p, nodes: make(map[*types.Func]*Node)}
+
+	// Pass 1: a node per declared function, so interface resolution
+	// can enumerate implementations.
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := g.node(fn)
+				n.Decl = fd
+				n.Pkg = pkg
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.addEdges(pkg, g.node(fn), fd.Body)
+			}
+		}
+	}
+	return g, nil
+}
+
+// addEdges walks body (including nested function literals) and records
+// one edge per call expression out of caller.
+func (g *CallGraph) addEdges(pkg *Package, caller *Node, body *ast.BlockStmt) {
+	localLits := singleBoundFuncLits(pkg.Info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		fun := unwrapFun(call.Fun)
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			switch obj := pkg.Info.Uses[fun].(type) {
+			case *types.Builtin:
+				return true
+			case *types.Func:
+				g.link(caller, g.node(obj), call, EdgeStatic)
+			default:
+				// A function value. Calls of a local bound exactly
+				// once to a literal in this function are covered by
+				// the enclosing summary; anything else is dynamic.
+				if v, ok := obj.(*types.Var); ok && localLits[v] {
+					return true
+				}
+				g.linkDynamic(caller, call)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[fun]; ok {
+				fn, _ := sel.Obj().(*types.Func)
+				if fn == nil {
+					g.linkDynamic(caller, call) // func-typed field
+					return true
+				}
+				if types.IsInterface(sel.Recv()) {
+					g.linkInterface(caller, fn, call)
+				} else {
+					g.link(caller, g.node(fn), call, EdgeStatic)
+				}
+				return true
+			}
+			// Package-qualified reference (pkg.Func) or method
+			// expression.
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				g.link(caller, g.node(fn), call, EdgeStatic)
+			} else {
+				g.linkDynamic(caller, call)
+			}
+		case *ast.FuncLit:
+			// Immediately invoked literal: its body is walked as part
+			// of this function, no edge needed.
+		default:
+			g.linkDynamic(caller, call)
+		}
+		return true
+	})
+}
+
+func (g *CallGraph) link(caller, callee *Node, site *ast.CallExpr, kind EdgeKind) {
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+func (g *CallGraph) linkDynamic(caller *Node, site *ast.CallExpr) {
+	caller.Out = append(caller.Out, &Edge{Caller: caller, Site: site, Kind: EdgeDynamic})
+}
+
+// linkInterface adds one edge per in-program concrete type that
+// satisfies the method's interface. The interface method itself gets a
+// node (external, no body) so analyzers can see the dispatch point
+// even when no implementation is in the program.
+func (g *CallGraph) linkInterface(caller *Node, m *types.Func, site *ast.CallExpr) {
+	g.link(caller, g.node(m), site, EdgeInterface)
+	iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return
+	}
+	for _, impl := range g.implementations(iface, m) {
+		g.link(caller, g.node(impl), site, EdgeInterface)
+	}
+}
+
+// implementations returns the concrete in-program methods that may be
+// the dynamic target of calling m through iface.
+func (g *CallGraph) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, pkg := range g.prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			var recv types.Type = named
+			if !types.Implements(recv, iface) {
+				recv = types.NewPointer(named)
+				if !types.Implements(recv, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+			if fn, ok := obj.(*types.Func); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// unwrapFun strips parens and generic instantiation indexes from a
+// call's function expression.
+func unwrapFun(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// singleBoundFuncLits returns the local variables of body that are
+// bound to a function literal exactly once and never reassigned —
+// the "named local closure" idiom (e.g. the better() helper in
+// curve.MinOn) whose body is analyzed as part of the enclosing
+// function.
+func singleBoundFuncLits(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	bound := make(map[*types.Var]int)
+	litBound := make(map[*types.Var]int)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = info.Uses[id].(*types.Var)
+			if !ok {
+				return
+			}
+		}
+		bound[v]++
+		if rhs != nil {
+			if _, isLit := rhs.(*ast.FuncLit); isLit {
+				litBound[v]++
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if i < len(st.Rhs) {
+					rhs = st.Rhs[i]
+				}
+				record(lhs, rhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				var rhs ast.Expr
+				if i < len(st.Values) {
+					rhs = st.Values[i]
+				}
+				record(name, rhs)
+			}
+		}
+		return true
+	})
+	out := make(map[*types.Var]bool)
+	for v, n := range litBound {
+		if n == 1 && bound[v] == 1 {
+			out[v] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package framework_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// writeFixtureModule lays out a testdata/src-style fixture tree in a
+// temp dir and returns a loader rooted there.
+func writeFixtureModule(t *testing.T, files map[string]string) *framework.Loader {
+	t.Helper()
+	src := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(src, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ld := framework.NewLoader("", "")
+	ld.FixtureRoot = src
+	return ld
+}
+
+func loadGraph(t *testing.T, ld *framework.Loader, paths ...string) (*framework.Program, *framework.CallGraph) {
+	t.Helper()
+	prog, err := framework.LoadProgram(ld, paths)
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	cg, err := prog.CallGraph()
+	if err != nil {
+		t.Fatalf("CallGraph: %v", err)
+	}
+	return prog, cg
+}
+
+func nodeByName(t *testing.T, cg *framework.CallGraph, fullName string) *framework.Node {
+	t.Helper()
+	for _, n := range cg.Nodes() {
+		if n.Func.FullName() == fullName {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph", fullName)
+	return nil
+}
+
+func edgeKinds(n *framework.Node) map[framework.EdgeKind]int {
+	out := make(map[framework.EdgeKind]int)
+	for _, e := range n.Out {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	ld := writeFixtureModule(t, map[string]string{
+		"a/a.go": `package a
+
+import "b"
+
+type Weigher interface{ Weigh() int }
+
+type Stone struct{}
+
+func (Stone) Weigh() int { return 1 }
+
+func Static() int { return b.Dep() }
+
+func Iface(w Weigher) int { return w.Weigh() }
+
+func Dynamic(f func() int) int { return f() }
+
+func LocalClosure(n int) int {
+	double := func(x int) int { return x * 2 }
+	return double(n)
+}
+
+func Generic[T any](v T) T { return v }
+
+func CallsGeneric() int { return Generic(7) }
+`,
+		"b/b.go": `package b
+
+func Dep() int { return 0 }
+`,
+	})
+	_, cg := loadGraph(t, ld, "a", "b")
+
+	// Cross-package static edge, resolved to the full dependency node.
+	static := nodeByName(t, cg, "a.Static")
+	if len(static.Out) != 1 || static.Out[0].Kind != framework.EdgeStatic {
+		t.Fatalf("a.Static edges = %+v, want one static edge", edgeKinds(static))
+	}
+	dep := static.Out[0].Callee
+	if dep.Func.FullName() != "b.Dep" || dep.External() {
+		t.Errorf("a.Static callee = %s (external=%v), want in-program b.Dep", dep.Func.FullName(), dep.External())
+	}
+
+	// Interface call: one edge for the method, one per implementation.
+	iface := nodeByName(t, cg, "a.Iface")
+	kinds := edgeKinds(iface)
+	if kinds[framework.EdgeInterface] != 2 {
+		t.Errorf("a.Iface interface edges = %d, want 2 (method + Stone impl)", kinds[framework.EdgeInterface])
+	}
+	foundImpl := false
+	for _, e := range iface.Out {
+		if e.Callee != nil && !e.Callee.External() && e.Callee.Func.Name() == "Weigh" {
+			foundImpl = true
+		}
+	}
+	if !foundImpl {
+		t.Error("a.Iface has no edge to the concrete Stone.Weigh implementation")
+	}
+
+	// Unknown function value: dynamic edge with nil callee.
+	dyn := nodeByName(t, cg, "a.Dynamic")
+	if kinds := edgeKinds(dyn); kinds[framework.EdgeDynamic] != 1 {
+		t.Errorf("a.Dynamic edges = %+v, want one dynamic edge", kinds)
+	}
+
+	// A local bound once to a literal is covered by the enclosing
+	// summary: no edge at all.
+	loc := nodeByName(t, cg, "a.LocalClosure")
+	if len(loc.Out) != 0 {
+		t.Errorf("a.LocalClosure has %d edges, want 0 (single-bound local literal)", len(loc.Out))
+	}
+
+	// Generic instantiations collapse onto the origin node.
+	gen := nodeByName(t, cg, "a.CallsGeneric")
+	if len(gen.Out) != 1 || gen.Out[0].Callee.Func.Name() != "Generic" {
+		t.Fatalf("a.CallsGeneric edges = %d, want one static edge to Generic", len(gen.Out))
+	}
+}
+
+func TestSummaryRootedness(t *testing.T) {
+	ld := writeFixtureModule(t, map[string]string{
+		"s/s.go": `package s
+
+type buf struct{ data []int }
+
+func (b *buf) Grow(n int) {
+	b.data = append(b.data, n) // rooted: pointer receiver
+}
+
+func Copy(dst *[]int, src []int) {
+	*dst = append((*dst)[:0], src...) // rooted: pointer parameter
+}
+
+func Leak(n int) []int {
+	out := make([]int, n) // unrooted
+	return out
+}
+
+func Derived(b *buf, n int) {
+	view := b.data[:0]       // local derived from rooted storage
+	view = append(view, n)   // rooted
+	b.data = view
+}
+`,
+	})
+	_, cg := loadGraph(t, ld, "s")
+
+	assertAllocs := func(name string, wantRooted, wantUnrooted int) {
+		t.Helper()
+		n := nodeByName(t, cg, name)
+		rooted, unrooted := 0, 0
+		for _, site := range n.Summary().Allocs {
+			if site.Rooted {
+				rooted++
+			} else {
+				unrooted++
+			}
+		}
+		if rooted != wantRooted || unrooted != wantUnrooted {
+			t.Errorf("%s allocs = %d rooted / %d unrooted, want %d / %d",
+				name, rooted, unrooted, wantRooted, wantUnrooted)
+		}
+	}
+	assertAllocs("(*s.buf).Grow", 1, 0)
+	assertAllocs("s.Copy", 1, 0)
+	assertAllocs("s.Leak", 0, 1)
+	assertAllocs("s.Derived", 1, 0)
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	ld := writeFixtureModule(t, map[string]string{
+		"c/c.go": `package c
+
+func Leaf() int { return 1 }
+
+func Mid() int { return Leaf() }
+
+func Top() int { return Mid() }
+
+func MutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return MutualB(n - 1)
+}
+
+func MutualB(n int) int { return MutualA(n) }
+`,
+	})
+	_, cg := loadGraph(t, ld, "c")
+	comps := cg.SCCs()
+	order := make(map[*framework.Node]int)
+	for i, comp := range comps {
+		for _, n := range comp {
+			order[n] = i
+		}
+	}
+	leaf := nodeByName(t, cg, "c.Leaf")
+	mid := nodeByName(t, cg, "c.Mid")
+	top := nodeByName(t, cg, "c.Top")
+	if !(order[leaf] < order[mid] && order[mid] < order[top]) {
+		t.Errorf("SCC order not bottom-up: Leaf=%d Mid=%d Top=%d", order[leaf], order[mid], order[top])
+	}
+	a := nodeByName(t, cg, "c.MutualA")
+	b := nodeByName(t, cg, "c.MutualB")
+	if order[a] != order[b] {
+		t.Errorf("mutually recursive functions in different components: %d vs %d", order[a], order[b])
+	}
+}
+
+// TestProgramSharedUniverse is the regression test for the bug the
+// target-aware loader fixes: loading geom as a dependency header
+// before declaring it a target used to fork a second types.Package and
+// break cross-package object identity.
+func TestProgramSharedUniverse(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := framework.NewLoader("mclegal", root)
+	prog, err := framework.LoadProgram(ld, []string{
+		"mclegal/internal/mgl",  // imports geom
+		"mclegal/internal/eval", // also imports geom
+		"mclegal/internal/geom",
+	})
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	geom := prog.Package("mclegal/internal/geom")
+	if geom == nil {
+		t.Fatal("geom not loaded")
+	}
+	for _, p := range prog.Pkgs {
+		for _, imp := range p.Types.Imports() {
+			if imp.Path() == "mclegal/internal/geom" && imp != geom.Types {
+				t.Errorf("%s imports a different geom types.Package: object universe forked", p.Path)
+			}
+		}
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
@@ -40,13 +39,17 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Pass is the interface between one analyzer and one package.
+// A Pass is the interface between one analyzer and one package. Prog
+// gives cross-package analyzers access to the whole program (call
+// graph, summaries, sibling packages); per-package analyzers can
+// ignore it.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	directives map[string]map[int]directive // filename -> line -> directive
 	diags      *[]Diagnostic
@@ -93,62 +96,30 @@ func (p *Pass) Suppressed(name string, pos token.Pos) bool {
 	return false
 }
 
-// buildDirectives indexes every //mclegal: comment by file and line.
-func buildDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]directive {
-	out := make(map[string]map[int]directive)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := directiveRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]directive)
-					out[pos.Filename] = lines
-				}
-				lines[pos.Line] = directive{name: m[1], reason: m[2]}
-			}
+// DocDirective scans the doc comment of a declaration for a
+// //mclegal:<name> directive and returns its justification text.
+// Analyzers use it for function-level markers such as
+// //mclegal:hotpath (noalloc roots), where the directive annotates the
+// whole declaration rather than suppressing one finding.
+func DocDirective(doc *ast.CommentGroup, name string) (reason string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		m := directiveRe.FindStringSubmatch(c.Text)
+		if m != nil && m[1] == name {
+			return strings.TrimSpace(m[2]), true
 		}
 	}
-	return out
+	return "", false
 }
 
 // RunAnalyzers applies the analyzers to one loaded package and returns
-// the combined diagnostics in position order.
+// the combined diagnostics in position order. It is the single-package
+// convenience form of Program.Run; cross-package analyzers see a
+// program containing just this package.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	dirs := buildDirectives(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			TypesInfo:  pkg.Info,
-			directives: dirs,
-			diags:      &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return diags, fmt.Errorf("%s: %w", a.Name, err)
-		}
-	}
-	sort.SliceStable(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
-		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
-	return diags, nil
+	return NewProgram([]*Package{pkg}).Run(analyzers)
 }
 
 // PathMatchesAny reports whether pkgPath is one of the target packages:

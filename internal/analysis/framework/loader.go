@@ -29,6 +29,14 @@ type Package struct {
 // fixture tree when FixtureRoot is set). Target packages are checked
 // strictly with full bodies; dependencies are checked leniently with
 // IgnoreFuncBodies, which keeps a whole-module run cheap.
+//
+// Every package is parsed and type-checked at most once per loader, so
+// a multi-analyzer run over many targets shares all of the parse and
+// dependency-checking work. When one target imports another, the
+// import resolves to the importee's full (bodies included) package, so
+// the whole program shares one types.Object universe — the property
+// the call-graph layer (callgraph.go) depends on to connect
+// cross-package call edges.
 type Loader struct {
 	Fset *token.FileSet
 	// ModulePath/ModuleRoot map the current module's import paths to
@@ -42,7 +50,10 @@ type Loader struct {
 	FixtureRoot string
 
 	headers map[string]*types.Package
+	full    map[string]*Package
+	targets map[string]bool
 	loading map[string]bool
+	parsed  map[string][]*ast.File // dir -> parsed files (cache)
 }
 
 // NewLoader builds a loader for one module (both arguments may be
@@ -53,7 +64,10 @@ func NewLoader(modulePath, moduleRoot string) *Loader {
 		ModulePath: modulePath,
 		ModuleRoot: moduleRoot,
 		headers:    make(map[string]*types.Package),
+		full:       make(map[string]*Package),
+		targets:    make(map[string]bool),
 		loading:    make(map[string]bool),
+		parsed:     make(map[string][]*ast.File),
 	}
 }
 
@@ -82,7 +96,13 @@ func (l *Loader) dirFor(path string) (string, error) {
 
 // parseDir parses the buildable non-test Go files of dir, applying the
 // host build constraints via go/build (no go command involved).
+// Results are cached per directory: a package that is both a
+// dependency of one target and a target itself is parsed exactly once,
+// so its syntax trees (and their token.File entries) are shared.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	if files, ok := l.parsed[dir]; ok {
+		return files, nil
+	}
 	bp, err := build.Default.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
@@ -98,19 +118,33 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		}
 		files = append(files, f)
 	}
+	l.parsed[dir] = files
 	return files, nil
 }
 
-// Import implements types.Importer for dependency packages.
+// Import implements types.Importer for dependency packages. Imports of
+// declared target packages resolve to the full (bodies included)
+// load, so cross-target references share one types.Object identity;
+// everything else gets the cheap header-only treatment.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if pkg, ok := l.full[path]; ok {
+		return pkg.Types, nil
 	}
 	if pkg, ok := l.headers[path]; ok {
 		return pkg, nil
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	if l.targets[path] {
+		pkg, err := l.loadFull(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
 	}
 	l.loading[path] = true
 	defer delete(l.loading, path)
@@ -141,10 +175,17 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// LoadTarget loads one package for analysis: full bodies, full
-// types.Info, and hard failure on any type error so analyzers never
-// run over half-resolved syntax.
-func (l *Loader) LoadTarget(path string) (*Package, error) {
+// loadFull type-checks path with full bodies and full types.Info,
+// failing hard on any type error so analyzers never run over
+// half-resolved syntax. The result is memoized and also registered as
+// the import answer for path.
+func (l *Loader) loadFull(path string) (*Package, error) {
+	if pkg, ok := l.full[path]; ok {
+		return pkg, nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
 	dir, err := l.dirFor(path)
 	if err != nil {
 		return nil, err
@@ -173,5 +214,33 @@ func (l *Loader) LoadTarget(path string) (*Package, error) {
 	if tpkg == nil {
 		return nil, fmt.Errorf("type-checking %s produced no package", path)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.full[path] = pkg
+	return pkg, nil
+}
+
+// LoadTarget loads one package for analysis: full bodies, full
+// types.Info, and hard failure on any type error.
+func (l *Loader) LoadTarget(path string) (*Package, error) {
+	l.targets[path] = true
+	return l.loadFull(path)
+}
+
+// LoadTargets loads every path with full bodies. All paths are
+// declared as targets up front, so imports between them resolve to the
+// full packages regardless of load order and the resulting packages
+// form one consistent program.
+func (l *Loader) LoadTargets(paths []string) ([]*Package, error) {
+	for _, p := range paths {
+		l.targets[p] = true
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.loadFull(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }

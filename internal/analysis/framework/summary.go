@@ -1,0 +1,532 @@
+// Function summaries: per-function allocation facts, computed once per
+// call-graph node and consumed bottom-up by interprocedural analyzers
+// (noalloc). A summary answers "what could this function allocate,
+// locally?"; transitive questions compose over the call graph.
+//
+// The central notion is *rootedness*. The hot path's steady-state
+// allocation-freedom (docs/PERFORMANCE.md, TestBestInWindowZeroAlloc)
+// does not mean "no make/append anywhere": pooled scratch buffers and
+// curve breakpoint storage grow during warm-up and are reused
+// thereafter. An allocation is *rooted* when it only grows persistent
+// storage the caller owns — storage reachable from a pointer receiver,
+// a pointer parameter, or a local derived from one (sc.chain[:0],
+// *dst, &sc.total). Rooted growth is amortized away by reuse and is
+// exactly what testing.AllocsPerRun observes as zero after warm-up;
+// unrooted allocation happens on every call and is what noalloc
+// reports.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocKind classifies one potential allocation site.
+type AllocKind int
+
+const (
+	// AllocMake is a make() of a slice, map, or channel.
+	AllocMake AllocKind = iota
+	// AllocNew is a new(T).
+	AllocNew
+	// AllocAppend is an append that may grow its backing array.
+	AllocAppend
+	// AllocMapLit is a map composite literal.
+	AllocMapLit
+	// AllocCompositeRef is &T{...}, a heap-escaping composite.
+	AllocCompositeRef
+	// AllocClosure is a function literal that captures variables and
+	// escapes (stored, returned, or sent — not a direct call argument
+	// or a call-only local).
+	AllocClosure
+	// AllocBox is a conversion that boxes a non-pointer concrete value
+	// into an interface.
+	AllocBox
+	// AllocString is string concatenation or a string<->[]byte/[]rune
+	// conversion.
+	AllocString
+	// AllocMapWrite is a map element store, which may trigger map
+	// growth.
+	AllocMapWrite
+	// AllocGo is a go statement (new goroutine, escaping closure).
+	AllocGo
+)
+
+func (k AllocKind) String() string {
+	switch k {
+	case AllocMake:
+		return "make"
+	case AllocNew:
+		return "new"
+	case AllocAppend:
+		return "append"
+	case AllocMapLit:
+		return "map literal"
+	case AllocCompositeRef:
+		return "&composite literal"
+	case AllocClosure:
+		return "escaping closure"
+	case AllocBox:
+		return "interface boxing"
+	case AllocString:
+		return "string allocation"
+	case AllocMapWrite:
+		return "map store"
+	case AllocGo:
+		return "go statement"
+	default:
+		return fmt.Sprintf("AllocKind(%d)", int(k))
+	}
+}
+
+// An AllocSite is one potential allocation in a function body.
+type AllocSite struct {
+	Kind AllocKind
+	Pos  token.Pos
+	// Rooted reports that the allocation only grows persistent
+	// caller-owned storage (see the package comment): warm-up growth,
+	// not steady-state allocation.
+	Rooted bool
+}
+
+// A Summary holds the local facts of one function.
+type Summary struct {
+	Fn     *types.Func
+	Allocs []AllocSite
+}
+
+// Summary returns the node's local allocation facts, computing them on
+// first use. External nodes (no body) return an empty summary.
+func (n *Node) Summary() *Summary {
+	if n.summary == nil {
+		n.summary = summarize(n)
+	}
+	return n.summary
+}
+
+// summarize walks one function body and extracts its allocation sites.
+func summarize(n *Node) *Summary {
+	s := &Summary{Fn: n.Func}
+	if n.Decl == nil || n.Decl.Body == nil {
+		return s
+	}
+	info := n.Pkg.Info
+	rooted := rootedVars(info, n.Decl)
+	isRooted := func(e ast.Expr) bool { return rootedExpr(info, rooted, e) }
+
+	// Context classification for make/new and function literals:
+	// decided by where the expression appears, so collect accepted
+	// positions in a pre-pass.
+	handledAlloc := make(map[ast.Expr]bool) // make/new assigned to rooted storage
+	acceptedLit := make(map[*ast.FuncLit]bool)
+	litOf := make(map[*types.Var]*ast.FuncLit)
+	singleBound := singleBoundFuncLits(info, n.Decl.Body)
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) == len(nd.Rhs) {
+				for i, rhs := range nd.Rhs {
+					if isBuiltinCall(info, rhs, "make") || isBuiltinCall(info, rhs, "new") {
+						if isRooted(nd.Lhs[i]) {
+							handledAlloc[rhs] = true
+						}
+					}
+					if lit, ok := rhs.(*ast.FuncLit); ok {
+						if id, ok := nd.Lhs[i].(*ast.Ident); ok {
+							if v := localVar(info, id); v != nil && singleBound[v] {
+								acceptedLit[lit] = true
+								litOf[v] = lit
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range nd.Names {
+				if i < len(nd.Values) {
+					if lit, ok := nd.Values[i].(*ast.FuncLit); ok {
+						if v := localVar(info, nd.Names[i]); v != nil && singleBound[v] {
+							acceptedLit[lit] = true
+							litOf[v] = lit
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[nd.Fun]; !ok || !tv.IsType() {
+				// A literal passed directly as a call argument does
+				// not outlive the call in the idioms this module
+				// allows (sort.Search, slices.SortFunc): accepted.
+				for _, arg := range nd.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						acceptedLit[lit] = true
+					}
+				}
+				if lit, ok := unwrapFun(nd.Fun).(*ast.FuncLit); ok {
+					acceptedLit[lit] = true // immediately invoked
+				}
+			}
+		}
+		return true
+	})
+	// A call-only local closure is accepted, but if the variable is
+	// ever used outside call position the literal escapes after all.
+	for v, lit := range litOf {
+		if escapesAsValue(info, n.Decl.Body, v) {
+			delete(acceptedLit, lit)
+		}
+	}
+
+	add := func(kind AllocKind, pos token.Pos, isrooted bool) {
+		s.Allocs = append(s.Allocs, AllocSite{Kind: kind, Pos: pos, Rooted: isrooted})
+	}
+
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.GoStmt:
+			add(AllocGo, nd.Pos(), false)
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if _, isMap := typeOf(info, ix.X).Underlying().(*types.Map); isMap {
+						add(AllocMapWrite, lhs.Pos(), false)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[nd.Fun]; ok && tv.IsType() {
+				if site, bad := classifyConversion(info, nd); bad {
+					add(site, nd.Pos(), false)
+				}
+				return true
+			}
+			switch {
+			case isBuiltinCall(info, nd, "make"):
+				add(AllocMake, nd.Pos(), handledAlloc[nd])
+			case isBuiltinCall(info, nd, "new"):
+				add(AllocNew, nd.Pos(), handledAlloc[nd])
+			case isBuiltinCall(info, nd, "append"):
+				add(AllocAppend, nd.Pos(), len(nd.Args) > 0 && isRooted(nd.Args[0]))
+			}
+		case *ast.CompositeLit:
+			if _, isMap := typeOf(info, nd).Underlying().(*types.Map); isMap {
+				add(AllocMapLit, nd.Pos(), false)
+			}
+		case *ast.UnaryExpr:
+			if nd.Op == token.AND {
+				if _, ok := nd.X.(*ast.CompositeLit); ok {
+					add(AllocCompositeRef, nd.Pos(), false)
+				}
+			}
+		case *ast.BinaryExpr:
+			if nd.Op == token.ADD {
+				if b, ok := typeOf(info, nd).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					add(AllocString, nd.Pos(), false)
+				}
+			}
+		case *ast.FuncLit:
+			if !acceptedLit[nd] && capturesVariables(info, n.Decl, nd) {
+				add(AllocClosure, nd.Pos(), false)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// classifyConversion reports whether the conversion call allocates:
+// string<->[]byte/[]rune traffic, or boxing a non-pointer concrete
+// value into an interface.
+func classifyConversion(info *types.Info, call *ast.CallExpr) (AllocKind, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	dst := typeOf(info, call.Fun)
+	src := typeOf(info, call.Args[0])
+	if dst == nil || src == nil {
+		return 0, false
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		if !allocFreeBoxed(src) {
+			return AllocBox, true
+		}
+		return 0, false
+	}
+	db, dOK := dst.Underlying().(*types.Basic)
+	sb, sOK := src.Underlying().(*types.Basic)
+	dstStr := dOK && db.Info()&types.IsString != 0
+	srcStr := sOK && sb.Info()&types.IsString != 0
+	if dstStr != srcStr {
+		// string([]byte), []byte(string), string(rune), ... — every
+		// cross-kind string conversion copies.
+		if dstStr || srcStr {
+			return AllocString, true
+		}
+	}
+	return 0, false
+}
+
+// allocFreeBoxed reports whether values of t fit an interface word
+// without heap allocation (pointer-shaped types).
+func allocFreeBoxed(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// rootedVars runs a small fixed point over decl's body: a local
+// variable is rooted when it is (derived from) persistent storage —
+// the pointer receiver, a pointer parameter, or a rooted expression.
+func rootedVars(info *types.Info, decl *ast.FuncDecl) map[*types.Var]bool {
+	rooted := make(map[*types.Var]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+						rooted[v] = true
+					}
+				}
+			}
+		}
+	}
+	addFields(decl.Recv)
+	if decl.Type.Params != nil {
+		addFields(decl.Type.Params)
+	}
+	if decl.Body == nil {
+		return rooted
+	}
+	for {
+		changed := false
+		ast.Inspect(decl.Body, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.AssignStmt:
+				if len(nd.Lhs) != len(nd.Rhs) {
+					return true
+				}
+				for i, lhs := range nd.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := localVar(info, id)
+					if v == nil || rooted[v] {
+						continue
+					}
+					if rootedExpr(info, rooted, nd.Rhs[i]) {
+						rooted[v] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range nd.Names {
+					if i >= len(nd.Values) {
+						continue
+					}
+					v := localVar(info, name)
+					if v == nil || rooted[v] {
+						continue
+					}
+					if rootedExpr(info, rooted, nd.Values[i]) {
+						rooted[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return rooted
+		}
+	}
+}
+
+// rootedExpr reports whether e denotes (a view of) persistent
+// caller-owned storage.
+func rootedExpr(info *types.Info, rooted map[*types.Var]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v := localVar(info, e)
+		return v != nil && rooted[v]
+	case *ast.SelectorExpr:
+		// A field chain is rooted by its base object.
+		return rootedExpr(info, rooted, e.X)
+	case *ast.StarExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && rootedExpr(info, rooted, e.X)
+	case *ast.SliceExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.IndexExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.ParenExpr:
+		return rootedExpr(info, rooted, e.X)
+	case *ast.TypeAssertExpr:
+		// pool.Get().(*scratch): the assertion is a view of whatever
+		// Get returned.
+		return rootedExpr(info, rooted, e.X)
+	case *ast.CallExpr:
+		// append(rooted, ...) yields rooted storage (grown in place or
+		// re-anchored under the same owner).
+		if isBuiltinCall(info, e, "append") && len(e.Args) > 0 {
+			return rootedExpr(info, rooted, e.Args[0])
+		}
+		// (*sync.Pool).Get hands out pooled persistent storage — the
+		// scratch idiom rootedness exists to accept.
+		if sel, ok := unwrapFun(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.FullName() == "(*sync.Pool).Get" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// escapesAsValue reports whether v is used anywhere other than as the
+// function operand of a call (x() is fine; passing or storing x is an
+// escape).
+func escapesAsValue(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	escapes := false
+	calleeIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if id, ok := unwrapFun(call.Fun).(*ast.Ident); ok {
+				calleeIdents[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok || calleeIdents[id] {
+			return true
+		}
+		if u, ok := info.Uses[id].(*types.Var); ok && u == v {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// capturesVariables reports whether lit references a variable declared
+// in the enclosing function outside the literal itself.
+func capturesVariables(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() >= encl.Pos() && v.Pos() < encl.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// localVar resolves an identifier to the variable it defines or uses.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// typeOf is Info.TypeOf with a non-nil guarantee (types.Typ[Invalid]
+// for unknown expressions), so callers can chase Underlying safely.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unwrapFun(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// SCCs returns the strongly connected components of the call graph in
+// bottom-up (reverse topological) order: every static/interface callee
+// of a component appears in an earlier component (or the same one).
+// Analyzers that fold summaries over the graph process components in
+// this order.
+func (g *CallGraph) SCCs() [][]*Node {
+	nodes := g.Nodes()
+	index := make(map[*Node]int, len(nodes))
+	low := make(map[*Node]int, len(nodes))
+	onStack := make(map[*Node]bool, len(nodes))
+	var stack []*Node
+	var comps [][]*Node
+	next := 0
+
+	var strongconnect func(n *Node)
+	strongconnect = func(n *Node) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, e := range n.Out {
+			m := e.Callee
+			if m == nil {
+				continue
+			}
+			if _, seen := index[m]; !seen {
+				strongconnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,261 @@
+// Package noalloc statically proves that the call tree rooted at the
+// functions marked //mclegal:hotpath is free of steady-state heap
+// allocation — the static twin of the dynamic proof in
+// mgl.TestBestInWindowZeroAlloc (testing.AllocsPerRun == 0 after
+// warm-up).
+//
+// The analyzer walks the program call graph (framework.CallGraph) from
+// every //mclegal:hotpath <why> root and inspects the allocation
+// summary (framework.Summary) of each reachable function:
+//
+//   - Rooted allocations — make/append/new growth of persistent
+//     caller-owned storage such as pooled scratch buffers or curve
+//     breakpoint arrays — are warm-up growth and accepted; they are
+//     exactly what AllocsPerRun amortizes to zero.
+//   - Everything else is reported: unrooted make/new/append, map
+//     literals and map stores, &composite literals, escaping closures
+//     that capture variables, interface boxing of non-pointer values,
+//     string concatenation/conversion, and go statements.
+//   - Call edges must stay provable: indirect calls of unknown
+//     function values are reported, interface calls are expanded to
+//     every in-program implementation (and reported when none exists),
+//     and calls into externals without bodies are reported unless the
+//     callee is on the documented allow list of known
+//     allocation-free routines (sort.Search, slices.Sort/SortFunc,
+//     cmp.Compare, sync.Pool Get/Put, sync.Mutex Lock/Unlock).
+//
+// A site that allocates by design takes //mclegal:alloc <why> on its
+// line (or the line above); the justification is mandatory. Hot-path
+// roots are declared with //mclegal:hotpath <why> on the function's
+// doc comment; the reason text is mandatory there too, and the root
+// set is pinned to the dynamic benchmark by
+// TestHotPathRootsMatchDynamicProof.
+package noalloc
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// Analyzer is the noalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "noalloc",
+	Doc:  "prove the //mclegal:hotpath call tree allocation-free (suppress sites with //mclegal:alloc)",
+	Run:  run,
+}
+
+// allowedExternals are dependency functions without analyzable bodies
+// that are known not to allocate on the hot path. Every entry must
+// stay justified here:
+//
+//	sort.Search, slices.Sort, slices.SortFunc, cmp.Compare —
+//	    comparison-based search/sort over caller storage; the
+//	    comparator closures are stack-allocated (their parameters do
+//	    not escape).
+//	(*sync.Pool).Get / Put — the pool's per-P private/shared slots;
+//	    Get allocates only through New, which the scratch pool pays
+//	    during warm-up.
+//	(*sync.Mutex).Lock / Unlock — spinning/futex, no heap traffic.
+var allowedExternals = map[string]bool{
+	"sort.Search":          true,
+	"slices.Sort":          true,
+	"slices.SortFunc":      true,
+	"cmp.Compare":          true,
+	"(*sync.Pool).Get":     true,
+	"(*sync.Pool).Put":     true,
+	"(*sync.Mutex).Lock":   true,
+	"(*sync.Mutex).Unlock": true,
+}
+
+// hotState is the program-wide result, computed once and shared by the
+// per-package passes through Program.CacheLoad.
+type hotState struct {
+	// roots maps each root function to its directive justification.
+	roots map[*framework.Node]string
+	// via maps every hot-reachable node to the root it was first
+	// reached from (deterministic: roots processed in name order).
+	via map[*framework.Node]*framework.Node
+}
+
+// Roots returns the //mclegal:hotpath root functions of the program in
+// deterministic order; the root-set sync test uses it to pin the
+// static proof to the dynamic one.
+func Roots(prog *framework.Program) ([]*framework.Node, error) {
+	st, err := state(prog)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*framework.Node, 0, len(st.roots))
+	for n := range st.roots {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Func.FullName() < out[j].Func.FullName()
+	})
+	return out, nil
+}
+
+// Reachable reports whether the node is in the hot-path closure.
+func Reachable(prog *framework.Program, n *framework.Node) (bool, error) {
+	st, err := state(prog)
+	if err != nil {
+		return false, err
+	}
+	_, ok := st.via[n]
+	return ok, nil
+}
+
+func state(prog *framework.Program) (*hotState, error) {
+	v, err := prog.CacheLoad("noalloc", func() (any, error) { return computeState(prog) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*hotState), nil
+}
+
+func computeState(prog *framework.Program) (*hotState, error) {
+	cg, err := prog.CallGraph()
+	if err != nil {
+		return nil, err
+	}
+	st := &hotState{
+		roots: make(map[*framework.Node]string),
+		via:   make(map[*framework.Node]*framework.Node),
+	}
+	for _, n := range cg.Nodes() {
+		if n.Decl == nil {
+			continue
+		}
+		if reason, ok := framework.DocDirective(n.Decl.Doc, "hotpath"); ok {
+			st.roots[n] = reason
+		}
+	}
+	// BFS from each root (name order, so `via` attribution is
+	// deterministic). External and interface-method nodes terminate
+	// the walk: they have no bodies; their edges are judged at the
+	// call site.
+	var order []*framework.Node
+	for n := range st.roots {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return order[i].Func.FullName() < order[j].Func.FullName()
+	})
+	for _, root := range order {
+		if _, seen := st.via[root]; seen {
+			continue
+		}
+		queue := []*framework.Node{root}
+		st.via[root] = root
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Out {
+				m := e.Callee
+				if m == nil || m.Decl == nil {
+					continue
+				}
+				if _, seen := st.via[m]; seen {
+					continue
+				}
+				st.via[m] = root
+				queue = append(queue, m)
+			}
+		}
+	}
+	return st, nil
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	st, err := state(pass.Prog)
+	if err != nil {
+		return err
+	}
+	if len(st.roots) == 0 {
+		return nil
+	}
+	cg, err := pass.Prog.CallGraph()
+	if err != nil {
+		return err
+	}
+	// Check root directives (justification mandatory) for roots
+	// declared in this package.
+	for n, reason := range st.roots {
+		if n.Pkg != nil && n.Pkg.Types == pass.Pkg && reason == "" {
+			pass.Reportf(n.Decl.Pos(),
+				"//mclegal:hotpath directive is missing a justification")
+		}
+	}
+	// Walk the hot closure; report findings located in this package
+	// only, so a program-wide run emits each finding exactly once.
+	for _, n := range cg.Nodes() {
+		root, hot := st.via[n]
+		if !hot || n.Pkg == nil || n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		ctx := fmt.Sprintf("hot path via %s", root.Func.FullName())
+		for _, site := range n.Summary().Allocs {
+			if site.Rooted {
+				continue
+			}
+			if pass.Suppressed("alloc", site.Pos) {
+				continue
+			}
+			pass.Reportf(site.Pos, "%s: %s allocates on every call; pool it, root it in caller-owned storage, or justify with //mclegal:alloc <why>",
+				ctx, site.Kind)
+		}
+		seenIfaceSite := make(map[*framework.Edge]bool)
+		for _, e := range n.Out {
+			switch e.Kind {
+			case framework.EdgeDynamic:
+				if !pass.Suppressed("alloc", e.Site.Pos()) {
+					pass.Reportf(e.Site.Pos(), "%s: indirect call of a function value cannot be proven allocation-free; justify with //mclegal:alloc <why>", ctx)
+				}
+			case framework.EdgeInterface:
+				// Edges come in groups per site: the interface method
+				// itself plus one edge per implementation. Judge each
+				// site once.
+				if e.Callee != nil && e.Callee.Decl == nil && isInterfaceMethod(e.Callee.Func) {
+					if !seenIfaceSite[e] && implCount(n, e) == 0 {
+						if !pass.Suppressed("alloc", e.Site.Pos()) {
+							pass.Reportf(e.Site.Pos(), "%s: interface call %s has no in-program implementation to prove; justify with //mclegal:alloc <why>",
+								ctx, e.Callee.Func.Name())
+						}
+					}
+					seenIfaceSite[e] = true
+				}
+			case framework.EdgeStatic:
+				if e.Callee.Decl == nil && !allowedExternals[e.Callee.Func.Origin().FullName()] {
+					if !pass.Suppressed("alloc", e.Site.Pos()) {
+						pass.Reportf(e.Site.Pos(), "%s: call into unsummarized external %s (no body to prove); extend the noalloc allow list or justify with //mclegal:alloc <why>",
+							ctx, e.Callee.Func.FullName())
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// implCount counts concrete-implementation edges sharing the call site
+// of the interface-method edge e.
+func implCount(n *framework.Node, e *framework.Edge) int {
+	count := 0
+	for _, o := range n.Out {
+		if o.Kind == framework.EdgeInterface && o.Site == e.Site && o != e && o.Callee != nil && o.Callee.Decl != nil {
+			count++
+		}
+	}
+	return count
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}

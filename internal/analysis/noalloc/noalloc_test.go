@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/noalloc"
+)
+
+// The two fixture packages form one program: the hot root lives in
+// mgl, part of its call tree in curve, and the analyzer must follow
+// the cross-package edge.
+func TestNoalloc(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", noalloc.Analyzer,
+		"noalloc/internal/mgl", "noalloc/internal/curve")
+}

@@ -1,0 +1,80 @@
+package analysis_test
+
+import (
+	"go/types"
+	"testing"
+
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/noalloc"
+)
+
+// TestHotPathRootsMatchDynamicProof pins the static noalloc proof to
+// the dynamic one: mgl.TestBestInWindowZeroAlloc measures exactly the
+// call tree under (*Legalizer).bestInWindow, so (a) bestInWindow must
+// be a //mclegal:hotpath root, and (b) every other root must be
+// reachable from bestInWindow — otherwise the static proof would claim
+// coverage the benchmark does not actually measure, and the two could
+// silently drift apart.
+func TestHotPathRootsMatchDynamicProof(t *testing.T) {
+	prog := loadScopedProgram(t)
+	cg, err := prog.CallGraph()
+	if err != nil {
+		t.Fatalf("building call graph: %v", err)
+	}
+	roots, err := noalloc.Roots(prog)
+	if err != nil {
+		t.Fatalf("collecting hotpath roots: %v", err)
+	}
+	if len(roots) == 0 {
+		t.Fatal("no //mclegal:hotpath roots found; the noalloc analyzer is proving nothing")
+	}
+
+	mgl := prog.Package("mclegal/internal/mgl")
+	if mgl == nil {
+		t.Fatal("internal/mgl not in the scoped program")
+	}
+	leg, _ := mgl.Types.Scope().Lookup("Legalizer").(*types.TypeName)
+	if leg == nil {
+		t.Fatal("mgl.Legalizer not found")
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(leg.Type()), true, mgl.Types, "bestInWindow")
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		t.Fatal("(*mgl.Legalizer).bestInWindow not found")
+	}
+	bench := cg.Node(fn)
+	if bench == nil {
+		t.Fatal("bestInWindow has no call-graph node")
+	}
+
+	isRoot := false
+	for _, r := range roots {
+		if r == bench {
+			isRoot = true
+		}
+	}
+	if !isRoot {
+		t.Errorf("bestInWindow is not a //mclegal:hotpath root; the static proof no longer covers what TestBestInWindowZeroAlloc measures")
+	}
+
+	// BFS from bestInWindow over in-program edges.
+	reach := map[*framework.Node]bool{bench: true}
+	queue := []*framework.Node{bench}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if e.Callee == nil || e.Callee.External() || reach[e.Callee] {
+				continue
+			}
+			reach[e.Callee] = true
+			queue = append(queue, e.Callee)
+		}
+	}
+	for _, r := range roots {
+		if !reach[r] {
+			t.Errorf("root %s is not reachable from bestInWindow: the dynamic benchmark does not exercise it, so its zero-alloc claim has no runtime witness",
+				r.Func.FullName())
+		}
+	}
+}

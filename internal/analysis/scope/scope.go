@@ -35,3 +35,30 @@ var FloatCritical = []string{
 var GateBoundary = []string{
 	"internal/stage",
 }
+
+// CancellationAware lists the packages where a context.Context, once
+// received, must be threaded into every callee that can accept one
+// (the ctxflow analyzer): the deterministic core plus the min-cost
+// flow solver the refinement stage can spend most of its time in.
+var CancellationAware = []string{
+	"internal/mgl",
+	"internal/refine",
+	"internal/maxdisp",
+	"internal/matching",
+	"internal/flow",
+	"internal/stage",
+	"internal/mcf",
+}
+
+// HotPathClosure lists every package the //mclegal:hotpath call tree
+// (rooted in mgl.bestInWindow) reaches: the noalloc proof needs full
+// bodies for all of them, so program loads (suite tests, mclegal-vet)
+// must include the whole list.
+var HotPathClosure = []string{
+	"internal/mgl",
+	"internal/curve",
+	"internal/geom",
+	"internal/seg",
+	"internal/model",
+	"internal/route",
+}

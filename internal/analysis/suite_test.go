@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"mclegal/internal/analysis"
@@ -9,11 +10,12 @@ import (
 	"mclegal/internal/analysis/scope"
 )
 
-// TestSuiteCleanOnScopedPackages runs the full analyzer suite over
-// every real package any analyzer scopes itself to, asserting zero
-// diagnostics. This keeps plain `go test ./...` enforcing the
-// invariants even where `make lint` is not run.
-func TestSuiteCleanOnScopedPackages(t *testing.T) {
+// loadScopedProgram loads every real package any analyzer scopes
+// itself to as ONE program: cross-package analyses (the noalloc
+// hot-path proof) need all bodies in a single types.Object universe,
+// and a shared load is what mclegal-vet does too.
+func loadScopedProgram(t *testing.T) *framework.Program {
+	t.Helper()
 	root, err := filepath.Abs("../..")
 	if err != nil {
 		t.Fatal(err)
@@ -21,7 +23,13 @@ func TestSuiteCleanOnScopedPackages(t *testing.T) {
 	ld := framework.NewLoader("mclegal", root)
 	seen := make(map[string]bool)
 	var paths []string
-	for _, set := range [][]string{scope.DeterministicCore, scope.FloatCritical, scope.GateBoundary} {
+	for _, set := range [][]string{
+		scope.DeterministicCore,
+		scope.FloatCritical,
+		scope.GateBoundary,
+		scope.CancellationAware,
+		scope.HotPathClosure,
+	} {
 		for _, p := range set {
 			full := "mclegal/" + p
 			if !seen[full] {
@@ -30,17 +38,25 @@ func TestSuiteCleanOnScopedPackages(t *testing.T) {
 			}
 		}
 	}
-	for _, path := range paths {
-		pkg, err := ld.LoadTarget(path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-		diags, err := framework.RunAnalyzers(pkg, analysis.All())
-		if err != nil {
-			t.Fatalf("running suite on %s: %v", path, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-		}
+	sort.Strings(paths)
+	prog, err := framework.LoadProgram(ld, paths)
+	if err != nil {
+		t.Fatalf("loading scoped program: %v", err)
+	}
+	return prog
+}
+
+// TestSuiteCleanOnScopedPackages runs the full analyzer suite over
+// every real package any analyzer scopes itself to, asserting zero
+// diagnostics. This keeps plain `go test ./...` enforcing the
+// invariants even where `make lint` is not run.
+func TestSuiteCleanOnScopedPackages(t *testing.T) {
+	prog := loadScopedProgram(t)
+	diags, err := prog.Run(analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset().Position(d.Pos), d.Analyzer, d.Message)
 	}
 }

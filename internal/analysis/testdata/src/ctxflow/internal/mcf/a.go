@@ -1,0 +1,50 @@
+// Fixture for the ctxflow analyzer, inside the CancellationAware
+// scope: dropped-context calls, fresh Background/TODO contexts,
+// exported facades, suppression, and the missing-justification path.
+package mcf
+
+import "context"
+
+type Graph struct{}
+
+// Solve is the exported convenience facade: minting a Background
+// context in a context-less exported function is the documented
+// contract.
+func (g *Graph) Solve() error { return g.SolveContext(context.Background()) }
+
+func (g *Graph) SolveContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func Wait() {}
+
+func WaitWithContext(ctx context.Context) { _ = ctx }
+
+func Run(ctx context.Context, g *Graph) error {
+	if err := g.Solve(); err != nil { // want `call to Solve drops the received context; call SolveContext instead`
+		return err
+	}
+	Wait() // want `call to Wait drops the received context; call WaitWithContext instead`
+	WaitWithContext(ctx)
+	ctx2 := context.Background() // want `function already receives a context.Context; use it instead of context.Background`
+	_ = ctx2
+	return g.SolveContext(ctx)
+}
+
+func helper() {
+	ctx := context.TODO() // want `unexported function mints a fresh context with context.TODO`
+	_ = ctx
+}
+
+func suppressed(ctx context.Context, g *Graph) error {
+	_ = ctx
+	//mclegal:ctx fixture: the solve below is bounded and cancellation-free by design
+	return g.Solve()
+}
+
+func bareDirective(ctx context.Context, g *Graph) error {
+	_ = ctx
+	//mclegal:ctx
+	return g.Solve() // want `//mclegal:ctx directive is missing a justification`
+}

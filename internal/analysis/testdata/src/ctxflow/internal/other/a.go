@@ -1,0 +1,16 @@
+// Fixture outside the CancellationAware scope: identical patterns,
+// zero findings.
+package other
+
+import "context"
+
+func Wait() {}
+
+func WaitWithContext(ctx context.Context) { _ = ctx }
+
+func run(ctx context.Context) {
+	Wait()
+	fresh := context.Background()
+	_ = fresh
+	_ = ctx
+}

@@ -1,0 +1,27 @@
+// Fixture proving value-based coverage: a facade's re-exported
+// constant (a distinct object with the same value) covers the
+// underlying member, and a facade switch missing a member is still
+// caught.
+package other
+
+import "exhaustive/internal/stage"
+
+// StatusLegal mirrors the mclegal facade idiom: a new constant of the
+// same type and value.
+const StatusLegal = stage.StatusLegal
+
+func covered(s stage.Status) string {
+	switch s {
+	case StatusLegal, stage.StatusRecovered, stage.StatusPartial:
+		return "any"
+	}
+	return "?"
+}
+
+func missing(s stage.Status) string {
+	switch s { // want `switch over stage.Status is missing cases StatusPartial, StatusRecovered`
+	case StatusLegal:
+		return "legal"
+	}
+	return "?"
+}

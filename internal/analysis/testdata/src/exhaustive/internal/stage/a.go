@@ -1,0 +1,81 @@
+// Fixture for the exhaustive analyzer: named-type enums, const-group
+// enums, defaults, suppression, and the missing-justification path.
+package stage
+
+type Status int
+
+const (
+	StatusLegal Status = iota
+	StatusRecovered
+	StatusPartial
+)
+
+func missingMember(s Status) string {
+	switch s { // want `switch over stage.Status is missing cases StatusPartial`
+	case StatusLegal:
+		return "legal"
+	case StatusRecovered:
+		return "recovered"
+	}
+	return "?"
+}
+
+func fullCoverage(s Status) string {
+	switch s {
+	case StatusLegal, StatusRecovered, StatusPartial:
+		return "any"
+	}
+	return "?"
+}
+
+func defaulted(s Status) string {
+	switch s {
+	case StatusLegal:
+		return "legal"
+	default:
+		return "other"
+	}
+}
+
+const (
+	ActionFailed   = "failed"
+	ActionFallback = "fallback"
+	ActionSkipped  = "skipped"
+)
+
+func missingGroupMember(a string) string {
+	switch a { // want `switch over the ActionFailed constant group is missing cases ActionSkipped`
+	case ActionFailed:
+		return "f"
+	case ActionFallback:
+		return "b"
+	}
+	return ""
+}
+
+func literalCase(a string) string {
+	// A case outside the group means this is not an enum switch.
+	switch a {
+	case ActionFailed, "other":
+		return "x"
+	}
+	return ""
+}
+
+func suppressed(s Status) string {
+	//mclegal:exhaustive fixture: remainder is handled by the caller
+	switch s {
+	case StatusLegal:
+		return "legal"
+	}
+	return ""
+}
+
+func bareDirective(s Status) string {
+	//mclegal:exhaustive
+	switch s { // want `//mclegal:exhaustive directive is missing a justification`
+	case StatusLegal:
+		return "legal"
+	}
+	return ""
+}

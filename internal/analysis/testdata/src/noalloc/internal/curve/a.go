@@ -1,0 +1,29 @@
+// Fixture dependency of noalloc/internal/mgl: reached only through
+// the cross-package call edge from the hot root, proving the analyzer
+// follows the call graph between packages.
+package curve
+
+type Curve struct{ breaks []int }
+
+// Add grows receiver-owned storage: rooted, clean.
+func (c *Curve) Add(x int) {
+	c.breaks = append(c.breaks, x)
+}
+
+type Weigher interface{ Weigh() int }
+
+func Accumulate(buf []int, n int) int {
+	var c Curve
+	c.Add(n)
+	tmp := make([]int, n) // want `make allocates on every call`
+	s := pad("x", "y")
+	var w Weigher
+	if n < 0 {
+		return w.Weigh() // want `interface call Weigh has no in-program implementation`
+	}
+	return len(tmp) + len(buf) + len(s) + len(c.breaks)
+}
+
+func pad(a, b string) string {
+	return a + b // want `string allocation allocates on every call`
+}

@@ -20,6 +20,59 @@ import (
 	"slices"
 )
 
+// Kind classifies a local cell's contribution curve (paper Figure 4).
+// The four shapes are the complete case split of {right, left} side ×
+// {at/beyond, short of} the cell's GP position; the Push* constructors
+// switch over a Kind exhaustively so a new shape can never be added
+// without every consumer taking a position on it (the exhaustive
+// analyzer enforces this).
+type Kind uint8
+
+const (
+	// KindA is flat, then rising: right-side cell at/right of its GP.
+	KindA Kind = iota
+	// KindB is falling, then flat: left-side cell at/left of its GP.
+	KindB
+	// KindC is flat, falling, rising: right-side cell left of its GP.
+	KindC
+	// KindD is falling, rising, flat: left-side cell right of its GP
+	// (mirrored C).
+	KindD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	case KindC:
+		return "C"
+	case KindD:
+		return "D"
+	}
+	return "Kind(invalid)"
+}
+
+// RightKind classifies the curve of a right-side local cell currently
+// at cur with GP position g: KindA at/right of the GP, KindC left of
+// it.
+func RightKind(cur, g int64) Kind {
+	if cur >= g {
+		return KindA
+	}
+	return KindC
+}
+
+// LeftKind classifies the curve of a left-side local cell: KindB
+// at/left of the GP, KindD right of it.
+func LeftKind(cur, g int64) Kind {
+	if cur <= g {
+		return KindB
+	}
+	return KindD
+}
+
 type breakpoint struct {
 	x  int64
 	ds int64 // slope increase at x
@@ -52,58 +105,73 @@ func Abs(g, w, c int64) *Curve {
 // a right-side local cell whose position is max(cur, x+off) when the
 // target sits at x. cur is the cell's current position, g its GP
 // position, off the chain offset (target width plus the widths and
-// spacings between). Yields type A when cur >= g, type C otherwise.
+// spacings between). Yields RightKind(cur, g): KindA when cur >= g,
+// KindC otherwise.
 func PushRight(cur, g, off, w int64) *Curve {
-	if cur >= g {
+	var c *Curve
+	switch RightKind(cur, g) {
+	case KindA:
 		// (cur-g) for x <= cur-off, then rising.
-		return &Curve{
+		c = &Curve{
 			vref: w * (cur - g), xref: cur - off,
 			breaks: []breakpoint{{x: cur - off, ds: w}},
 			sorted: true,
 		}
+	case KindC:
+		// Flat (g-cur), falling to 0 at g-off, rising after.
+		c = &Curve{
+			vref: w * (g - cur), xref: cur - off,
+			breaks: []breakpoint{
+				{x: cur - off, ds: -w},
+				{x: g - off, ds: 2 * w},
+			},
+			sorted: true,
+		}
+	case KindB, KindD:
+		panic("curve: RightKind yielded a left-side kind")
 	}
-	// Type C: flat (g-cur), falling to 0 at g-off, rising after.
-	return &Curve{
-		vref: w * (g - cur), xref: cur - off,
-		breaks: []breakpoint{
-			{x: cur - off, ds: -w},
-			{x: g - off, ds: 2 * w},
-		},
-		sorted: true,
-	}
+	return c
 }
 
 // PushLeft returns f(x) = w*|min(cur, x-off) - g|: the displacement of a
-// left-side local cell whose position is min(cur, x-off). Yields type B
-// when cur <= g, type D otherwise.
+// left-side local cell whose position is min(cur, x-off). Yields
+// LeftKind(cur, g): KindB when cur <= g, KindD otherwise.
 func PushLeft(cur, g, off, w int64) *Curve {
-	if cur <= g {
+	var c *Curve
+	switch LeftKind(cur, g) {
+	case KindB:
 		// Falling toward the critical position cur+off, then flat at
 		// (g-cur).
-		return &Curve{
+		c = &Curve{
 			vref: w * (g - cur), xref: cur + off,
 			slope0: -w,
 			breaks: []breakpoint{{x: cur + off, ds: w}},
 			sorted: true,
 		}
+	case KindD:
+		// Rising region ends at cur+off with value (cur-g); flat
+		// after; falling before g+off.
+		c = &Curve{
+			vref: w * (cur - g), xref: cur + off,
+			slope0: -w,
+			breaks: []breakpoint{
+				{x: g + off, ds: 2 * w},
+				{x: cur + off, ds: -w},
+			},
+			sorted: true,
+		}
+	case KindA, KindC:
+		panic("curve: LeftKind yielded a right-side kind")
 	}
-	// Type D: rising region ends at cur+off with value (cur-g); flat
-	// after; falling before g+off.
-	return &Curve{
-		vref: w * (cur - g), xref: cur + off,
-		slope0: -w,
-		breaks: []breakpoint{
-			{x: g + off, ds: 2 * w},
-			{x: cur + off, ds: -w},
-		},
-		sorted: true,
-	}
+	return c
 }
 
 // ResetAbs reinitializes c in place to f(x) = w*|x-g| + k, reusing the
 // breakpoint storage. It is the allocation-free form of Abs, used by the
 // legalizer's hot path to rebuild the summed curve for every insertion
 // point without heap traffic.
+//
+//mclegal:hotpath rebuilds the summed curve once per insertion point; only appends into caller-owned breakpoint storage
 func (c *Curve) ResetAbs(g, w, k int64) {
 	c.vref, c.xref, c.slope0 = k, g, -w
 	c.breaks = append(c.breaks[:0], breakpoint{x: g, ds: 2 * w})
@@ -114,24 +182,31 @@ func (c *Curve) ResetAbs(g, w, k int64) {
 // allocating the intermediate curve: the contribution at c.xref is
 // evaluated in closed form (w*|max(cur, xref+off) - g|) and the
 // breakpoints are appended to c's own storage.
+//
+//mclegal:hotpath curve accumulation runs once per chain cell per insertion point; appends only into c's own storage
 func (c *Curve) AddPushRight(cur, g, off, w int64) {
 	p := c.xref + off
 	if cur > p {
 		p = cur
 	}
 	c.vref += w * abs64(p-g)
-	if cur >= g {
+	switch RightKind(cur, g) {
+	case KindA:
 		c.breaks = append(c.breaks, breakpoint{x: cur - off, ds: w})
-	} else {
+	case KindC:
 		c.breaks = append(c.breaks,
 			breakpoint{x: cur - off, ds: -w},
 			breakpoint{x: g - off, ds: 2 * w})
+	case KindB, KindD:
+		panic("curve: RightKind yielded a left-side kind")
 	}
 	c.sorted = false
 }
 
 // AddPushLeft mirrors AddPushRight for PushLeft: the contribution at
 // c.xref is w*|min(cur, xref-off) - g|.
+//
+//mclegal:hotpath curve accumulation runs once per chain cell per insertion point; appends only into c's own storage
 func (c *Curve) AddPushLeft(cur, g, off, w int64) {
 	p := c.xref - off
 	if cur < p {
@@ -139,12 +214,15 @@ func (c *Curve) AddPushLeft(cur, g, off, w int64) {
 	}
 	c.vref += w * abs64(p-g)
 	c.slope0 -= w
-	if cur <= g {
+	switch LeftKind(cur, g) {
+	case KindB:
 		c.breaks = append(c.breaks, breakpoint{x: cur + off, ds: w})
-	} else {
+	case KindD:
 		c.breaks = append(c.breaks,
 			breakpoint{x: g + off, ds: 2 * w},
 			breakpoint{x: cur + off, ds: -w})
+	case KindA, KindC:
+		panic("curve: LeftKind yielded a right-side kind")
 	}
 	c.sorted = false
 }

@@ -10,7 +10,10 @@
 // to assignment problems for an O(n^3) bound.
 package matching
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Forbidden marks a pair that must not be matched. It is large enough
 // to dominate any realistic total yet leaves headroom against overflow
@@ -25,8 +28,22 @@ const Forbidden = int64(math.MaxInt64) / (1 << 20)
 // total cost. ok is false if no perfect matching avoiding Forbidden
 // pairs exists.
 func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64, ok bool) {
+	assign, total, ok, _ = minCostPerfect(nil, n, cost)
+	return assign, total, ok
+}
+
+// MinCostPerfectContext is MinCostPerfect with cancellation: ctx is
+// polled once per augmented row (each row is one O(n^2) shortest-path
+// phase, the natural preemption granularity), and a non-nil err —
+// always ctx.Err() — means the solve was abandoned, not that no
+// matching exists.
+func MinCostPerfectContext(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
+	return minCostPerfect(ctx, n, cost)
+}
+
+func minCostPerfect(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
 	if n == 0 {
-		return nil, 0, true
+		return nil, 0, true, nil
 	}
 	const inf = int64(math.MaxInt64) / 4
 	// 1-based arrays in the classic formulation; index 0 is virtual.
@@ -35,6 +52,11 @@ func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64
 	p := make([]int, n+1)   // p[j]: row matched to column j (0 = free)
 	way := make([]int, n+1) // way[j]: previous column on the shortest path
 	for i := 1; i <= n; i++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, 0, false, cerr
+			}
+		}
 		p[0] = i
 		j0 := 0
 		minv := make([]int64, n+1)
@@ -62,7 +84,7 @@ func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64
 				}
 			}
 			if j1 < 0 || delta >= inf/2 {
-				return nil, 0, false // no augmenting path
+				return nil, 0, false, nil // no augmenting path
 			}
 			for j := 0; j <= n; j++ {
 				if used[j] {
@@ -88,11 +110,11 @@ func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64
 		assign[p[j]-1] = j - 1
 		c := cost(p[j]-1, j-1)
 		if c >= Forbidden {
-			return nil, 0, false
+			return nil, 0, false, nil
 		}
 		total += c
 	}
-	return assign, total, true
+	return assign, total, true, nil
 }
 
 // MinCostPerfectMatrix is MinCostPerfect over an explicit cost matrix.

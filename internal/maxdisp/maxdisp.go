@@ -149,13 +149,19 @@ func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, 
 				continue
 			}
 			st.Groups++
-			optimizeGroup(d, ids[lo:hi], delta0, &st)
+			if err := optimizeGroup(ctx, d, ids[lo:hi], delta0, &st); err != nil {
+				return st, err
+			}
 		}
 	}
 	return st, nil
 }
 
-func optimizeGroup(d *model.Design, ids []model.CellID, delta0 int64, st *Stats) {
+// optimizeGroup re-assigns one group of interchangeable cells to the
+// multiset of their positions. The ctx flows into the assignment
+// solver, where a large group's O(n^3) solve is the bulk of the
+// stage's work.
+func optimizeGroup(ctx context.Context, d *model.Design, ids []model.CellID, delta0 int64, st *Stats) error {
 	n := len(ids)
 	pos := make([]geom.Pt, n)
 	for i, id := range ids {
@@ -171,11 +177,14 @@ func optimizeGroup(d *model.Design, ids []model.CellID, delta0 int64, st *Stats)
 	for i := 0; i < n; i++ {
 		before += cost(i, i)
 	}
-	assign, after, ok := matching.MinCostPerfect(n, cost)
+	assign, after, ok, err := matching.MinCostPerfectContext(ctx, n, cost)
+	if err != nil {
+		return err
+	}
 	if !ok || after >= before {
 		st.CostBefore += before
 		st.CostAfter += before
-		return
+		return nil
 	}
 	st.CostBefore += before
 	st.CostAfter += after
@@ -189,4 +198,5 @@ func optimizeGroup(d *model.Design, ids []model.CellID, delta0 int64, st *Stats)
 			st.Swapped++
 		}
 	}
+	return nil
 }

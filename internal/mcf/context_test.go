@@ -1,0 +1,47 @@
+package mcf
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func transportGraph() *Graph {
+	g := NewGraph(4)
+	g.SetSupply(0, 10)
+	g.SetSupply(1, 5)
+	g.SetSupply(2, -8)
+	g.SetSupply(3, -7)
+	g.AddArc(0, 2, 10, 3)
+	g.AddArc(0, 3, 10, 1)
+	g.AddArc(1, 2, 10, 2)
+	g.AddArc(1, 3, 10, 4)
+	return g
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := transportGraph().SolveContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveContextClean(t *testing.T) {
+	res, err := transportGraph().SolveContext(context.Background())
+	if err != nil {
+		t.Fatalf("SolveContext: %v", err)
+	}
+	if res.Cost != 26 {
+		t.Errorf("cost = %d, want 26", res.Cost)
+	}
+	// The ctx-less facade must agree: nil ctx only disables polling.
+	plain, err := transportGraph().Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if plain.Cost != res.Cost {
+		t.Errorf("Solve cost %d != SolveContext cost %d", plain.Cost, res.Cost)
+	}
+}

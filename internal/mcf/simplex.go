@@ -1,6 +1,7 @@
 package mcf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -27,12 +28,33 @@ const (
 	stateUpper int8 = -1
 )
 
+// ctxCheckInterval is how many pivots the solver performs between
+// cancellation checks: rare enough to stay off the pivot loop's
+// profile, frequent enough that a cancelled refinement run stops
+// within a bounded amount of work.
+const ctxCheckInterval = 1024
+
 // Solve runs the network simplex with the FirstEligible pivot rule.
 func (g *Graph) Solve() (*Result, error) { return g.SolveWith(FirstEligible) }
 
+// SolveContext is Solve with cancellation: the pivot loop polls ctx
+// every ctxCheckInterval pivots and returns ctx.Err() once it is
+// cancelled or past its deadline.
+func (g *Graph) SolveContext(ctx context.Context) (*Result, error) {
+	return g.SolveWithContext(ctx, FirstEligible)
+}
+
 // SolveWith runs the network simplex with the given pivot rule and
 // returns optimal flows, potentials and cost.
-func (g *Graph) SolveWith(rule PivotRule) (*Result, error) {
+func (g *Graph) SolveWith(rule PivotRule) (*Result, error) { return g.solve(nil, rule) }
+
+// SolveWithContext is SolveWith with the cancellation behaviour of
+// SolveContext.
+func (g *Graph) SolveWithContext(ctx context.Context, rule PivotRule) (*Result, error) {
+	return g.solve(ctx, rule)
+}
+
+func (g *Graph) solve(ctx context.Context, rule PivotRule) (*Result, error) {
 	if g.err != nil {
 		return nil, g.err
 	}
@@ -50,6 +72,7 @@ func (g *Graph) SolveWith(rule PivotRule) (*Result, error) {
 		n:    n,
 		m:    m,
 		root: n,
+		ctx:  ctx,
 	}
 	total := m + n // real arcs then one artificial arc per node
 	s.from = make([]int32, total)
@@ -132,6 +155,7 @@ func (g *Graph) SolveWith(rule PivotRule) (*Result, error) {
 
 type simplex struct {
 	n, m, root int
+	ctx        context.Context // nil: cancellation disabled
 
 	from, to   []int32
 	cap, cost  []int64
@@ -163,6 +187,8 @@ func (s *simplex) eligible(a int) bool {
 		return s.reducedCost(a) < 0
 	case stateUpper:
 		return s.reducedCost(a) > 0
+	case stateTree:
+		return false // basic (tree) arcs never pivot in
 	}
 	return false
 }
@@ -178,6 +204,11 @@ func (s *simplex) run(rule PivotRule) error {
 		blockSize = bs
 	}
 	for {
+		if s.ctx != nil && s.pivots%ctxCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		in := -1
 		switch rule {
 		case FirstEligible:

@@ -135,6 +135,8 @@ func betterPlan(p, best plan, gy int) bool {
 // the cheapest feasible plan. The winning plan's moves are copied into
 // *dst (reusing its capacity), so the returned plan stays valid after
 // the evaluation's scratch buffers are recycled.
+//
+//mclegal:hotpath per-cell inner loop of MGL; TestBestInWindowZeroAlloc pins it to 0 allocs/op after warm-up
 func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect, dst *[]move) (plan, bool) {
 	d := l.d
 	tc := &d.Cells[t]

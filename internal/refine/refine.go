@@ -264,7 +264,7 @@ func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt O
 	if opt.Faults.ShouldFire(faults.RefineInfeasible) {
 		return rep, fmt.Errorf("refine: injected: %w", mcf.ErrInfeasible)
 	}
-	res, err := g.Solve()
+	res, err := g.SolveContext(ctx)
 	if err != nil {
 		return rep, fmt.Errorf("refine: %w", err)
 	}

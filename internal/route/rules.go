@@ -67,6 +67,7 @@ func (r *Rules) RowForbidden(ct model.CellTypeID, y int) bool {
 		}
 	}
 	r.mu.Lock()
+	//mclegal:alloc memo store runs once per (cell type, rail phase) key; steady-state queries return from the populated map above
 	r.rowMemo[key] = bad
 	r.mu.Unlock()
 	return bad

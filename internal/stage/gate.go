@@ -152,6 +152,9 @@ func (r GateReport) String() string {
 		b.WriteString(", stage skipped")
 	case ActionAborted:
 		b.WriteString(", run aborted (partial result)")
+	case ActionFailed:
+		// The base "gate failed" message already says everything a
+		// failed (non-recovered) gate has to say.
 	}
 	return b.String()
 }
