@@ -68,12 +68,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench MGLThroughput -benchtime 1x -run '^$$' .
 
-# The benchmark-trajectory harness: sweeps MGL worker counts and writes
-# BENCH_mgl.json (ns/op, allocs/op, cells/sec, speedup vs workers=1).
-# Compare the committed baseline against a fresh run to judge a perf
-# change; see docs/PERFORMANCE.md.
+# The benchmark-trajectory harness: sweeps MGL worker counts into
+# BENCH_mgl.json (ns/op, allocs/op, cells/sec, speedup vs workers=1)
+# and shard concurrencies into BENCH_shard.json (ns/op, per-region
+# wall-clock breakdown, speedup vs shards=1). Compare the committed
+# baselines against a fresh run to judge a perf change; see
+# docs/PERFORMANCE.md.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_mgl.json
+	$(GO) run ./cmd/benchjson -mode mgl -out BENCH_mgl.json
+	$(GO) run ./cmd/benchjson -mode shard -out BENCH_shard.json
 
 clean:
 	$(GO) clean ./...

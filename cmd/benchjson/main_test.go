@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-mode", "bogus"},
+		{"-workers", "zero,"},
+		{"-workers", "0"},
+		{"-mode", "shard", "-shards", "nope"},
+		{"-mode", "shard", "-shards", "-1"},
+		{"-no-such-flag"},
+	} {
+		var out bytes.Buffer
+		if code := run(tc, &out); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", tc, code)
+		}
+	}
+}
+
+// A minimal shard sweep must produce a well-formed report with the
+// per-shard breakdown and an honest per-run GOMAXPROCS.
+func TestRunShardSweepToStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark measurement")
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-mode", "shard", "-shards", "1", "-scale", "0.002", "-out", "-"}, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var rep shardReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].GOMAXPROCS < 1 || rep.Runs[0].Regions < 2 {
+		t.Fatalf("report runs = %+v", rep.Runs)
+	}
+	if len(rep.Runs[0].Detail) != rep.Runs[0].Regions || rep.Runs[0].MaxShardNs == 0 {
+		t.Errorf("missing per-shard breakdown: %+v", rep.Runs[0])
+	}
+}

@@ -9,11 +9,13 @@
 //	experiments -table 3 [-scale 0.02]   # post-processing ablation
 //	experiments -fig 6   [-scale 0.05]   # matching before/after scatter
 //	experiments -bench fft_a_md2 ...     # restrict to one benchmark
+//	experiments -shards auto ...         # shard our runs by fence/slab
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -27,28 +29,61 @@ import (
 	"mclegal/internal/model"
 )
 
-var (
-	table    = flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
-	fig      = flag.Int("fig", 0, "paper figure to regenerate (6)")
-	scale    = flag.Float64("scale", 0.02, "cell-count scale vs published sizes")
-	only     = flag.String("bench", "", "restrict to one benchmark name")
-	workers  = flag.Int("workers", 0, "MGL workers (0 = all cores)")
-	progress = flag.Bool("progress", false, "emit per-stage JSON progress events to stderr")
-	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-)
+// cfg is the parsed command-line configuration shared by the
+// experiment drivers.
+type cfg struct {
+	scale    float64
+	only     string
+	workers  int
+	shards   int
+	progress bool
+}
 
 // observer returns the stage observer for our Legalize runs, or nil
 // when -progress is off.
-func observer() mclegal.StageObserver {
-	if !*progress {
+func (c cfg) observer() mclegal.StageObserver {
+	if !c.progress {
 		return nil
 	}
 	return mclegal.NewJSONObserver(os.Stderr)
 }
 
-func main() {
-	flag.Parse()
+func (c cfg) keep(name string) bool { return c.only == "" || c.only == name }
+
+// options builds the pipeline options for one of our runs.
+func (c cfg) options(extra mclegal.Options) mclegal.Options {
+	extra.Workers = c.workers
+	extra.Shards = c.shards
+	extra.Observer = c.observer()
+	return extra
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		table    = fs.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
+		fig      = fs.Int("fig", 0, "paper figure to regenerate (6)")
+		scale    = fs.Float64("scale", 0.02, "cell-count scale vs published sizes")
+		only     = fs.String("bench", "", "restrict to one benchmark name")
+		workers  = fs.Int("workers", 0, "MGL workers (0 = all cores)")
+		shards   = fs.String("shards", "0", "concurrent fence/slab shards for our runs: a count, auto, or 0 for monolithic")
+		progress = fs.Bool("progress", false, "emit per-stage JSON progress events to stderr")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	numShards, err := mclegal.ParseShards(*shards)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	c := cfg{scale: *scale, only: *only, workers: *workers, shards: numShards, progress: *progress}
+
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -75,20 +110,19 @@ func main() {
 	}
 	switch {
 	case *table == 1:
-		table1()
+		table1(stdout, c)
 	case *table == 2:
-		table2()
+		table2(stdout, c)
 	case *table == 3:
-		table3()
+		table3(stdout, c)
 	case *fig == 6:
-		figure6()
+		figure6(stdout, c)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
-
-func keep(name string) bool { return *only == "" || *only == name }
 
 func mustLegal(d *mclegal.Design) {
 	if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
@@ -98,22 +132,22 @@ func mustLegal(d *mclegal.Design) {
 
 // table1 compares the full routability-aware flow against the contest
 // champion stand-in on the ICCAD 2017 suite (paper Table 1).
-func table1() {
-	fmt.Printf("Table 1: ours vs ICCAD 2017 champion stand-in (scale %.3f)\n\n", *scale)
-	fmt.Printf("%-20s %7s %5s | %7s %7s | %6s %6s | %5s %5s | %4s %4s | %7s %7s | %7s %7s\n",
+func table1(w io.Writer, c cfg) {
+	fmt.Fprintf(w, "Table 1: ours vs ICCAD 2017 champion stand-in (scale %.3f)\n\n", c.scale)
+	fmt.Fprintf(w, "%-20s %7s %5s | %7s %7s | %6s %6s | %5s %5s | %4s %4s | %7s %7s | %7s %7s\n",
 		"benchmark", "#cells", "dens", "avg.1st", "avg.our", "max.1st", "max.our",
 		"Np.1st", "Np.our", "Ne.1", "Ne.o", "S.1st", "S.ours", "t.1st", "t.ours")
 	var rAvg, rMax, rScore, rTime ratio
 	for _, b := range mclegal.ContestBenches() {
-		if !keep(b.Name) {
+		if !c.keep(b.Name) {
 			continue
 		}
-		ours := mclegal.ContestDesign(b, *scale)
+		ours := mclegal.ContestDesign(b, c.scale)
 		champ := ours.Clone()
 		hpwlGP := mclegal.HPWL(ours)
 
 		t0 := time.Now()
-		if err := baseline.Champion(champ, *workers); err != nil {
+		if err := baseline.Champion(champ, c.workers); err != nil {
 			log.Fatalf("%s champion: %v", b.Name, err)
 		}
 		tChamp := time.Since(t0)
@@ -121,16 +155,14 @@ func table1() {
 		resChamp := mclegal.Evaluate(champ, hpwlGP)
 
 		t0 = time.Now()
-		resOurs, err := mclegal.Legalize(ours, mclegal.Options{
-			Routability: true, Workers: *workers, Observer: observer(),
-		})
+		resOurs, err := mclegal.Legalize(ours, c.options(mclegal.Options{Routability: true}))
 		if err != nil {
 			log.Fatalf("%s ours: %v", b.Name, err)
 		}
 		tOurs := time.Since(t0)
 		mustLegal(ours)
 
-		fmt.Printf("%-20s %7d %4.0f%% | %7.3f %7.3f | %6.1f %6.1f | %5d %5d | %4d %4d | %7.3f %7.3f | %6.1fs %6.1fs\n",
+		fmt.Fprintf(w, "%-20s %7d %4.0f%% | %7.3f %7.3f | %6.1f %6.1f | %5d %5d | %4d %4d | %7.3f %7.3f | %6.1fs %6.1fs\n",
 			b.Name, ours.MovableCount(), b.Density*100,
 			resChamp.Metrics.AvgDisp, resOurs.Metrics.AvgDisp,
 			resChamp.Metrics.MaxDisp, resOurs.Metrics.MaxDisp,
@@ -143,23 +175,23 @@ func table1() {
 		rScore.add(resChamp.Score, resOurs.Score)
 		rTime.add(tChamp.Seconds(), tOurs.Seconds())
 	}
-	fmt.Printf("\nNorm. avg (ours = 1.00): champion avg disp %.2f, max disp %.2f, score %.2f, runtime %.2f\n",
+	fmt.Fprintf(w, "\nNorm. avg (ours = 1.00): champion avg disp %.2f, max disp %.2f, score %.2f, runtime %.2f\n",
 		rAvg.mean(), rMax.mean(), rScore.mean(), rTime.mean())
 }
 
 // table2 compares total displacement against the reimplemented
 // state-of-the-art baselines on the ISPD suite (paper Table 2).
-func table2() {
-	fmt.Printf("Table 2: total displacement (sites) vs state of the art (scale %.3f)\n\n", *scale)
-	fmt.Printf("%-16s %7s %5s | %9s %9s %9s %9s | %6s %6s %6s %6s\n",
+func table2(w io.Writer, c cfg) {
+	fmt.Fprintf(w, "Table 2: total displacement (sites) vs state of the art (scale %.3f)\n\n", c.scale)
+	fmt.Fprintf(w, "%-16s %7s %5s | %9s %9s %9s %9s | %6s %6s %6s %6s\n",
 		"benchmark", "#cells", "dens", "[12]-Imp", "[7]", "[9]", "ours",
 		"t.12", "t.7", "t.9", "t.our")
 	var r12, r7, r9, t12, t7, t9 ratio
 	for _, b := range mclegal.ISPDBenches() {
-		if !keep(b.Name) {
+		if !c.keep(b.Name) {
 			continue
 		}
-		base := mclegal.ISPDDesign(b, *scale)
+		base := mclegal.ISPDDesign(b, c.scale)
 
 		run := func(f func(*mclegal.Design) error) (float64, float64) {
 			d := base.Clone()
@@ -172,17 +204,15 @@ func table2() {
 			return eval.Measure(d).TotalDispSites, dt
 		}
 
-		d12, s12 := run(func(d *mclegal.Design) error { return baseline.MLLImp(d, *workers) })
+		d12, s12 := run(func(d *mclegal.Design) error { return baseline.MLLImp(d, c.workers) })
 		d7, s7 := run(baseline.AbacusExt)
 		d9, s9 := run(baseline.ChenLike)
 		dOurs, sOurs := run(func(d *mclegal.Design) error {
-			_, err := mclegal.Legalize(d, mclegal.Options{
-				TotalDisplacement: true, Workers: *workers, Observer: observer(),
-			})
+			_, err := mclegal.Legalize(d, c.options(mclegal.Options{TotalDisplacement: true}))
 			return err
 		})
 
-		fmt.Printf("%-16s %7d %4.0f%% | %9.0f %9.0f %9.0f %9.0f | %5.1fs %5.1fs %5.1fs %5.1fs\n",
+		fmt.Fprintf(w, "%-16s %7d %4.0f%% | %9.0f %9.0f %9.0f %9.0f | %5.1fs %5.1fs %5.1fs %5.1fs\n",
 			b.Name, base.MovableCount(), b.Density*100, d12, d7, d9, dOurs, s12, s7, s9, sOurs)
 		r12.add(d12, dOurs)
 		r7.add(d7, dOurs)
@@ -191,53 +221,50 @@ func table2() {
 		t7.add(s7, sOurs)
 		t9.add(s9, sOurs)
 	}
-	fmt.Printf("\nNorm. avg total disp (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
+	fmt.Fprintf(w, "\nNorm. avg total disp (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
 		r12.mean(), r7.mean(), r9.mean())
-	fmt.Printf("Norm. avg runtime   (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
+	fmt.Fprintf(w, "Norm. avg runtime   (ours = 1.00): [12]-Imp %.2f, [7] %.2f, [9] %.2f\n",
 		t12.mean(), t7.mean(), t9.mean())
 }
 
 // table3 isolates the two post-processing stages (paper Table 3).
-func table3() {
-	fmt.Printf("Table 3: effect of the post-processing stages (scale %.3f)\n\n", *scale)
-	fmt.Printf("%-20s | %9s %9s | %9s %9s\n",
+func table3(w io.Writer, c cfg) {
+	fmt.Fprintf(w, "Table 3: effect of the post-processing stages (scale %.3f)\n\n", c.scale)
+	fmt.Fprintf(w, "%-20s | %9s %9s | %9s %9s\n",
 		"benchmark", "avg.bef", "avg.aft", "max.bef", "max.aft")
 	var rAvg, rMax ratio
 	for _, b := range mclegal.ContestBenches() {
-		if !keep(b.Name) {
+		if !c.keep(b.Name) {
 			continue
 		}
-		before := mclegal.ContestDesign(b, *scale)
+		before := mclegal.ContestDesign(b, c.scale)
 		after := before.Clone()
-		rb, err := mclegal.Legalize(before, mclegal.Options{
-			Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
-			Observer: observer(),
-		})
+		rb, err := mclegal.Legalize(before, c.options(mclegal.Options{
+			Routability: true, SkipMaxDisp: true, SkipRefine: true,
+		}))
 		if err != nil {
 			log.Fatalf("%s: %v", b.Name, err)
 		}
-		ra, err := mclegal.Legalize(after, mclegal.Options{
-			Routability: true, Workers: *workers, Observer: observer(),
-		})
+		ra, err := mclegal.Legalize(after, c.options(mclegal.Options{Routability: true}))
 		if err != nil {
 			log.Fatalf("%s: %v", b.Name, err)
 		}
 		mustLegal(before)
 		mustLegal(after)
-		fmt.Printf("%-20s | %9.3f %9.3f | %9.1f %9.1f\n",
+		fmt.Fprintf(w, "%-20s | %9.3f %9.3f | %9.1f %9.1f\n",
 			b.Name, rb.Metrics.AvgDisp, ra.Metrics.AvgDisp,
 			rb.Metrics.MaxDisp, ra.Metrics.MaxDisp)
 		rAvg.add(rb.Metrics.AvgDisp, ra.Metrics.AvgDisp)
 		rMax.add(rb.Metrics.MaxDisp, ra.Metrics.MaxDisp)
 	}
-	fmt.Printf("\nNorm. avg (after = 1.00): before avg %.2f, before max %.2f\n",
+	fmt.Fprintf(w, "\nNorm. avg (after = 1.00): before avg %.2f, before max %.2f\n",
 		rAvg.mean(), rMax.mean())
 }
 
 // figure6 reports the displacement distribution of the largest same-type
 // cell group before and after the matching stage (paper Figure 6).
-func figure6() {
-	name := *only
+func figure6(w io.Writer, c cfg) {
+	name := c.only
 	if name == "" {
 		name = "des_perf_a_md2"
 	}
@@ -250,11 +277,10 @@ func figure6() {
 	if bench.Name == "" {
 		log.Fatalf("unknown benchmark %q", name)
 	}
-	d := mclegal.ContestDesign(bench, *scale)
-	if _, err := mclegal.Legalize(d, mclegal.Options{
-		Routability: true, Workers: *workers, SkipMaxDisp: true, SkipRefine: true,
-		Observer: observer(),
-	}); err != nil {
+	d := mclegal.ContestDesign(bench, c.scale)
+	if _, err := mclegal.Legalize(d, c.options(mclegal.Options{
+		Routability: true, SkipMaxDisp: true, SkipRefine: true,
+	})); err != nil {
 		log.Fatal(err)
 	}
 	// Largest (type,fence) group.
@@ -301,16 +327,16 @@ func figure6() {
 	ha, maxAfter := hist()
 	writeSVG("fig6_after.svg")
 
-	fmt.Printf("Figure 6: matching stage on %s (scale %.3f), largest group: %d cells of type %s\n\n",
-		bench.Name, *scale, len(big), d.Types[d.Cells[big[0]].Type].Name)
-	fmt.Printf("%-14s %8s %8s\n", "disp (rows)", "before", "after")
+	fmt.Fprintf(w, "Figure 6: matching stage on %s (scale %.3f), largest group: %d cells of type %s\n\n",
+		bench.Name, c.scale, len(big), d.Types[d.Cells[big[0]].Type].Name)
+	fmt.Fprintf(w, "%-14s %8s %8s\n", "disp (rows)", "before", "after")
 	labels := []string{"0-5", "5-10", "10-15", "15-20", "20-25", "25-30", "30-35", "35+"}
 	for i, l := range labels {
-		fmt.Printf("%-14s %8d %8d\n", l, hb[i], ha[i])
+		fmt.Fprintf(w, "%-14s %8d %8d\n", l, hb[i], ha[i])
 	}
-	fmt.Printf("\nmax displacement in group: %.1f -> %.1f rows\n", maxBefore, maxAfter)
-	fmt.Printf("matching stats: %d groups solved, %d cells swapped\n", st.Groups, st.Swapped)
-	fmt.Println("wrote fig6_before.svg and fig6_after.svg")
+	fmt.Fprintf(w, "\nmax displacement in group: %.1f -> %.1f rows\n", maxBefore, maxAfter)
+	fmt.Fprintf(w, "matching stats: %d groups solved, %d cells swapped\n", st.Groups, st.Swapped)
+	fmt.Fprintln(w, "wrote fig6_before.svg and fig6_after.svg")
 }
 
 // ratio accumulates per-benchmark normalized columns.

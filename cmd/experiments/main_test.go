@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{},                       // neither -table nor -fig
+		{"-table", "9"},          // unknown table
+		{"-fig", "2"},            // unknown figure
+		{"-shards", "bogus"},     // bad shard count
+		{"-shards", "-3"},        // negative shard count
+		{"-no-such-flag", "yes"}, // unknown flag
+	} {
+		var out bytes.Buffer
+		if code := run(tc, &out); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", tc, code)
+		}
+	}
+}
+
+// A sharded table-3 row must run end to end: the ablation legalizes
+// the same bench twice through the sharded path and audits both.
+func TestRunShardedTableRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline four times")
+	}
+	var out bytes.Buffer
+	code := run([]string{
+		"-table", "3", "-bench", "fft_a_md3", "-scale", "0.02",
+		"-workers", "1", "-shards", "2",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "fft_a_md3") {
+		t.Errorf("no benchmark row in output:\n%s", out.String())
+	}
+}

@@ -3,8 +3,9 @@
 // Usage:
 //
 //	legalize -i design.mcl -o legal.mcl [-routability] [-total] [-workers N]
-//	         [-skip-maxdisp] [-skip-refine] [-delta0 10] [-progress text|json]
-//	         [-timeout 5m] [-verify] [-recovery strict|fallback|besteffort]
+//	         [-shards N|auto] [-skip-maxdisp] [-skip-refine] [-delta0 10]
+//	         [-progress text|json] [-timeout 5m] [-verify]
+//	         [-recovery strict|fallback|besteffort]
 //
 // Exit codes:
 //
@@ -22,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -36,62 +38,73 @@ const (
 	exitPartial   = 4
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("legalize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in          = flag.String("i", "", "input .mcl design (required)")
-		out         = flag.String("o", "", "output .mcl with legal positions (optional)")
-		routability = flag.Bool("routability", false, "enable pin/rail-aware legalization")
-		total       = flag.Bool("total", false, "optimize total instead of height-averaged displacement")
-		workers     = flag.Int("workers", 0, "MGL worker threads (0 = all cores)")
-		skipMatch   = flag.Bool("skip-maxdisp", false, "skip the matching stage")
-		skipRefine  = flag.Bool("skip-refine", false, "skip the fixed-order refinement")
-		delta0      = flag.Float64("delta0", 0, "phi threshold in rows (0 = default)")
-		globalPlace = flag.Bool("globalplace", false, "derive GP positions from the netlist first (quadratic placer)")
-		progress    = flag.String("progress", "", "per-stage progress to stderr: text or json")
-		timeout     = flag.Duration("timeout", 0, "abort legalization after this duration (0 = none)")
-		verify      = flag.Bool("verify", false, "audit every stage against a snapshot and roll back on violations")
-		recovery    = flag.String("recovery", "strict", "gate-failure policy: strict, fallback or besteffort")
+		in          = fs.String("i", "", "input .mcl design (required)")
+		out         = fs.String("o", "", "output .mcl with legal positions (optional)")
+		routability = fs.Bool("routability", false, "enable pin/rail-aware legalization")
+		total       = fs.Bool("total", false, "optimize total instead of height-averaged displacement")
+		workers     = fs.Int("workers", 0, "MGL worker threads (0 = all cores)")
+		shards      = fs.String("shards", "0", "concurrent fence/slab shards: a count, auto, or 0 for the monolithic pipeline")
+		skipMatch   = fs.Bool("skip-maxdisp", false, "skip the matching stage")
+		skipRefine  = fs.Bool("skip-refine", false, "skip the fixed-order refinement")
+		delta0      = fs.Float64("delta0", 0, "phi threshold in rows (0 = default)")
+		globalPlace = fs.Bool("globalplace", false, "derive GP positions from the netlist first (quadratic placer)")
+		progress    = fs.String("progress", "", "per-stage progress to stderr: text or json")
+		timeout     = fs.Duration("timeout", 0, "abort legalization after this duration (0 = none)")
+		verify      = fs.Bool("verify", false, "audit every stage against a snapshot and roll back on violations")
+		recovery    = fs.String("recovery", "strict", "gate-failure policy: strict, fallback or besteffort")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lg := log.New(stderr, "", 0)
 
 	var observer mclegal.StageObserver
 	switch *progress {
 	case "":
 	case "text":
-		observer = mclegal.NewLogObserver(os.Stderr)
+		observer = mclegal.NewLogObserver(stderr)
 	case "json":
-		observer = mclegal.NewJSONObserver(os.Stderr)
+		observer = mclegal.NewJSONObserver(stderr)
 	default:
-		log.Printf("-progress must be text or json, got %q", *progress)
+		lg.Printf("-progress must be text or json, got %q", *progress)
 		return exitUsage
 	}
 	policy, err := mclegal.ParseRecoveryPolicy(*recovery)
 	if err != nil {
-		log.Print(err)
+		lg.Print(err)
+		return exitUsage
+	}
+	numShards, err := mclegal.ParseShards(*shards)
+	if err != nil {
+		lg.Print(err)
 		return exitUsage
 	}
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return exitUsage
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Print(err)
+		lg.Print(err)
 		return exitFailed
 	}
 	d, err := mclegal.ReadDesign(f)
 	f.Close()
 	if err != nil {
-		log.Print(err)
+		lg.Print(err)
 		return exitFailed
 	}
 
 	if *globalPlace {
 		mclegal.GlobalPlace(d, mclegal.GPOptions{})
-		fmt.Printf("global placement  HPWL %d\n", mclegal.HPWL(d))
+		fmt.Fprintf(stdout, "global placement  HPWL %d\n", mclegal.HPWL(d))
 	}
 
 	ctx := context.Background()
@@ -105,6 +118,7 @@ func run() int {
 		Routability:       *routability,
 		TotalDisplacement: *total,
 		Workers:           *workers,
+		Shards:            numShards,
 		SkipMaxDisp:       *skipMatch,
 		SkipRefine:        *skipRefine,
 		Delta0Rows:        *delta0,
@@ -113,14 +127,14 @@ func run() int {
 		Recovery:          policy,
 	})
 	for _, g := range res.Gates {
-		fmt.Fprintf(os.Stderr, "gate: %s\n", g.String())
+		fmt.Fprintf(stderr, "gate: %s\n", g.String())
 	}
 	if err != nil {
 		var ge *mclegal.GateError
 		if errors.As(err, &ge) {
-			log.Printf("stage %s failed its legality gate: %v", ge.Report.Stage, err)
+			lg.Printf("stage %s failed its legality gate: %v", ge.Report.Stage, err)
 		} else {
-			log.Print(err)
+			lg.Print(err)
 		}
 		return exitFailed
 	}
@@ -128,37 +142,43 @@ func run() int {
 	// would only repeat what Status already says.
 	if res.Status != mclegal.StatusPartial {
 		if v, err := mclegal.Audit(d); err != nil || len(v) > 0 {
-			log.Printf("result is not legal (%v): %v", err, v)
+			lg.Printf("result is not legal (%v): %v", err, v)
 			return exitFailed
 		}
 	}
 
-	fmt.Printf("design           %s (%d cells)\n", d.Name, d.MovableCount())
-	fmt.Printf("status           %s\n", res.Status)
-	fmt.Printf("avg displacement %.4f rows\n", res.Metrics.AvgDisp)
-	fmt.Printf("max displacement %.1f rows\n", res.Metrics.MaxDisp)
-	fmt.Printf("total (sites)    %.0f\n", res.Metrics.TotalDispSites)
-	fmt.Printf("HPWL             %d -> %d\n", res.HPWLBefore, res.HPWLAfter)
-	fmt.Printf("pin violations   %d (short %d, access %d)\n",
+	fmt.Fprintf(stdout, "design           %s (%d cells)\n", d.Name, d.MovableCount())
+	fmt.Fprintf(stdout, "status           %s\n", res.Status)
+	if len(res.Shards) > 0 {
+		fmt.Fprintf(stdout, "shards           %d regions, %d concurrent\n", len(res.Shards), numShards)
+		for _, sh := range res.Shards {
+			fmt.Fprintf(stdout, "  %-14s %d cells, %s\n", sh.Name, sh.Cells, sh.Status)
+		}
+	}
+	fmt.Fprintf(stdout, "avg displacement %.4f rows\n", res.Metrics.AvgDisp)
+	fmt.Fprintf(stdout, "max displacement %.1f rows\n", res.Metrics.MaxDisp)
+	fmt.Fprintf(stdout, "total (sites)    %.0f\n", res.Metrics.TotalDispSites)
+	fmt.Fprintf(stdout, "HPWL             %d -> %d\n", res.HPWLBefore, res.HPWLAfter)
+	fmt.Fprintf(stdout, "pin violations   %d (short %d, access %d)\n",
 		res.Violations.Pin(), res.Violations.PinShort, res.Violations.PinAccess)
-	fmt.Printf("edge violations  %d\n", res.Violations.EdgeSpacing)
-	fmt.Printf("contest score    %.4f\n", res.Score)
-	fmt.Printf("runtime          %v (MGL %v, matching %v, refine %v)\n",
+	fmt.Fprintf(stdout, "edge violations  %d\n", res.Violations.EdgeSpacing)
+	fmt.Fprintf(stdout, "contest score    %.4f\n", res.Score)
+	fmt.Fprintf(stdout, "runtime          %v (MGL %v, matching %v, refine %v)\n",
 		res.Total, res.MGLTime, res.MaxDispTime, res.RefineTime)
 
 	if *out != "" {
 		g, err := os.Create(*out)
 		if err != nil {
-			log.Print(err)
+			lg.Print(err)
 			return exitFailed
 		}
 		if err := mclegal.WriteDesign(g, d); err != nil {
 			g.Close()
-			log.Print(err)
+			lg.Print(err)
 			return exitFailed
 		}
 		if err := g.Close(); err != nil {
-			log.Print(err)
+			lg.Print(err)
 			return exitFailed
 		}
 	}

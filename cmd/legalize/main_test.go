@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mclegal"
+)
+
+// writeBench generates a small multi-fence design and writes it as a
+// .mcl file for the CLI to consume.
+func writeBench(t *testing.T) string {
+	t.Helper()
+	d := mclegal.GenerateBenchmark(mclegal.BenchmarkParams{
+		Name: "cli", Seed: 31, Counts: [4]int{500, 50, 12, 4},
+		Density: 0.55, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.3,
+	})
+	path := filepath.Join(t.TempDir(), "cli.mcl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mclegal.WriteDesign(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{}, // missing -i
+		{"-i", "x.mcl", "-progress", "bogus"},
+		{"-i", "x.mcl", "-recovery", "bogus"},
+		{"-i", "x.mcl", "-shards", "many"},
+		{"-i", "x.mcl", "-shards", "-2"},
+		{"-no-such-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc, &out, &errb); code != exitUsage {
+			t.Errorf("run(%q) = %d, want %d (stderr: %s)", tc, code, exitUsage, errb.String())
+		}
+	}
+}
+
+func TestRunMissingInputFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-i", "/no/such/file.mcl"}, &out, &errb); code != exitFailed {
+		t.Errorf("run = %d, want %d", code, exitFailed)
+	}
+}
+
+// A sharded CLI run must succeed, report the per-shard breakdown, and
+// write the same placement as a run with a different shard count.
+func TestRunShardedMatchesAcrossCounts(t *testing.T) {
+	in := writeBench(t)
+	dir := t.TempDir()
+
+	outFile := func(shards string) string {
+		path := filepath.Join(dir, "out"+shards+".mcl")
+		var out, errb bytes.Buffer
+		code := run([]string{"-i", in, "-o", path, "-shards", shards, "-workers", "1"}, &out, &errb)
+		if code != exitLegal {
+			t.Fatalf("-shards %s: exit %d\nstdout: %s\nstderr: %s", shards, code, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "status           legal") {
+			t.Errorf("-shards %s: no legal status in output:\n%s", shards, out.String())
+		}
+		if !strings.Contains(out.String(), "shards           ") {
+			t.Errorf("-shards %s: missing shard breakdown:\n%s", shards, out.String())
+		}
+		return path
+	}
+
+	a, err := os.ReadFile(outFile("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outFile("3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("-shards 1 and -shards 3 wrote different placements")
+	}
+}
+
+// The monolithic path must not print a shard breakdown.
+func TestRunMonolithicHasNoShardSection(t *testing.T) {
+	in := writeBench(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-i", in, "-workers", "1"}, &out, &errb); code != exitLegal {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "shards           ") {
+		t.Errorf("monolithic run printed a shard section:\n%s", out.String())
+	}
+}

@@ -17,6 +17,7 @@ var DeterministicCore = []string{
 	"internal/matching",
 	"internal/flow",
 	"internal/stage",
+	"internal/shard",
 }
 
 // FloatCritical lists the packages where float64 equality comparisons
@@ -47,6 +48,7 @@ var CancellationAware = []string{
 	"internal/matching",
 	"internal/flow",
 	"internal/stage",
+	"internal/shard",
 	"internal/mcf",
 }
 

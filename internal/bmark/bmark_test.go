@@ -230,3 +230,33 @@ func TestMacrosGeneratedAndAvoided(t *testing.T) {
 		t.Errorf("placed %d of %d", res.MGLStats.Placed, d.MovableCount())
 	}
 }
+
+func TestShardSuiteEnumerates(t *testing.T) {
+	sb := ShardBenches()
+	if len(sb) != 3 {
+		t.Fatalf("shard suite has %d benches", len(sb))
+	}
+	var xl int
+	for _, c := range sb[2].Counts {
+		xl += c
+	}
+	if xl != 1000000 {
+		t.Errorf("shard_xl totals %d cells, want a million", xl)
+	}
+	d := ShardDesign(sb[0], 0.02)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("shard design: %v", err)
+	}
+	if len(d.Fences) != sb[0].Fences {
+		t.Errorf("shard design has %d fences, want %d", len(d.Fences), sb[0].Fences)
+	}
+	fixed := 0
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			fixed++
+		}
+	}
+	if fixed != sb[0].Fences/2 {
+		t.Errorf("shard design has %d macros, want %d", fixed, sb[0].Fences/2)
+	}
+}

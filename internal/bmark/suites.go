@@ -66,6 +66,35 @@ func ISPDBenches() []Bench {
 	}
 }
 
+// ShardBenches lists the sharding suite: multi-fence synthetics sized
+// for the shard-scaling sweep, from a hundred thousand cells up to a
+// million (shard_xl), each with enough drawn fences and default-region
+// area that the shard planner produces a real multi-region plan.
+func ShardBenches() []Bench {
+	return []Bench{
+		{"shard_s", [4]int{90000, 7000, 2000, 1000}, 0.55, 4},
+		{"shard_m", [4]int{360000, 28000, 8000, 4000}, 0.55, 6},
+		{"shard_xl", [4]int{900000, 70000, 20000, 10000}, 0.55, 8},
+	}
+}
+
+// ShardDesign generates one shard-suite instance at the given scale
+// (1.0 = full size): fences, macros the slabs must dodge, and nets for
+// HPWL accounting.
+func ShardDesign(b Bench, scale float64) *model.Design {
+	return Generate(Params{
+		Name:      b.Name,
+		Seed:      seedOf(b.Name) ^ 0x5ad5,
+		Counts:    scaleCounts(b.Counts, scale),
+		Density:   b.Density,
+		NumFences: b.Fences,
+		FenceFrac: 0.5,
+		NetFrac:   0.3,
+		IOPins:    32,
+		Macros:    b.Fences / 2,
+	})
+}
+
 // scaleCounts shrinks the published cell counts by scale, keeping the
 // height mix and a floor so instances stay meaningful.
 func scaleCounts(c [4]int, scale float64) [4]int {

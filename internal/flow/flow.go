@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"time"
 
 	"mclegal/internal/baseline"
@@ -23,6 +24,8 @@ import (
 	"mclegal/internal/model"
 	"mclegal/internal/refine"
 	"mclegal/internal/route"
+	"mclegal/internal/seg"
+	"mclegal/internal/shard"
 	"mclegal/internal/stage"
 )
 
@@ -77,6 +80,35 @@ type Options struct {
 	// consulted at the pipeline's injection points; see
 	// internal/faults. Nil (the default) disables injection.
 	Faults *faults.Injector
+	// Shards enables sharded execution: the design is decomposed into
+	// per-fence regions plus default-region die slabs (internal/shard)
+	// and every shard runs the full stage pipeline on its own
+	// subdesign, with Shards bounding how many legalize concurrently.
+	// 0 (the default) keeps the monolithic single-pipeline path. Like
+	// Workers, Shards is a pure concurrency knob: the decomposition is
+	// a function of the design and ShardPlan alone, so the merged
+	// placement is byte-identical for every Shards >= 1.
+	Shards int
+	// ShardPlan tunes the shard decomposition (slab size target and
+	// utilization guard); ignored when Shards == 0.
+	ShardPlan shard.Options
+}
+
+// ParseShards parses a -shards flag value: a non-negative shard
+// concurrency, or "auto" for the machine's CPU count. 0 (and the empty
+// string) select the monolithic path.
+func ParseShards(s string) (int, error) {
+	switch s {
+	case "", "0":
+		return 0, nil
+	case "auto":
+		return runtime.NumCPU(), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("flow: invalid shard count %q (want a non-negative integer or \"auto\")", s)
+	}
+	return n, nil
 }
 
 // Validate checks Options ranges and applies defaults in place. Run
@@ -98,6 +130,14 @@ func (o *Options) Validate() error {
 	}
 	if o.Recovery < stage.RecoverStrict || o.Recovery > stage.RecoverBestEffort {
 		return fmt.Errorf("flow: unknown recovery policy %d", o.Recovery)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("flow: Shards must be >= 0, got %d", o.Shards)
+	}
+	if o.Shards > 0 && o.Faults != nil {
+		// Injection points trigger on per-harness hit counters, so what
+		// they hit would depend on shard scheduling order.
+		return fmt.Errorf("flow: fault injection is hit-order dependent and unsupported in sharded runs")
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -135,6 +175,31 @@ type Result struct {
 	Status stage.Status
 	// Gates lists every gate intervention of the run, in order.
 	Gates []stage.GateReport
+
+	// Stage artifacts. In a sharded run these are summed across shards
+	// (MGLStats.Workers reports the per-shard maximum); the per-shard
+	// breakdown is in Shards.
+	MGLStats     mgl.Stats
+	MaxDispStats maxdisp.Stats
+	RefineReport refine.Report
+
+	// Shards reports the per-shard outcomes of a sharded run, in plan
+	// order; nil in monolithic runs.
+	Shards []ShardOutcome
+}
+
+// ShardOutcome is one shard's slice of a sharded Result.
+type ShardOutcome struct {
+	// Name is the plan region's name ("fence3-pll", "slab1", ...).
+	Name string
+	// Cells is the shard's movable-cell count.
+	Cells int
+	// Status is the shard pipeline's own trust verdict.
+	Status stage.Status
+	// Error is the shard pipeline's failure, "" on success.
+	Error string
+	// Timings lists the shard's executed stages, in order.
+	Timings []stage.Timing
 
 	MGLStats     mgl.Stats
 	MaxDispStats maxdisp.Stats
@@ -196,14 +261,61 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	start := time.Now()
 	res.HPWLBefore = eval.HPWL(d)
 
-	pc, err := stage.NewContext(d, opt.Routability)
-	if err != nil {
-		return res, err
+	var checker *route.Checker
+	var perr error
+	if opt.Shards > 0 {
+		checker, perr = runSharded(ctx, d, opt, &res)
+	} else {
+		checker, perr = runMonolithic(ctx, d, opt, &res)
 	}
-	pc.Faults = opt.Faults
 
-	p := stage.Pipeline{
-		Stages:   Stages(d, opt),
+	for _, tm := range res.Timings {
+		switch stageBase(tm.Stage) {
+		case stage.NameMGL:
+			res.MGLTime += tm.Duration
+		case stage.NameMaxDisp:
+			res.MaxDispTime += tm.Duration
+		case stage.NameRefine:
+			res.RefineTime += tm.Duration
+		}
+	}
+	//mclegal:wallclock total-runtime reporting only, never influences placement
+	res.Total = time.Since(start)
+	if perr != nil {
+		return res, fmt.Errorf("flow: %w", perr)
+	}
+
+	res.Metrics = eval.Measure(d)
+	res.Violations = checker.Count()
+	res.HPWLAfter = eval.HPWL(d)
+	res.Score = eval.Score(eval.ScoreInput{
+		Metrics:        res.Metrics,
+		HPWLBefore:     res.HPWLBefore,
+		HPWLAfter:      res.HPWLAfter,
+		PinViolations:  res.Violations.Pin(),
+		EdgeViolations: res.Violations.EdgeSpacing,
+		Cells:          d.MovableCount(),
+	})
+	return res, nil
+}
+
+// stageBase strips the "shard/" prefix a sharded run puts on stage
+// names, so per-stage time accounting works on both paths.
+func stageBase(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// buildPipeline assembles the gated stage pipeline legalizing pc's
+// design. The metric-check closures capture pc, so every shard of a
+// sharded run gets checks bound to its own context.
+func buildPipeline(pc *stage.PipelineContext, opt Options) stage.Pipeline {
+	return stage.Pipeline{
+		Stages:   Stages(pc.Design, opt),
 		Observer: opt.Observer,
 		Verify:   opt.Verify,
 		Recovery: opt.Recovery,
@@ -238,6 +350,17 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 			},
 		},
 	}
+}
+
+// runMonolithic is the classic single-pipeline path.
+func runMonolithic(ctx context.Context, d *model.Design, opt Options, res *Result) (*route.Checker, error) {
+	pc, err := stage.NewContext(d, opt.Routability)
+	if err != nil {
+		return nil, err
+	}
+	pc.Faults = opt.Faults
+
+	p := buildPipeline(pc, opt)
 	timings, report, perr := p.RunWithReport(ctx, pc)
 
 	// Stage artifacts and timings are reported even when a stage
@@ -248,34 +371,82 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	res.Timings = timings
 	res.Status = report.Status
 	res.Gates = report.Gates
-	for _, tm := range timings {
-		switch tm.Stage {
-		case stage.NameMGL:
-			res.MGLTime = tm.Duration
-		case stage.NameMaxDisp:
-			res.MaxDispTime = tm.Duration
-		case stage.NameRefine:
-			res.RefineTime = tm.Duration
-		}
+	return pc.Checker, perr
+}
+
+// runSharded decomposes d into the shard plan's regions, legalizes
+// every region's subdesign through its own full pipeline (at most
+// opt.Shards concurrently), and merges the disjoint placements back.
+func runSharded(ctx context.Context, d *model.Design, opt Options, res *Result) (*route.Checker, error) {
+	grid, err := seg.Build(d)
+	if err != nil {
+		return nil, err
 	}
-	//mclegal:wallclock total-runtime reporting only, never influences placement
-	res.Total = time.Since(start)
-	if perr != nil {
-		return res, fmt.Errorf("flow: %w", perr)
+	plan := shard.BuildPlan(d, grid, opt.ShardPlan)
+	shards := make([]stage.Shard, len(plan.Regions))
+	for i, r := range plan.Regions {
+		sub, err := model.NewSubdesign(d, r.Name, r.Cells, r.Blockages)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", r.Name, err)
+		}
+		shards[i] = stage.Shard{Name: r.Name, Sub: sub}
 	}
 
-	res.Metrics = eval.Measure(d)
-	res.Violations = pc.Checker.Count()
-	res.HPWLAfter = eval.HPWL(d)
-	res.Score = eval.Score(eval.ScoreInput{
-		Metrics:        res.Metrics,
-		HPWLBefore:     res.HPWLBefore,
-		HPWLAfter:      res.HPWLAfter,
-		PinViolations:  res.Violations.Pin(),
-		EdgeViolations: res.Violations.EdgeSpacing,
-		Cells:          d.MovableCount(),
-	})
-	return res, nil
+	sp := &stage.ShardedPipeline{
+		Workers: opt.Shards,
+		Make: func(sh stage.Shard) (*stage.Pipeline, *stage.PipelineContext, error) {
+			spc, err := stage.NewContext(sh.Sub.Design, opt.Routability)
+			if err != nil {
+				return nil, nil, err
+			}
+			p := buildPipeline(spc, opt)
+			return &p, spc, nil
+		},
+	}
+	results, report, perr := sp.Run(ctx, d, shards)
+
+	res.Status = report.Status
+	res.Gates = report.Gates
+	for i := range results {
+		r := &results[i]
+		out := ShardOutcome{
+			Name:    r.Shard.Name,
+			Cells:   r.Shard.Sub.Movables,
+			Status:  r.Report.Status,
+			Timings: r.Timings,
+		}
+		if r.Err != nil {
+			out.Error = r.Err.Error()
+		}
+		for _, tm := range r.Timings {
+			res.Timings = append(res.Timings, stage.Timing{
+				Stage:    r.Shard.Name + "/" + tm.Stage,
+				Duration: tm.Duration,
+			})
+		}
+		if pc := r.Context; pc != nil {
+			out.MGLStats = pc.MGLStats
+			out.MaxDispStats = pc.MaxDispStats
+			out.RefineReport = pc.RefineReport
+			res.MGLStats.Placed += pc.MGLStats.Placed
+			res.MGLStats.WindowRetries += pc.MGLStats.WindowRetries
+			res.MGLStats.Batches += pc.MGLStats.Batches
+			if pc.MGLStats.Workers > res.MGLStats.Workers {
+				res.MGLStats.Workers = pc.MGLStats.Workers
+			}
+			res.MaxDispStats.Groups += pc.MaxDispStats.Groups
+			res.MaxDispStats.Swapped += pc.MaxDispStats.Swapped
+			res.MaxDispStats.CostBefore += pc.MaxDispStats.CostBefore
+			res.MaxDispStats.CostAfter += pc.MaxDispStats.CostAfter
+			res.RefineReport.Nodes += pc.RefineReport.Nodes
+			res.RefineReport.Arcs += pc.RefineReport.Arcs
+			res.RefineReport.Pivots += pc.RefineReport.Pivots
+			res.RefineReport.Edges += pc.RefineReport.Edges
+			res.RefineReport.Moved += pc.RefineReport.Moved
+		}
+		res.Shards = append(res.Shards, out)
+	}
+	return route.NewChecker(d), perr
 }
 
 // Evaluate scores an already-legalized design (used for baselines),

@@ -79,12 +79,15 @@ func (l *Legalizer) chainCap(win geom.Rect) int {
 // isLocal reports whether a placed cell lies completely within the
 // window (paper: only such cells may be shifted).
 func (l *Legalizer) isLocal(id model.CellID, win geom.Rect) bool {
-	return win.Contains(l.d.CellRect(id))
+	h := l.hot
+	x, y := int(h.X[id]), int(h.Y[id])
+	return x >= win.XLo && y >= win.YLo &&
+		x+int(h.W[id]) <= win.XHi && y+int(h.H[id]) <= win.YHi
 }
 
 // leftNeighborIdx returns, for segment sid, the index in the occupancy
 // list of the nearest cell whose left edge is <= x (-1 if none).
-func (l *Legalizer) leftNeighborIdx(sid int, x int) int {
+func (l *Legalizer) leftNeighborIdx(sid int32, x int) int {
 	return l.occ.splitAt(sid, x) - 1
 }
 
@@ -132,9 +135,11 @@ func (s *scratch) seedOff(id model.CellID) int64 {
 // bound implied by compression; lo == chainInfeasible marks an
 // infeasible insertion point. The returned slice is owned by sc.
 func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) ([]chainCell, int64) {
-	d := l.d
-	tct := d.Cells[t].Type
-	sc.reset(len(d.Cells))
+	hc := l.hot
+	grid := l.grid
+	tct := hc.Type[t]
+	tf := hc.Fence[t]
+	sc.reset(len(hc.X))
 	chain := sc.chain[:0]
 	queue := sc.queue[:0]
 	capN := l.chainCap(win)
@@ -142,22 +147,20 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 
 	// Seed with per-target-row frontiers.
 	for r := y; r < y+h; r++ {
-		s, ok := l.grid.At(r, x0)
-		if !ok || s.Fence != d.Cells[t].Fence {
+		sid := grid.AtID(r, x0)
+		if sid < 0 || grid.FenceOf(sid) != tf {
 			return nil, chainInfeasible
 		}
-		idx := l.leftNeighborIdx(s.ID, x0)
+		idx := l.leftNeighborIdx(sid, x0)
 		if idx < 0 {
-			if b := l.winPadLo(win, s.X.Lo); b > xlo {
+			if b := l.winPadLo(win, grid.Lo(sid)); b > xlo {
 				xlo = b
 			}
 			continue
 		}
-		nb := l.occ.cellsIn(s.ID)[idx]
-		nbc := &d.Cells[nb]
-		nbct := &d.Types[nbc.Type]
+		nb := l.occ.cellsIn(sid)[idx]
 		if !l.isLocal(nb, win) {
-			b := int64(nbc.X+nbct.Width) + l.spacing(nbc.Type, tct)
+			b := int64(hc.X[nb]+hc.W[nb]) + l.spacing(hc.Type[nb], tct)
 			if b > xlo {
 				xlo = b
 			}
@@ -169,21 +172,21 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 			chain = append(chain, chainCell{id: nb})
 			queue = append(queue, int32(nb))
 		}
-		sc.bumpOff(nb, int64(nbct.Width)+l.spacing(nbc.Type, tct))
+		sc.bumpOff(nb, int64(hc.W[nb])+l.spacing(hc.Type[nb], tct))
 	}
 
 	// BFS: explore left neighbors of chain members across all their rows.
 	for qi := 0; qi < len(queue); qi++ {
 		c := model.CellID(queue[qi])
-		cc := &d.Cells[c]
-		cct := &d.Types[cc.Type]
-		for r := cc.Y; r < cc.Y+cct.Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				return nil, chainInfeasible
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X >= cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k int) bool { return hc.X[lst[k]] >= cx })
 			if i-1 < 0 {
 				continue
 			}
@@ -208,22 +211,22 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 	}
 	// Insertion sort by descending X: chains are short and this is hot.
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && d.Cells[chain[order[j]].id].X > d.Cells[chain[order[j-1]].id].X; j-- {
+		for j := i; j > 0 && hc.X[chain[order[j]].id] > hc.X[chain[order[j-1]].id]; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
 	for _, ci := range order {
 		c := chain[ci].id
-		cc := &d.Cells[c]
-		cct := &d.Types[cc.Type]
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
 		off := sc.seedOff(c)
-		for r := cc.Y; r < cc.Y+cct.Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				continue
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X > cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k int) bool { return hc.X[lst[k]] > cx })
 			if i >= len(lst) {
 				continue
 			}
@@ -232,7 +235,7 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 			if !ok2 {
 				continue
 			}
-			req := chain[ri].off + int64(cct.Width) + l.spacing(cc.Type, d.Cells[rn].Type)
+			req := chain[ri].off + int64(hc.W[c]) + l.spacing(hc.Type[c], hc.Type[rn])
 			if req > off {
 				off = req
 			}
@@ -247,27 +250,25 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 	for k := len(order) - 1; k >= 0; k-- {
 		ci := order[k]
 		c := chain[ci].id
-		cc := &d.Cells[c]
-		cct := &d.Types[cc.Type]
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
 		var minPos int64 = -1 << 60
-		for r := cc.Y; r < cc.Y+cct.Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				return nil, chainInfeasible
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X >= cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k2 int) bool { return hc.X[lst[k2]] >= cx })
 			if i-1 < 0 {
-				if b := l.winPadLo(win, s.X.Lo); b > minPos {
+				if b := l.winPadLo(win, grid.Lo(sid)); b > minPos {
 					minPos = b
 				}
 				continue
 			}
 			nb := lst[i-1]
-			nbc := &d.Cells[nb]
-			nbct := &d.Types[nbc.Type]
 			if ni, ok2 := sc.chainAt(nb); ok2 {
-				b := chain[ni].bound + int64(nbct.Width) + l.spacing(nbc.Type, cc.Type)
+				b := chain[ni].bound + int64(hc.W[nb]) + l.spacing(hc.Type[nb], hc.Type[c])
 				if b > minPos {
 					minPos = b
 				}
@@ -275,8 +276,8 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 				// Non-local barrier, still clamped to the (padded)
 				// window edge: chain cells must never leave the
 				// window, or parallel batches could collide.
-				b := int64(nbc.X+nbct.Width) + l.spacing(nbc.Type, cc.Type)
-				if w := l.winPadLo(win, s.X.Lo); w > b {
+				b := int64(hc.X[nb]+hc.W[nb]) + l.spacing(hc.Type[nb], hc.Type[c])
+				if w := l.winPadLo(win, grid.Lo(sid)); w > b {
 					b = w
 				}
 				if b > minPos {
@@ -300,32 +301,33 @@ func (l *Legalizer) buildLeftChain(sc *scratch, t model.CellID, y, h, x0 int, wi
 // -chainInfeasible marks an infeasible insertion point. The returned
 // slice is owned by sc.
 func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) ([]chainCell, int64) {
-	d := l.d
-	tc := &d.Cells[t]
-	tw := int64(d.Types[tc.Type].Width)
-	sc.reset(len(d.Cells))
+	hc := l.hot
+	grid := l.grid
+	tct := hc.Type[t]
+	tf := hc.Fence[t]
+	tw := int64(hc.W[t])
+	sc.reset(len(hc.X))
 	chain := sc.chainR[:0]
 	queue := sc.queue[:0]
 	capN := l.chainCap(win)
 	xhi := int64(1) << 60
 
 	for r := y; r < y+h; r++ {
-		s, ok := l.grid.At(r, x0)
-		if !ok || s.Fence != tc.Fence {
+		sid := grid.AtID(r, x0)
+		if sid < 0 || grid.FenceOf(sid) != tf {
 			return nil, -chainInfeasible
 		}
-		lst := l.occ.cellsIn(s.ID)
-		i := l.occ.splitAt(s.ID, x0)
+		lst := l.occ.cellsIn(sid)
+		i := l.occ.splitAt(sid, x0)
 		if i >= len(lst) {
-			if v := l.winPadHi(win, s.X.Hi) - tw; v < xhi {
+			if v := l.winPadHi(win, grid.Hi(sid)) - tw; v < xhi {
 				xhi = v
 			}
 			continue
 		}
 		nb := lst[i]
-		nbc := &d.Cells[nb]
 		if !l.isLocal(nb, win) {
-			b := int64(nbc.X) - l.spacing(tc.Type, nbc.Type) - tw
+			b := int64(hc.X[nb]) - l.spacing(tct, hc.Type[nb]) - tw
 			if b < xhi {
 				xhi = b
 			}
@@ -337,20 +339,20 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 			chain = append(chain, chainCell{id: nb})
 			queue = append(queue, int32(nb))
 		}
-		sc.bumpOff(nb, tw+l.spacing(tc.Type, nbc.Type))
+		sc.bumpOff(nb, tw+l.spacing(tct, hc.Type[nb]))
 	}
 
 	for qi := 0; qi < len(queue); qi++ {
 		c := model.CellID(queue[qi])
-		cc := &d.Cells[c]
-		cct := &d.Types[cc.Type]
-		for r := cc.Y; r < cc.Y+cct.Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				return nil, -chainInfeasible
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X > cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k int) bool { return hc.X[lst[k]] > cx })
 			if i >= len(lst) {
 				continue
 			}
@@ -375,21 +377,22 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 	}
 	// Insertion sort by ascending X (see the left-chain mirror).
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && d.Cells[chain[order[j]].id].X < d.Cells[chain[order[j-1]].id].X; j-- {
+		for j := i; j > 0 && hc.X[chain[order[j]].id] < hc.X[chain[order[j-1]].id]; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
 	for _, ci := range order {
 		c := chain[ci].id
-		cc := &d.Cells[c]
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
 		off := sc.seedOff(c)
-		for r := cc.Y; r < cc.Y+d.Types[cc.Type].Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				continue
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k int) bool { return d.Cells[lst[k]].X >= cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k int) bool { return hc.X[lst[k]] >= cx })
 			if i-1 < 0 {
 				continue
 			}
@@ -398,8 +401,7 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 			if !ok2 {
 				continue
 			}
-			lnc := &d.Cells[ln]
-			req := chain[li].off + int64(d.Types[lnc.Type].Width) + l.spacing(lnc.Type, cc.Type)
+			req := chain[li].off + int64(hc.W[ln]) + l.spacing(hc.Type[ln], hc.Type[c])
 			if req > off {
 				off = req
 			}
@@ -414,35 +416,34 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 	for k := len(order) - 1; k >= 0; k-- {
 		ci := order[k]
 		c := chain[ci].id
-		cc := &d.Cells[c]
-		cct := &d.Types[cc.Type]
-		cw := int64(cct.Width)
+		cx := hc.X[c]
+		cy := int(hc.Y[c])
+		cw := int64(hc.W[c])
 		var maxPos int64 = 1 << 60
-		for r := cc.Y; r < cc.Y+cct.Height; r++ {
-			s, ok := l.grid.At(r, cc.X)
-			if !ok {
+		for r := cy; r < cy+int(hc.H[c]); r++ {
+			sid := grid.AtID(r, int(cx))
+			if sid < 0 {
 				return nil, -chainInfeasible
 			}
-			lst := l.occ.cellsIn(s.ID)
-			i := sort.Search(len(lst), func(k2 int) bool { return d.Cells[lst[k2]].X > cc.X })
+			lst := l.occ.cellsIn(sid)
+			i := sort.Search(len(lst), func(k2 int) bool { return hc.X[lst[k2]] > cx })
 			if i >= len(lst) {
-				if v := l.winPadHi(win, s.X.Hi) - cw; v < maxPos {
+				if v := l.winPadHi(win, grid.Hi(sid)) - cw; v < maxPos {
 					maxPos = v
 				}
 				continue
 			}
 			nb := lst[i]
-			nbc := &d.Cells[nb]
 			if ni, ok2 := sc.chainAt(nb); ok2 {
-				b := chain[ni].bound - l.spacing(cc.Type, nbc.Type) - cw
+				b := chain[ni].bound - l.spacing(hc.Type[c], hc.Type[nb]) - cw
 				if b < maxPos {
 					maxPos = b
 				}
 			} else {
 				// Non-local barrier, clamped to the padded window edge
 				// (see the left-chain mirror for why).
-				b := int64(nbc.X) - l.spacing(cc.Type, nbc.Type) - cw
-				if w := l.winPadHi(win, s.X.Hi) - cw; w < b {
+				b := int64(hc.X[nb]) - l.spacing(hc.Type[c], hc.Type[nb]) - cw
+				if w := l.winPadHi(win, grid.Hi(sid)) - cw; w < b {
 					b = w
 				}
 				if b < maxPos {
@@ -467,30 +468,32 @@ func (l *Legalizer) buildRightChain(sc *scratch, t model.CellID, y, h, x0 int, w
 // plan's moves alias sc.moves and are only valid until the next
 // evaluation with the same scratch.
 func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int, win geom.Rect) (plan, bool) {
-	d := l.d
-	tc := &d.Cells[t]
-	tct := &d.Types[tc.Type]
-	siteW := int64(d.Tech.SiteW)
-	rowH := int64(d.Tech.RowH)
+	hc := l.hot
+	grid := l.grid
+	tf := hc.Fence[t]
+	tw := int(hc.W[t])
+	tgx := int64(hc.GX[t])
+	siteW := int64(l.d.Tech.SiteW)
+	rowH := int64(l.d.Tech.RowH)
 
 	// Quick rejection: every span row must hold at least the target's
 	// width of free sites inside the window. This necessary condition
 	// skips the expensive chain construction for insertion points deep
 	// inside packed regions.
 	for r := y; r < y+h; r++ {
-		s, ok := l.grid.At(r, x0)
-		if !ok || s.Fence != tc.Fence {
+		sid := grid.AtID(r, x0)
+		if sid < 0 || grid.FenceOf(sid) != tf {
 			return plan{}, false
 		}
-		wl, wh := s.X.Lo, s.X.Hi
+		wl, wh := grid.Lo(sid), grid.Hi(sid)
 		if win.XLo > wl {
 			wl = win.XLo
 		}
 		if win.XHi < wh {
 			wh = win.XHi
 		}
-		if wh-wl < tct.Width ||
-			(wh-wl)-l.occ.occupiedWidth(s.ID, wl, wh) < tct.Width {
+		if wh-wl < tw ||
+			(wh-wl)-l.occ.occupiedWidth(sid, wl, wh) < tw {
 			return plan{}, false
 		}
 	}
@@ -506,7 +509,7 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 	if int64(win.XLo) > xlo {
 		xlo = int64(win.XLo)
 	}
-	if v := int64(win.XHi) - int64(tct.Width); v < xhi {
+	if v := int64(win.XHi) - int64(tw); v < xhi {
 		xhi = v
 	}
 	if xlo > xhi {
@@ -518,47 +521,49 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 	// plus breakpoint storage for every local cell of every insertion
 	// point.
 	total := &sc.total
-	total.ResetAbs(int64(tc.GX), siteW, int64(geom.Abs(y-tc.GY))*rowH)
+	total.ResetAbs(tgx, siteW, int64(geom.Abs(y-int(hc.GY[t])))*rowH)
 	// Each local cell contributes its *incremental* displacement: the
 	// curve minus its current (sunk) displacement. Without the
 	// subtraction, insertion points whose windows happen to contain
 	// already-displaced cells would look spuriously expensive, biasing
 	// the row choice. (For MLL semantics the baseline is zero anyway.)
 	for i := range left {
-		c := &d.Cells[left[i].id]
 		if left[i].off <= 0 {
 			continue
 		}
-		g := int64(c.GX)
+		id := left[i].id
+		cx := int64(hc.X[id])
+		g := int64(hc.GX[id])
 		if l.opt.CostFromCurrent {
-			g = int64(c.X) // MLL semantics: cost from current position
+			g = cx // MLL semantics: cost from current position
 		}
-		total.AddPushLeft(int64(c.X), g, left[i].off, siteW)
-		total.AddConst(-siteW * abs64(int64(c.X)-g))
+		total.AddPushLeft(cx, g, left[i].off, siteW)
+		total.AddConst(-siteW * abs64(cx-g))
 	}
 	for i := range right {
-		c := &d.Cells[right[i].id]
 		if right[i].off <= 0 {
 			continue
 		}
-		g := int64(c.GX)
+		id := right[i].id
+		cx := int64(hc.X[id])
+		g := int64(hc.GX[id])
 		if l.opt.CostFromCurrent {
-			g = int64(c.X)
+			g = cx
 		}
-		total.AddPushRight(int64(c.X), g, right[i].off, siteW)
-		total.AddConst(-siteW * abs64(int64(c.X)-g))
+		total.AddPushRight(cx, g, right[i].off, siteW)
+		total.AddConst(-siteW * abs64(cx-g))
 	}
 
-	bestX, bestV := total.MinOn(xlo, xhi, int64(tc.GX))
+	bestX, bestV := total.MinOn(xlo, xhi, tgx)
 
 	// Vertical-rail avoidance: slide to the nearest clean x by curve
 	// cost (paper Section 3.4).
-	if l.opt.Rules != nil && l.opt.Rules.XForbidden(tc.Type, int(bestX), y) {
+	if l.opt.Rules != nil && l.opt.Rules.XForbidden(hc.Type[t], int(bestX), y) {
 		const scanCap = 256
 		found := false
 		var candX, candV int64
 		for step := int64(1); step <= scanCap; step++ {
-			if x := bestX - step; x >= xlo && !l.opt.Rules.XForbidden(tc.Type, int(x), y) {
+			if x := bestX - step; x >= xlo && !l.opt.Rules.XForbidden(hc.Type[t], int(x), y) {
 				candX, candV = x, total.Eval(x)
 				found = true
 				break
@@ -569,7 +574,7 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 			if x > xhi {
 				break
 			}
-			if !l.opt.Rules.XForbidden(tc.Type, int(x), y) {
+			if !l.opt.Rules.XForbidden(hc.Type[t], int(x), y) {
 				if v := total.Eval(x); !found || v < candV {
 					candX, candV = x, v
 				}
@@ -582,7 +587,7 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 		bestX, bestV = candX, candV
 	}
 	if l.opt.Rules != nil {
-		bestV += l.opt.Rules.IOPenalty(tc.Type, int(bestX), y)
+		bestV += l.opt.Rules.IOPenalty(hc.Type[t], int(bestX), y)
 	}
 
 	p := plan{target: t, x: int(bestX), y: y, cost: bestV, ok: true}
@@ -591,26 +596,28 @@ func (l *Legalizer) evaluateInsertion(sc *scratch, t model.CellID, y, h, x0 int,
 		if left[i].off <= 0 {
 			continue
 		}
-		c := &d.Cells[left[i].id]
+		id := left[i].id
+		cx := int64(hc.X[id])
 		nx := bestX - left[i].off
-		if int64(c.X) < nx {
-			nx = int64(c.X)
+		if cx < nx {
+			nx = cx
 		}
-		if nx != int64(c.X) {
-			moves = append(moves, move{id: left[i].id, newX: int(nx)})
+		if nx != cx {
+			moves = append(moves, move{id: id, newX: int(nx)})
 		}
 	}
 	for i := range right {
 		if right[i].off <= 0 {
 			continue
 		}
-		c := &d.Cells[right[i].id]
+		id := right[i].id
+		cx := int64(hc.X[id])
 		nx := bestX + right[i].off
-		if int64(c.X) > nx {
-			nx = int64(c.X)
+		if cx > nx {
+			nx = cx
 		}
-		if nx != int64(c.X) {
-			moves = append(moves, move{id: right[i].id, newX: int(nx)})
+		if nx != cx {
+			moves = append(moves, move{id: id, newX: int(nx)})
 		}
 	}
 	sc.moves = moves

@@ -27,8 +27,12 @@ type Stats struct {
 
 // Legalizer runs multi-row global legalization over one design.
 type Legalizer struct {
-	d     *model.Design
-	grid  *seg.Grid
+	d    *model.Design
+	grid *seg.Grid
+	// hot is the struct-of-arrays view of d's cells the evaluation hot
+	// paths read; commit writes every move through it so the view and
+	// the design never diverge within a run.
+	hot   *model.HotCells
 	occ   *occupancy
 	opt   Options
 	maxSp int
@@ -41,10 +45,12 @@ type Legalizer struct {
 
 // New builds a legalizer for d over the prebuilt segmentation grid.
 func New(d *model.Design, grid *seg.Grid, opt Options) *Legalizer {
+	hot := model.NewHotCells(d)
 	return &Legalizer{
 		d:     d,
 		grid:  grid,
-		occ:   newOccupancy(d, grid),
+		hot:   hot,
+		occ:   newOccupancy(d, hot, grid),
 		opt:   opt.withDefaults(),
 		maxSp: d.Tech.MaxEdgeSpacing(),
 	}
@@ -139,9 +145,8 @@ func betterPlan(p, best plan, gy int) bool {
 //mclegal:hotpath per-cell inner loop of MGL; TestBestInWindowZeroAlloc pins it to 0 allocs/op after warm-up
 func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect, dst *[]move) (plan, bool) {
 	d := l.d
-	tc := &d.Cells[t]
-	tct := &d.Types[tc.Type]
-	h := tct.Height
+	hc := l.hot
+	h := int(hc.H[t])
 
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
@@ -163,7 +168,7 @@ func (l *Legalizer) bestInWindow(t model.CellID, win geom.Rect, dst *[]move) (pl
 		yHi = d.Tech.NumRows
 	}
 	yHi -= h // highest valid bottom row
-	gy := tc.GY
+	gy := int(hc.GY[t])
 	dMax := -1
 	if yHi >= yLo {
 		dMax = geom.Abs(gy - yLo)
@@ -194,10 +199,10 @@ rowLoop:
 			if !d.Tech.RowAllowed(h, y) {
 				continue
 			}
-			if l.opt.Rules != nil && l.opt.Rules.RowForbidden(tc.Type, y) {
+			if l.opt.Rules != nil && l.opt.Rules.RowForbidden(hc.Type[t], y) {
 				continue
 			}
-			for _, x0 := range l.insertionReps(sc, tc.Fence, y, h, win) {
+			for _, x0 := range l.insertionReps(sc, hc.Fence[t], y, h, win) {
 				p, ok := l.evaluateInsertion(sc, t, y, h, x0, win)
 				if ok && betterPlan(p, best, gy) {
 					// p.moves aliases sc.moves, which the next
@@ -227,23 +232,24 @@ func (l *Legalizer) insertionReps(sc *scratch, f model.FenceID, y, h int, win ge
 	if lo < hi {
 		reps = append(reps, lo)
 	}
-	cells := l.d.Cells
+	hc := l.hot
+	grid := l.grid
 	for r := y; r < y+h; r++ {
-		for _, sid := range l.grid.Row(r) {
-			s := l.grid.Segs[sid]
-			if s.Fence != f || !s.X.Overlaps(geom.Interval{Lo: lo, Hi: hi}) {
+		for _, sid := range grid.Row(r) {
+			sLo, sHi := grid.Lo(sid), grid.Hi(sid)
+			if grid.FenceOf(sid) != f || sLo >= hi || sHi <= lo {
 				continue
 			}
-			if x := s.X.Lo; x >= lo && x < hi {
-				reps = append(reps, x)
+			if sLo >= lo && sLo < hi {
+				reps = append(reps, sLo)
 			}
 			// Only cells whose left edge lies inside [lo, hi) can
 			// contribute; the occupancy list is x-sorted, so binary
 			// search to the first candidate and stop at the window end.
 			lst := l.occ.cellsIn(sid)
-			start := sort.Search(len(lst), func(k int) bool { return cells[lst[k]].X >= lo })
+			start := sort.Search(len(lst), func(k int) bool { return int(hc.X[lst[k]]) >= lo })
 			for _, id := range lst[start:] {
-				x := cells[id].X
+				x := int(hc.X[id])
 				if x >= hi {
 					break
 				}
@@ -266,10 +272,10 @@ func (l *Legalizer) insertionReps(sc *scratch, f model.FenceID, y, h int, win ge
 // registered. Shifts preserve the x-order of every occupancy list.
 func (l *Legalizer) commit(p plan) error {
 	for _, mv := range p.moves {
-		l.d.Cells[mv.id].X = mv.newX
+		l.hot.SetX(l.d, mv.id, mv.newX)
 	}
+	l.hot.SetXY(l.d, p.target, p.x, p.y)
 	c := &l.d.Cells[p.target]
-	c.X, c.Y = p.x, p.y
 	if l.opt.Faults.ShouldFire(faults.MGLInsertOutside) {
 		return &InsertError{Cell: p.target, Name: c.Name, X: c.X, Y: c.Y, Row: c.Y}
 	}

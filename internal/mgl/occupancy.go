@@ -20,8 +20,14 @@ import (
 // occupancy tracks, for every segment, the IDs of placed cells ordered
 // by their current x. A multi-row cell appears in one segment per row
 // it spans.
+//
+// All position and width reads go through the HotCells view (shared
+// with the owning Legalizer): the occupancy queries run inside the
+// bestInWindow hot path, where chasing Design.Cells→Design.Types per
+// cell costs a dependent load the flat arrays avoid.
 type occupancy struct {
 	d    *model.Design
+	hot  *model.HotCells
 	grid *seg.Grid
 	segs [][]model.CellID
 	// prefW[sid][i] is the summed width of segs[sid][:i]; it provides
@@ -29,9 +35,10 @@ type occupancy struct {
 	prefW [][]int32
 }
 
-func newOccupancy(d *model.Design, grid *seg.Grid) *occupancy {
+func newOccupancy(d *model.Design, hot *model.HotCells, grid *seg.Grid) *occupancy {
 	return &occupancy{
 		d:     d,
+		hot:   hot,
 		grid:  grid,
 		segs:  make([][]model.CellID, len(grid.Segs)),
 		prefW: make([][]int32, len(grid.Segs)),
@@ -52,90 +59,92 @@ func reserve[T any](s []T) []T {
 }
 
 // insert registers a placed cell in the segments of all rows it spans.
-// The cell's X/Y must already be final. A cell outside any segment —
-// an inconsistency between the committed plan and the grid — yields a
-// typed *InsertError; the partially-registered rows are left in place
-// (the stage runner rolls the whole stage back on error).
+// The cell's X/Y must already be final (in both the design and the hot
+// view). A cell outside any segment — an inconsistency between the
+// committed plan and the grid — yields a typed *InsertError; the
+// partially-registered rows are left in place (the stage runner rolls
+// the whole stage back on error).
 func (o *occupancy) insert(id model.CellID) error {
-	c := &o.d.Cells[id]
-	ct := &o.d.Types[c.Type]
-	for r := c.Y; r < c.Y+ct.Height; r++ {
-		s, ok := o.grid.At(r, c.X)
-		if !ok {
-			return &InsertError{Cell: id, Name: c.Name, X: c.X, Y: c.Y, Row: r}
+	h := o.hot
+	x, y := int(h.X[id]), int(h.Y[id])
+	for r := y; r < y+int(h.H[id]); r++ {
+		sid := o.grid.AtID(r, x)
+		if sid < 0 {
+			c := &o.d.Cells[id]
+			return &InsertError{Cell: id, Name: c.Name, X: x, Y: y, Row: r}
 		}
-		lst := reserve(o.segs[s.ID])
-		i := sort.Search(len(lst)-1, func(k int) bool { return o.d.Cells[lst[k]].X > c.X })
+		lst := reserve(o.segs[sid])
+		i := sort.Search(len(lst)-1, func(k int) bool { return h.X[lst[k]] > int32(x) })
 		copy(lst[i+1:], lst[i:])
 		lst[i] = id
-		o.segs[s.ID] = lst
+		o.segs[sid] = lst
 
 		// One shift-and-add pass keeps prefW a prefix sum of widths:
 		// entries after the insertion point slide right one slot
 		// (pw[i+1] becomes a copy of pw[i], the prefix up to the new
 		// cell), then the new cell's width is added to the whole tail.
-		pw := o.prefW[s.ID]
+		pw := o.prefW[sid]
 		if len(pw) == 0 {
 			pw = append(pw, 0)
 		}
 		pw = reserve(pw)
 		copy(pw[i+2:], pw[i+1:])
 		pw[i+1] = pw[i]
-		w := int32(ct.Width)
+		w := h.W[id]
 		for k := i + 1; k < len(pw); k++ {
 			pw[k] += w
 		}
-		o.prefW[s.ID] = pw
+		o.prefW[sid] = pw
 	}
 	return nil
 }
 
 // occupiedWidth returns the summed width (in sites) of the parts of
 // placed cells of segment sid that lie inside [lo, hi).
-func (o *occupancy) occupiedWidth(sid, lo, hi int) int {
+func (o *occupancy) occupiedWidth(sid int32, lo, hi int) int {
 	lst := o.segs[sid]
 	if len(lst) == 0 || hi <= lo {
 		return 0
 	}
-	cells := o.d.Cells
+	h := o.hot
 	// First cell with right edge > lo.
 	a := sort.Search(len(lst), func(k int) bool {
-		c := &cells[lst[k]]
-		return c.X+o.d.Types[c.Type].Width > lo
+		id := lst[k]
+		return int(h.X[id]+h.W[id]) > lo
 	})
 	// First cell with left edge >= hi.
-	b := sort.Search(len(lst), func(k int) bool { return cells[lst[k]].X >= hi })
+	b := sort.Search(len(lst), func(k int) bool { return int(h.X[lst[k]]) >= hi })
 	if a >= b {
 		return 0
 	}
 	pw := o.prefW[sid]
 	total := int(pw[b] - pw[a])
 	// Trim boundary overhangs.
-	ca := &cells[lst[a]]
-	if ca.X < lo {
-		total -= lo - ca.X
+	ca := lst[a]
+	if int(h.X[ca]) < lo {
+		total -= lo - int(h.X[ca])
 	}
-	cb := &cells[lst[b-1]]
-	if r := cb.X + o.d.Types[cb.Type].Width; r > hi {
+	cb := lst[b-1]
+	if r := int(h.X[cb] + h.W[cb]); r > hi {
 		total -= r - hi
 	}
 	return total
 }
 
 // cellsIn returns the placed cells of segment sid (ordered by x).
-func (o *occupancy) cellsIn(sid int) []model.CellID { return o.segs[sid] }
+func (o *occupancy) cellsIn(sid int32) []model.CellID { return o.segs[sid] }
 
 // splitAt returns the index of the first cell in segment sid whose left
 // edge is strictly greater than x: cells [0,idx) are "left of x".
-func (o *occupancy) splitAt(sid int, x int) int {
+func (o *occupancy) splitAt(sid int32, x int) int {
 	lst := o.segs[sid]
-	return sort.Search(len(lst), func(k int) bool { return o.d.Cells[lst[k]].X > x })
+	return sort.Search(len(lst), func(k int) bool { return int(o.hot.X[lst[k]]) > x })
 }
 
 // resort restores x-order of a segment after cells were shifted.
 // Shifting by the MGL chain rules preserves order, so this is only used
 // defensively by tests.
-func (o *occupancy) resort(sid int) {
+func (o *occupancy) resort(sid int32) {
 	lst := o.segs[sid]
-	sort.SliceStable(lst, func(a, b int) bool { return o.d.Cells[lst[a]].X < o.d.Cells[lst[b]].X })
+	sort.SliceStable(lst, func(a, b int) bool { return o.hot.X[lst[a]] < o.hot.X[lst[b]] })
 }

@@ -15,7 +15,7 @@ func occFixture(t *testing.T) (*model.Design, *seg.Grid, *occupancy) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, grid, newOccupancy(d, grid)
+	return d, grid, newOccupancy(d, model.NewHotCells(d), grid)
 }
 
 func TestOccupancyInsertOrder(t *testing.T) {
@@ -23,6 +23,7 @@ func TestOccupancyInsertOrder(t *testing.T) {
 	mk := func(ti model.CellTypeID, x, y int) model.CellID {
 		id := addCell(d, ti, x, y, 0)
 		d.Cells[id].X, d.Cells[id].Y = x, y
+		occ.hot = model.NewHotCells(d)
 		occ.insert(id)
 		return id
 	}
@@ -30,14 +31,14 @@ func TestOccupancyInsertOrder(t *testing.T) {
 	a := mk(0, 10, 1)
 	b := mk(0, 30, 1)
 	s, _ := grid.At(1, 0)
-	lst := occ.cellsIn(s.ID)
+	lst := occ.cellsIn(int32(s.ID))
 	if len(lst) != 3 || lst[0] != a || lst[1] != b || lst[2] != c {
 		t.Fatalf("occupancy not x-sorted: %v", lst)
 	}
-	if occ.splitAt(s.ID, 30) != 2 { // cells with X <= 30: a and b
-		t.Errorf("splitAt(30) = %d", occ.splitAt(s.ID, 30))
+	if occ.splitAt(int32(s.ID), 30) != 2 { // cells with X <= 30: a and b
+		t.Errorf("splitAt(30) = %d", occ.splitAt(int32(s.ID), 30))
 	}
-	if occ.splitAt(s.ID, 9) != 0 || occ.splitAt(s.ID, 99) != 3 {
+	if occ.splitAt(int32(s.ID), 9) != 0 || occ.splitAt(int32(s.ID), 99) != 3 {
 		t.Errorf("splitAt boundaries wrong")
 	}
 }
@@ -45,15 +46,16 @@ func TestOccupancyInsertOrder(t *testing.T) {
 func TestOccupancyMultiRow(t *testing.T) {
 	d, grid, occ := occFixture(t)
 	id := addCell(d, 1, 20, 2, 0) // 3-wide, 2-high at rows 2,3
+	occ.hot = model.NewHotCells(d)
 	occ.insert(id)
 	for r := 2; r <= 3; r++ {
 		s, _ := grid.At(r, 20)
-		if lst := occ.cellsIn(s.ID); len(lst) != 1 || lst[0] != id {
+		if lst := occ.cellsIn(int32(s.ID)); len(lst) != 1 || lst[0] != id {
 			t.Fatalf("row %d missing multi-row cell", r)
 		}
 	}
 	s, _ := grid.At(1, 20)
-	if len(occ.cellsIn(s.ID)) != 0 {
+	if len(occ.cellsIn(int32(s.ID))) != 0 {
 		t.Errorf("row 1 should be empty")
 	}
 }
@@ -62,6 +64,7 @@ func TestOccupiedWidth(t *testing.T) {
 	d, grid, occ := occFixture(t)
 	mk := func(ti model.CellTypeID, x int) {
 		id := addCell(d, ti, x, 0, 0)
+		occ.hot = model.NewHotCells(d)
 		occ.insert(id)
 	}
 	// Width-2 cells at [10,12), [20,22); width-5 at [30,35).
@@ -83,7 +86,7 @@ func TestOccupiedWidth(t *testing.T) {
 		{50, 40, 0}, // inverted interval
 	}
 	for _, c := range cases {
-		if got := occ.occupiedWidth(s.ID, c.lo, c.hi); got != c.want {
+		if got := occ.occupiedWidth(int32(s.ID), c.lo, c.hi); got != c.want {
 			t.Errorf("occupiedWidth(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
 		}
 	}
@@ -102,6 +105,7 @@ func TestOccupiedWidthRandomized(t *testing.T) {
 				break
 			}
 			id := addCell(d, 0, x, 0, 0)
+			occ.hot = model.NewHotCells(d)
 			occ.insert(id)
 			placed = append(placed, x)
 			x += 2
@@ -117,7 +121,7 @@ func TestOccupiedWidthRandomized(t *testing.T) {
 					want += o
 				}
 			}
-			if got := occ.occupiedWidth(s.ID, lo, hi); got != want {
+			if got := occ.occupiedWidth(int32(s.ID), lo, hi); got != want {
 				t.Fatalf("trial %d: occupiedWidth(%d,%d) = %d, want %d", trial, lo, hi, got, want)
 			}
 		}
@@ -128,13 +132,15 @@ func TestOccupancyResort(t *testing.T) {
 	d, grid, occ := occFixture(t)
 	a := addCell(d, 0, 10, 0, 0)
 	b := addCell(d, 0, 20, 0, 0)
+	occ.hot = model.NewHotCells(d)
 	occ.insert(a)
 	occ.insert(b)
 	// Manually swap positions (tests only), then resort.
 	d.Cells[a].X, d.Cells[b].X = 20, 10
+	occ.hot.Reload(d)
 	s, _ := grid.At(0, 0)
-	occ.resort(s.ID)
-	lst := occ.cellsIn(s.ID)
+	occ.resort(int32(s.ID))
+	lst := occ.cellsIn(int32(s.ID))
 	if lst[0] != b || lst[1] != a {
 		t.Errorf("resort failed: %v", lst)
 	}

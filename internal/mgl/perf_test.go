@@ -26,7 +26,7 @@ func TestPrefixWidthMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		occ := newOccupancy(d, grid)
+		occ := newOccupancy(d, model.NewHotCells(d), grid)
 		// Random non-overlapping cells of mixed widths/heights, placed
 		// row by row, inserted in shuffled order.
 		var ids []model.CellID
@@ -44,6 +44,7 @@ func TestPrefixWidthMatchesNaive(t *testing.T) {
 				x += ct.Width + rng.Intn(4)
 			}
 		}
+		occ.hot = model.NewHotCells(d) // cells were added after the fixture view
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for n, id := range ids {
 			if err := occ.insert(id); err != nil {
@@ -57,7 +58,7 @@ func TestPrefixWidthMatchesNaive(t *testing.T) {
 				if !ok {
 					t.Fatalf("trial %d: no segment at (%d,%d)", trial, r, c.X)
 				}
-				lst := occ.cellsIn(s.ID)
+				lst := occ.cellsIn(int32(s.ID))
 				pw := occ.prefW[s.ID]
 				if len(pw) != len(lst)+1 {
 					t.Fatalf("trial %d after %d inserts: prefW len %d, want %d",

@@ -138,6 +138,7 @@ func TestInsertionRepsEnumeration(t *testing.T) {
 	// Multi-row span gathers edges from every row.
 	c := addCell(d, 0, 20, 2, 0)
 	d.Cells[c].X, d.Cells[c].Y = 20, 2
+	refreshHot(l)
 	l.occ.insert(c)
 	reps = l.insertionReps(sc, model.DefaultFence, 1, 2, win)
 	want = []int{5, 10, 20, 30}

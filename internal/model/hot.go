@@ -1,0 +1,82 @@
+package model
+
+// HotCells is a struct-of-arrays view of the per-cell fields the
+// legalization hot paths touch on every window evaluation: current and
+// global-placement position, footprint, fence and type. The canonical
+// Cell struct interleaves these with cold fields (Name, net bookkeeping
+// via Design.Nets) and forces a second cache line for the CellType
+// lookup on every width/height read; the view packs the hot fields into
+// dense parallel arrays so a chain walk over a segment's cells streams
+// through memory instead of pointer-chasing Design.Cells and
+// Design.Types.
+//
+// The view is a cache, not a second source of truth: readers that
+// mutate positions through the Design must call SetXY (or Reload) to
+// keep the arrays coherent. The MGL legalizer owns one view per run and
+// writes every commit through both representations.
+type HotCells struct {
+	// X, Y is the current position (site,row) of each cell; GX, GY the
+	// global-placement position displacement is measured from.
+	X, Y   []int32
+	GX, GY []int32
+	// W is the cell width in sites and H the height class in rows,
+	// denormalized from the cell's CellType.
+	W, H []int32
+	// Fence is the fence region of each cell and Type its library
+	// master (needed for the edge-spacing table on the hot path).
+	Fence []FenceID
+	Type  []CellTypeID
+}
+
+// NewHotCells builds the view for d. The arrays are indexed by CellID
+// and sized to len(d.Cells).
+func NewHotCells(d *Design) *HotCells {
+	h := &HotCells{
+		X:     make([]int32, len(d.Cells)),
+		Y:     make([]int32, len(d.Cells)),
+		GX:    make([]int32, len(d.Cells)),
+		GY:    make([]int32, len(d.Cells)),
+		W:     make([]int32, len(d.Cells)),
+		H:     make([]int32, len(d.Cells)),
+		Fence: make([]FenceID, len(d.Cells)),
+		Type:  make([]CellTypeID, len(d.Cells)),
+	}
+	h.Reload(d)
+	return h
+}
+
+// Reload refreshes every array from d (which must have the same cell
+// count the view was built with).
+func (h *HotCells) Reload(d *Design) {
+	if len(d.Cells) != len(h.X) {
+		panic("model: HotCells.Reload cell count mismatch")
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		h.X[i] = int32(c.X)
+		h.Y[i] = int32(c.Y)
+		h.GX[i] = int32(c.GX)
+		h.GY[i] = int32(c.GY)
+		h.W[i] = int32(ct.Width)
+		h.H[i] = int32(ct.Height)
+		h.Fence[i] = c.Fence
+		h.Type[i] = c.Type
+	}
+}
+
+// SetXY moves cell id in both the view and the backing design, keeping
+// the two representations coherent.
+func (h *HotCells) SetXY(d *Design, id CellID, x, y int) {
+	h.X[id] = int32(x)
+	h.Y[id] = int32(y)
+	d.Cells[id].X = x
+	d.Cells[id].Y = y
+}
+
+// SetX is SetXY for the x coordinate only (the common case: chain
+// shifts never change rows).
+func (h *HotCells) SetX(d *Design, id CellID, x int) {
+	h.X[id] = int32(x)
+	d.Cells[id].X = x
+}

@@ -1,0 +1,61 @@
+package model
+
+import "testing"
+
+func TestHotCellsMirrorsDesign(t *testing.T) {
+	d := testDesign()
+	d.Cells[1].Fence = 0
+	h := NewHotCells(d)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		ct := &d.Types[c.Type]
+		if int(h.X[i]) != c.X || int(h.Y[i]) != c.Y {
+			t.Errorf("cell %d: hot pos (%d,%d) != (%d,%d)", i, h.X[i], h.Y[i], c.X, c.Y)
+		}
+		if int(h.GX[i]) != c.GX || int(h.GY[i]) != c.GY {
+			t.Errorf("cell %d: hot GP pos mismatch", i)
+		}
+		if int(h.W[i]) != ct.Width || int(h.H[i]) != ct.Height {
+			t.Errorf("cell %d: hot footprint (%d,%d) != (%d,%d)", i, h.W[i], h.H[i], ct.Width, ct.Height)
+		}
+		if h.Fence[i] != c.Fence || h.Type[i] != c.Type {
+			t.Errorf("cell %d: hot fence/type mismatch", i)
+		}
+	}
+}
+
+func TestHotCellsSetXYWritesBoth(t *testing.T) {
+	d := testDesign()
+	h := NewHotCells(d)
+	h.SetXY(d, 1, 42, 7)
+	if d.Cells[1].X != 42 || d.Cells[1].Y != 7 {
+		t.Errorf("SetXY did not reach the design: (%d,%d)", d.Cells[1].X, d.Cells[1].Y)
+	}
+	if h.X[1] != 42 || h.Y[1] != 7 {
+		t.Errorf("SetXY did not reach the view: (%d,%d)", h.X[1], h.Y[1])
+	}
+	h.SetX(d, 0, 33)
+	if d.Cells[0].X != 33 || h.X[0] != 33 {
+		t.Errorf("SetX out of sync: design %d view %d", d.Cells[0].X, h.X[0])
+	}
+	if d.Cells[0].Y != 3 || h.Y[0] != 3 {
+		t.Errorf("SetX touched Y")
+	}
+}
+
+func TestHotCellsReload(t *testing.T) {
+	d := testDesign()
+	h := NewHotCells(d)
+	d.Cells[2].X, d.Cells[2].Y = 1, 2 // mutate behind the view's back
+	h.Reload(d)
+	if h.X[2] != 1 || h.Y[2] != 2 {
+		t.Errorf("Reload missed position update: (%d,%d)", h.X[2], h.Y[2])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Reload with mismatched cell count should panic")
+		}
+	}()
+	d.Cells = d.Cells[:1]
+	h.Reload(d)
+}

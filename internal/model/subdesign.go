@@ -1,0 +1,98 @@
+package model
+
+import (
+	"fmt"
+
+	"mclegal/internal/geom"
+)
+
+// Subdesign is a view of a parent design restricted to a subset of its
+// movable cells: the shard layer legalizes each fence region (and each
+// die partition of the default region) as an independent subproblem,
+// exactly as the paper's fence-aware flow prescribes. The embedded
+// Design is a self-contained instance in the parent's coordinate
+// system — same Tech, shared library, all fixed obstacles — whose
+// movable cells are the selected subset with densely remapped CellIDs;
+// ToGlobal inverts the remapping so results merge back.
+//
+// Nets are deliberately dropped: no pipeline stage consumes them, and
+// keeping them would require remapping every pin. HPWL and scoring are
+// computed on the parent design after MergeBack.
+type Subdesign struct {
+	Design *Design
+	// ToGlobal[i] is the parent CellID of subdesign cell i. Movable
+	// cells come first (in the order given to NewSubdesign), fixed
+	// cells after.
+	ToGlobal []CellID
+	// Movables is the number of selected movable cells; subdesign IDs
+	// 0..Movables-1 are movable, the rest fixed.
+	Movables int
+}
+
+// NewSubdesign builds the shard instance for the given movable cells of
+// parent. The cells slice must name distinct movable cells; their order
+// fixes the subdesign's CellID assignment (callers pass a deterministic
+// order so shard runs are reproducible). extraBlockages are appended to
+// the parent's blockages — the shard planner uses them to confine a die
+// partition's cells to its slab (a blockage outranks fence paint in
+// segment labeling, so the complement of the slab becomes unusable).
+//
+// The parent's Types, Fences and IOPins slices are shared, not copied:
+// subdesigns are read-only with respect to everything except cell
+// positions.
+func NewSubdesign(parent *Design, name string, cells []CellID, extraBlockages []geom.Rect) (*Subdesign, error) {
+	fixed := 0
+	for i := range parent.Cells {
+		if parent.Cells[i].Fixed {
+			fixed++
+		}
+	}
+	sd := &Subdesign{
+		Design: &Design{
+			Name:   name,
+			Tech:   parent.Tech,
+			Types:  parent.Types,
+			Cells:  make([]Cell, 0, len(cells)+fixed),
+			Fences: parent.Fences,
+			IOPins: parent.IOPins,
+		},
+		ToGlobal: make([]CellID, 0, len(cells)+fixed),
+		Movables: len(cells),
+	}
+	for _, id := range cells {
+		if int(id) < 0 || int(id) >= len(parent.Cells) {
+			return nil, fmt.Errorf("subdesign %q: cell %d out of range", name, id)
+		}
+		c := parent.Cells[id]
+		if c.Fixed {
+			return nil, fmt.Errorf("subdesign %q: cell %d (%s) is fixed", name, id, c.Name)
+		}
+		sd.Design.Cells = append(sd.Design.Cells, c)
+		sd.ToGlobal = append(sd.ToGlobal, id)
+	}
+	for i := range parent.Cells {
+		if parent.Cells[i].Fixed {
+			sd.Design.Cells = append(sd.Design.Cells, parent.Cells[i])
+			sd.ToGlobal = append(sd.ToGlobal, CellID(i))
+		}
+	}
+	nb := len(parent.Blockages) + len(extraBlockages)
+	if nb > 0 {
+		sd.Design.Blockages = make([]geom.Rect, 0, nb)
+		sd.Design.Blockages = append(sd.Design.Blockages, parent.Blockages...)
+		sd.Design.Blockages = append(sd.Design.Blockages, extraBlockages...)
+	}
+	return sd, nil
+}
+
+// MergeBack writes the subdesign's movable-cell positions into parent.
+// Shards built from disjoint cell subsets write disjoint entries, so
+// merging every shard in a fixed order is deterministic regardless of
+// how the shards themselves were scheduled.
+func (sd *Subdesign) MergeBack(parent *Design) {
+	for i := 0; i < sd.Movables; i++ {
+		g := sd.ToGlobal[i]
+		parent.Cells[g].X = sd.Design.Cells[i].X
+		parent.Cells[g].Y = sd.Design.Cells[i].Y
+	}
+}

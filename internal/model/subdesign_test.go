@@ -1,0 +1,119 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"mclegal/internal/geom"
+)
+
+func shardParent() *Design {
+	d := testDesign()
+	d.Fences = []Fence{{Name: "f1", Rects: []geom.Rect{geom.RectWH(0, 0, 40, 10)}}}
+	d.Cells = append(d.Cells, Cell{Name: "m", Type: 2, GX: 50, GY: 2, X: 50, Y: 2, Fixed: true})
+	d.Cells[0].Fence = 1
+	d.Blockages = []geom.Rect{geom.RectWH(90, 0, 10, 20)}
+	return d
+}
+
+func TestNewSubdesignRemapsAndKeepsFixed(t *testing.T) {
+	d := shardParent()
+	extra := []geom.Rect{geom.RectWH(0, 0, 10, 20)}
+	sd, err := NewSubdesign(d, "t/s0", []CellID{2, 1}, extra)
+	if err != nil {
+		t.Fatalf("NewSubdesign: %v", err)
+	}
+	if sd.Design.Name != "t/s0" {
+		t.Errorf("name = %q", sd.Design.Name)
+	}
+	if sd.Movables != 2 || len(sd.Design.Cells) != 3 {
+		t.Fatalf("movables=%d cells=%d, want 2 movables + 1 fixed", sd.Movables, len(sd.Design.Cells))
+	}
+	// Order given to NewSubdesign fixes the new IDs; fixed cells follow.
+	wantGlobal := []CellID{2, 1, 3}
+	for i, g := range wantGlobal {
+		if sd.ToGlobal[i] != g {
+			t.Errorf("ToGlobal[%d] = %d, want %d", i, sd.ToGlobal[i], g)
+		}
+		if sd.Design.Cells[i].Name != d.Cells[g].Name {
+			t.Errorf("cell %d is %q, want %q", i, sd.Design.Cells[i].Name, d.Cells[g].Name)
+		}
+	}
+	if !sd.Design.Cells[2].Fixed {
+		t.Errorf("trailing cell should be the fixed macro")
+	}
+	// Blockages: parent's plus the extras, in order.
+	if len(sd.Design.Blockages) != 2 ||
+		sd.Design.Blockages[0] != d.Blockages[0] || sd.Design.Blockages[1] != extra[0] {
+		t.Errorf("blockages = %v", sd.Design.Blockages)
+	}
+	// Nets are dropped, shared slices are shared.
+	if sd.Design.Nets != nil {
+		t.Errorf("subdesign should carry no nets")
+	}
+	if &sd.Design.Types[0] != &d.Types[0] || &sd.Design.Fences[0] != &d.Fences[0] {
+		t.Errorf("library/fences should be shared, not copied")
+	}
+	if err := sd.Design.Validate(); err != nil {
+		t.Errorf("subdesign fails validation: %v", err)
+	}
+}
+
+func TestNewSubdesignRejectsBadCells(t *testing.T) {
+	d := shardParent()
+	if _, err := NewSubdesign(d, "s", []CellID{99}, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range cell accepted: %v", err)
+	}
+	if _, err := NewSubdesign(d, "s", []CellID{3}, nil); err == nil || !strings.Contains(err.Error(), "fixed") {
+		t.Errorf("fixed cell accepted as movable: %v", err)
+	}
+}
+
+func TestMergeBackWritesOnlySelectedMovables(t *testing.T) {
+	d := shardParent()
+	sd, err := NewSubdesign(d, "s", []CellID{1, 2}, nil)
+	if err != nil {
+		t.Fatalf("NewSubdesign: %v", err)
+	}
+	sd.Design.Cells[0].X, sd.Design.Cells[0].Y = 70, 8 // parent cell 1
+	sd.Design.Cells[1].X = 60                          // parent cell 2
+	sd.Design.Cells[2].X = 99                          // fixed macro: must not merge
+	before0 := d.Cells[0]
+	sd.MergeBack(d)
+	if d.Cells[1].X != 70 || d.Cells[1].Y != 8 || d.Cells[2].X != 60 {
+		t.Errorf("merge missed movables: %+v %+v", d.Cells[1], d.Cells[2])
+	}
+	if d.Cells[0] != before0 {
+		t.Errorf("merge touched an unselected cell")
+	}
+	if d.Cells[3].X != 50 {
+		t.Errorf("merge moved a fixed cell to %d", d.Cells[3].X)
+	}
+}
+
+func TestDisjointMergeIsOrderIndependent(t *testing.T) {
+	d := shardParent()
+	a, err := NewSubdesign(d, "a", []CellID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSubdesign(d, "b", []CellID{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Design.Cells[0].X = 11
+	b.Design.Cells[0].X = 22
+	b.Design.Cells[1].X = 33
+
+	d1 := d.Clone()
+	a.MergeBack(d1)
+	b.MergeBack(d1)
+	d2 := d.Clone()
+	b.MergeBack(d2)
+	a.MergeBack(d2)
+	for i := range d1.Cells {
+		if d1.Cells[i] != d2.Cells[i] {
+			t.Fatalf("merge order changed cell %d: %+v vs %+v", i, d1.Cells[i], d2.Cells[i])
+		}
+	}
+}

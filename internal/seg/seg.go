@@ -22,10 +22,27 @@ type Segment struct {
 }
 
 // Grid is the per-row segment index of a design.
+//
+// Alongside the Segment records the grid keeps the fields the hot
+// paths touch — segment bounds and fence label — in flat parallel
+// arrays, and the per-row index in CSR form (one offsets array, one
+// flat ID array) instead of a slice of slices. The At binary search
+// then reads a dense []int32 rather than gathering 40-byte Segment
+// structs through a double indirection, and a grid is two allocations
+// instead of one per row.
 type Grid struct {
 	NumRows int
 	Segs    []Segment // all segments, sorted by (Row, X.Lo); ID = index
-	byRow   [][]int   // byRow[r] lists segment IDs of row r in x order
+
+	// CSR row index: rowIDs[rowOff[r]:rowOff[r+1]] lists the segment
+	// IDs of row r in x order. Segments are built row-major, so the
+	// IDs of one row are consecutive.
+	rowOff []int32
+	rowIDs []int32
+
+	// Flat hot mirrors of Segs, indexed by segment ID.
+	segLo, segHi []int32
+	segFence     []model.FenceID
 }
 
 // Build computes the segmentation of d. It fails if two fences overlap,
@@ -77,7 +94,7 @@ func Build(d *model.Design) (*Grid, error) {
 		}
 	}
 
-	g := &Grid{NumRows: nRows, byRow: make([][]int, nRows)}
+	g := &Grid{NumRows: nRows}
 	for y := 0; y < nRows; y++ {
 		// Elementary boundaries.
 		cuts := []int{0, nSites}
@@ -127,9 +144,21 @@ func Build(d *model.Design) (*Grid, error) {
 			prev = &g.Segs[len(g.Segs)-1]
 		}
 	}
+	g.rowOff = make([]int32, nRows+1)
+	g.rowIDs = make([]int32, len(g.Segs))
+	g.segLo = make([]int32, len(g.Segs))
+	g.segHi = make([]int32, len(g.Segs))
+	g.segFence = make([]model.FenceID, len(g.Segs))
 	for i := range g.Segs {
 		g.Segs[i].ID = i
-		g.byRow[g.Segs[i].Row] = append(g.byRow[g.Segs[i].Row], i)
+		g.rowIDs[i] = int32(i) // row-major build order: IDs are already row-grouped
+		g.segLo[i] = int32(g.Segs[i].X.Lo)
+		g.segHi[i] = int32(g.Segs[i].X.Hi)
+		g.segFence[i] = g.Segs[i].Fence
+		g.rowOff[g.Segs[i].Row+1]++
+	}
+	for r := 0; r < nRows; r++ {
+		g.rowOff[r+1] += g.rowOff[r]
 	}
 	return g, nil
 }
@@ -144,46 +173,68 @@ func dedupInts(xs []int) []int {
 	return out
 }
 
-// Row returns the segment IDs of row r in x order. Out-of-range rows
-// yield nil.
-func (g *Grid) Row(r int) []int {
+// Row returns the segment IDs of row r in x order (a view into the CSR
+// index; callers must not mutate it). Out-of-range rows yield nil.
+func (g *Grid) Row(r int) []int32 {
 	if r < 0 || r >= g.NumRows {
 		return nil
 	}
-	return g.byRow[r]
+	return g.rowIDs[g.rowOff[r]:g.rowOff[r+1]]
 }
 
-// At returns the segment of row r containing site x, if any.
-func (g *Grid) At(r, x int) (Segment, bool) {
-	ids := g.Row(r)
-	// Binary search over the x-sorted segments: find the last segment
-	// with X.Lo <= x.
-	lo, hi := 0, len(ids)
+// AtID returns the ID of the segment of row r containing site x, or -1
+// if none. This is the allocation- and copy-free fast path behind At;
+// hot loops pair it with Lo/Hi/FenceOf instead of materializing a
+// Segment value.
+func (g *Grid) AtID(r, x int) int32 {
+	if r < 0 || r >= g.NumRows {
+		return -1
+	}
+	// Binary search for the last segment with Lo <= x. Row IDs are
+	// consecutive (row-major build), so search the ID range directly.
+	lo, hi := g.rowOff[r], g.rowOff[r+1]
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if g.Segs[ids[mid]].X.Lo <= x {
+		mid := (lo + hi) >> 1
+		if int(g.segLo[mid]) <= x {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo == 0 {
+	if lo == g.rowOff[r] {
+		return -1
+	}
+	id := lo - 1
+	if x < int(g.segHi[id]) {
+		return id
+	}
+	return -1
+}
+
+// Lo returns the first site of segment id.
+func (g *Grid) Lo(id int32) int { return int(g.segLo[id]) }
+
+// Hi returns one past the last site of segment id.
+func (g *Grid) Hi(id int32) int { return int(g.segHi[id]) }
+
+// FenceOf returns the fence label of segment id.
+func (g *Grid) FenceOf(id int32) model.FenceID { return g.segFence[id] }
+
+// At returns the segment of row r containing site x, if any.
+func (g *Grid) At(r, x int) (Segment, bool) {
+	id := g.AtID(r, x)
+	if id < 0 {
 		return Segment{}, false
 	}
-	s := g.Segs[ids[lo-1]]
-	if s.X.Contains(x) {
-		return s, true
-	}
-	return Segment{}, false
+	return g.Segs[id], true
 }
 
 // SpanOK reports whether a cell of fence f occupying sites [x, x+w) on
 // rows [y, y+h) lies entirely inside segments of fence f.
 func (g *Grid) SpanOK(f model.FenceID, x, y, w, h int) bool {
-	iv := geom.Interval{Lo: x, Hi: x + w}
 	for r := y; r < y+h; r++ {
-		s, ok := g.At(r, x)
-		if !ok || s.Fence != f || !s.X.ContainsIv(iv) {
+		id := g.AtID(r, x)
+		if id < 0 || g.segFence[id] != f || x+w > int(g.segHi[id]) {
 			return false
 		}
 	}
@@ -197,11 +248,11 @@ func (g *Grid) SpanOK(f model.FenceID, x, y, w, h int) bool {
 func (g *Grid) SpanInterval(f model.FenceID, x, y, h int) (geom.Interval, bool) {
 	out := geom.Interval{Lo: 0, Hi: 1 << 30}
 	for r := y; r < y+h; r++ {
-		s, ok := g.At(r, x)
-		if !ok || s.Fence != f {
+		id := g.AtID(r, x)
+		if id < 0 || g.segFence[id] != f {
 			return geom.Interval{}, false
 		}
-		out = out.Intersect(s.X)
+		out = out.Intersect(geom.Interval{Lo: int(g.segLo[id]), Hi: int(g.segHi[id])})
 	}
 	if out.Empty() {
 		return geom.Interval{}, false

@@ -1,0 +1,288 @@
+// Package shard partitions a design into spatially disjoint
+// legalization subproblems: one region per drawn fence, plus the
+// default (fenceless) region optionally split into vertical slabs of
+// the die. The paper's fence-aware flow (Section 3) legalizes fence
+// regions independently — a cell of fence F may only occupy fence-F
+// segments, so the subproblems share no sites — and the slab split
+// extends the same disjointness to the default region by confining
+// each slab's cells behind complement blockages.
+//
+// A plan is a pure function of the design and the plan options: it
+// never depends on worker counts, timing or iteration order of any
+// map, so the sharded pipeline stays deterministic by construction
+// (the flow's Shards knob only sets how many plan regions legalize
+// concurrently, never what the regions are).
+package shard
+
+import (
+	"fmt"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+// Options tunes the plan geometry. The zero value picks defaults.
+type Options struct {
+	// SlabTargetCells is the aimed-for movable-cell count per
+	// default-region slab: the planner starts from
+	// ceil(defaultCells/SlabTargetCells) slabs and shrinks the count
+	// until every slab passes the width and utilization guards.
+	// 0 picks the default (250000); negative disables slabbing
+	// (the default region stays one piece).
+	SlabTargetCells int
+	// MaxSlabUtil caps the assigned-cell area of a slab as a fraction
+	// of its usable default-region area; cuts that would pack a slab
+	// tighter reduce the slab count. 0 picks the default (0.8).
+	MaxSlabUtil float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlabTargetCells == 0 {
+		o.SlabTargetCells = 250000
+	}
+	if o.MaxSlabUtil == 0 {
+		o.MaxSlabUtil = 0.8
+	}
+	return o
+}
+
+// Region is one independent subproblem of a plan.
+type Region struct {
+	// Name identifies the region in shard names, gate reports and
+	// observer events.
+	Name string
+	// Fence is the fence the region legalizes; DefaultFence for slabs.
+	Fence model.FenceID
+	// Span is the x-interval of the die the region may use. Drawn
+	// fences span the whole core (their rectangles already confine
+	// them); slabs carry their cut interval.
+	Span geom.Interval
+	// Cells lists the movable cells assigned to the region, in
+	// ascending CellID order.
+	Cells []model.CellID
+	// Blockages are the extra blockage rectangles confining the
+	// region's subdesign (the complement of Span for slabs, padded at
+	// interior seams by the maximum edge-spacing rule; nil for fences
+	// and single-slab plans).
+	Blockages []geom.Rect
+}
+
+// Plan is an ordered list of disjoint regions covering every movable
+// cell exactly once: drawn fences by ascending FenceID, then the
+// default-region slabs by ascending x.
+type Plan struct {
+	Regions []Region
+	// Slabs is the number of default-region slabs the plan settled on
+	// (0 when the design has no default-region movables).
+	Slabs int
+}
+
+// BuildPlan computes the shard plan of d over its segmentation grid.
+// The result depends only on (d, opt): regions, their order and their
+// cell lists are reproducible across runs and machines.
+func BuildPlan(d *model.Design, grid *seg.Grid, opt Options) Plan {
+	opt = opt.withDefaults()
+
+	// Partition movables by fence, ascending CellID within each.
+	byFence := make([][]model.CellID, len(d.Fences)+1)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		byFence[c.Fence] = append(byFence[c.Fence], model.CellID(i))
+	}
+
+	var plan Plan
+	core := d.Tech.CoreRect()
+	for f := 1; f <= len(d.Fences); f++ {
+		if len(byFence[f]) == 0 {
+			continue
+		}
+		plan.Regions = append(plan.Regions, Region{
+			Name:  fmt.Sprintf("fence%d-%s", f, d.Fences[f-1].Name),
+			Fence: model.FenceID(f),
+			Span:  core.XIv(),
+			Cells: byFence[f],
+		})
+	}
+
+	def := byFence[model.DefaultFence]
+	if len(def) == 0 {
+		return plan
+	}
+	slabs := planSlabs(d, grid, def, opt)
+	plan.Slabs = len(slabs)
+	plan.Regions = append(plan.Regions, slabs...)
+	return plan
+}
+
+// planSlabs cuts the default region into vertical slabs. It starts
+// from the cell-count target and reduces the slab count until every
+// slab passes the width and utilization guards; one slab (no cut, no
+// blockage) is always valid.
+func planSlabs(d *model.Design, grid *seg.Grid, def []model.CellID, opt Options) []Region {
+	nSites := d.Tech.NumSites
+	k0 := 1
+	if opt.SlabTargetCells > 0 {
+		k0 = (len(def) + opt.SlabTargetCells - 1) / opt.SlabTargetCells
+	}
+	if k0 > nSites {
+		k0 = nSites
+	}
+
+	// Per-column assigned area (site·rows) of default movables, keyed
+	// by the GP center column; its prefix sum drives balanced cuts.
+	colArea := make([]int64, nSites)
+	maxW := 0
+	for _, id := range def {
+		c := &d.Cells[id]
+		ct := &d.Types[c.Type]
+		col := c.GX + ct.Width/2
+		if col < 0 {
+			col = 0
+		}
+		if col >= nSites {
+			col = nSites - 1
+		}
+		colArea[col] += int64(ct.Width) * int64(ct.Height)
+		if ct.Width > maxW {
+			maxW = ct.Width
+		}
+	}
+	var total int64
+	for _, a := range colArea {
+		total += a
+	}
+
+	// Usable default-region width per column (rows of default-fence
+	// segments covering it), for the utilization guard.
+	colCap := make([]int64, nSites)
+	for _, s := range grid.Segs {
+		if s.Fence != model.DefaultFence {
+			continue
+		}
+		for x := s.X.Lo; x < s.X.Hi; x++ {
+			colCap[x]++
+		}
+	}
+
+	pad := d.Tech.MaxEdgeSpacing()
+	for k := k0; k > 1; k-- {
+		cuts, ok := cutColumns(colArea, total, k, maxW+2+pad)
+		if !ok {
+			continue
+		}
+		regions := assembleSlabs(d, def, cuts, pad)
+		if slabsFeasible(regions, colArea, colCap, pad, opt.MaxSlabUtil) {
+			return regions
+		}
+	}
+	return assembleSlabs(d, def, []int{0, nSites}, pad)
+}
+
+// cutColumns returns K+1 cut columns (including 0 and nSites) placing
+// roughly total/K assigned area in each slab, or ok=false when the
+// cuts cannot keep every slab at least minWidth wide.
+func cutColumns(colArea []int64, total int64, k, minWidth int) ([]int, bool) {
+	nSites := len(colArea)
+	cuts := make([]int, 0, k+1)
+	cuts = append(cuts, 0)
+	var acc int64
+	col := 0
+	for s := 1; s < k; s++ {
+		want := total * int64(s) / int64(k)
+		for col < nSites && acc < want {
+			acc += colArea[col]
+			col++
+		}
+		cuts = append(cuts, col)
+	}
+	cuts = append(cuts, nSites)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i]-cuts[i-1] < minWidth {
+			return nil, false
+		}
+	}
+	return cuts, true
+}
+
+// assembleSlabs builds the slab regions for the given cut columns:
+// cells are assigned by GP center column, spans and complement
+// blockages derive from the cuts. Cells inherit ascending-ID order
+// from def.
+func assembleSlabs(d *model.Design, def []model.CellID, cuts []int, pad int) []Region {
+	nSites, nRows := d.Tech.NumSites, d.Tech.NumRows
+	k := len(cuts) - 1
+	regions := make([]Region, k)
+	for s := 0; s < k; s++ {
+		regions[s] = Region{
+			Name:  fmt.Sprintf("slab%d", s),
+			Fence: model.DefaultFence,
+			Span:  geom.Interval{Lo: cuts[s], Hi: cuts[s+1]},
+		}
+		if k == 1 {
+			continue
+		}
+		// Complement blockages confine the slab's subdesign; interior
+		// left seams are padded by the maximum edge-spacing rule so
+		// cells of adjacent slabs can never violate spacing across a
+		// cut.
+		lo := cuts[s]
+		if s > 0 {
+			lo += pad
+		}
+		var bl []geom.Rect
+		if lo > 0 {
+			bl = append(bl, geom.Rect{XLo: 0, YLo: 0, XHi: lo, YHi: nRows})
+		}
+		if cuts[s+1] < nSites {
+			bl = append(bl, geom.Rect{XLo: cuts[s+1], YLo: 0, XHi: nSites, YHi: nRows})
+		}
+		regions[s].Blockages = bl
+	}
+	for _, id := range def {
+		c := &d.Cells[id]
+		col := c.GX + d.Types[c.Type].Width/2
+		if col < 0 {
+			col = 0
+		}
+		if col >= nSites {
+			col = nSites - 1
+		}
+		s := 0
+		for s+1 < k && col >= cuts[s+1] {
+			s++
+		}
+		regions[s].Cells = append(regions[s].Cells, id)
+	}
+	return regions
+}
+
+// slabsFeasible checks the utilization guard: every slab's assigned
+// area must fit under maxUtil of its usable (default-segment, pad-
+// reduced) area, and every slab must hold at least one cell span.
+func slabsFeasible(regions []Region, colArea, colCap []int64, pad int, maxUtil float64) bool {
+	for i := range regions {
+		r := &regions[i]
+		lo := r.Span.Lo
+		if i > 0 {
+			lo += pad
+		}
+		var assigned, capacity int64
+		for x := lo; x < r.Span.Hi; x++ {
+			capacity += colCap[x]
+		}
+		for x := r.Span.Lo; x < r.Span.Hi; x++ {
+			assigned += colArea[x]
+		}
+		if capacity == 0 && len(r.Cells) > 0 {
+			return false
+		}
+		if float64(assigned) > maxUtil*float64(capacity) {
+			return false
+		}
+	}
+	return true
+}

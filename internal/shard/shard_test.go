@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+	"mclegal/internal/seg"
+)
+
+func planDesign(nSites, nRows int) *model.Design {
+	return &model.Design{
+		Name: "plan",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: nSites, NumRows: nRows},
+		Types: []model.CellType{
+			{Name: "S1", Width: 2, Height: 1},
+			{Name: "D2", Width: 3, Height: 2},
+		},
+	}
+}
+
+func addMovable(d *model.Design, ti model.CellTypeID, gx, gy int, f model.FenceID) model.CellID {
+	d.Cells = append(d.Cells, model.Cell{
+		Name: "c", Type: ti, Fence: f, GX: gx, GY: gy, X: gx, Y: gy,
+	})
+	return model.CellID(len(d.Cells) - 1)
+}
+
+func buildGrid(t *testing.T, d *model.Design) *seg.Grid {
+	t.Helper()
+	g, err := seg.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPlanCoversEveryMovableOnce(t *testing.T) {
+	d := planDesign(100, 10)
+	d.Fences = []model.Fence{
+		{Name: "fa", Rects: []geom.Rect{geom.RectWH(0, 0, 20, 4)}},
+		{Name: "fb", Rects: []geom.Rect{geom.RectWH(60, 6, 20, 4)}},
+	}
+	for i := 0; i < 10; i++ {
+		addMovable(d, 0, 2*i, 1, 1)
+		addMovable(d, 0, 60+2*(i%5), 7, 2)
+		addMovable(d, 0, 30+2*i, 5, 0)
+	}
+	d.Cells = append(d.Cells, model.Cell{Name: "m", Type: 1, GX: 50, GY: 0, X: 50, Y: 0, Fixed: true})
+
+	plan := BuildPlan(d, buildGrid(t, d), Options{})
+	seen := make(map[model.CellID]int)
+	for _, r := range plan.Regions {
+		for _, id := range r.Cells {
+			seen[id]++
+			if d.Cells[id].Fixed {
+				t.Errorf("region %s contains fixed cell %d", r.Name, id)
+			}
+			if d.Cells[id].Fence != r.Fence {
+				t.Errorf("region %s (fence %d) contains cell of fence %d", r.Name, r.Fence, d.Cells[id].Fence)
+			}
+		}
+	}
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			continue
+		}
+		if seen[model.CellID(i)] != 1 {
+			t.Errorf("cell %d appears %d times in the plan", i, seen[model.CellID(i)])
+		}
+	}
+	// Regions: fence1, fence2, then the single default slab.
+	if len(plan.Regions) != 3 || plan.Slabs != 1 {
+		t.Fatalf("regions = %d slabs = %d", len(plan.Regions), plan.Slabs)
+	}
+	if plan.Regions[0].Name != "fence1-fa" || plan.Regions[1].Name != "fence2-fb" || plan.Regions[2].Name != "slab0" {
+		t.Errorf("region order/names wrong: %q %q %q",
+			plan.Regions[0].Name, plan.Regions[1].Name, plan.Regions[2].Name)
+	}
+}
+
+func TestPlanSkipsEmptyFences(t *testing.T) {
+	d := planDesign(100, 10)
+	d.Fences = []model.Fence{{Name: "empty", Rects: []geom.Rect{geom.RectWH(0, 0, 10, 2)}}}
+	addMovable(d, 0, 50, 5, 0)
+	plan := BuildPlan(d, buildGrid(t, d), Options{})
+	if len(plan.Regions) != 1 || plan.Regions[0].Fence != model.DefaultFence {
+		t.Fatalf("empty fence should produce no region: %+v", plan.Regions)
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	d := planDesign(400, 20)
+	for i := 0; i < 200; i++ {
+		addMovable(d, model.CellTypeID(i%2), (i*7)%390, (i*3)%18, 0)
+	}
+	grid := buildGrid(t, d)
+	opt := Options{SlabTargetCells: 50}
+	a := BuildPlan(d, grid, opt)
+	b := BuildPlan(d, grid, opt)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two plans of the same design differ")
+	}
+}
+
+func TestSlabSplitGeometry(t *testing.T) {
+	d := planDesign(400, 20)
+	for i := 0; i < 200; i++ {
+		addMovable(d, 0, (i*2)%396, i%20, 0)
+	}
+	grid := buildGrid(t, d)
+	plan := BuildPlan(d, grid, Options{SlabTargetCells: 50, MaxSlabUtil: 0.9})
+	if plan.Slabs < 2 {
+		t.Fatalf("expected a multi-slab plan, got %d slabs", plan.Slabs)
+	}
+	prevHi := 0
+	for i, r := range plan.Regions {
+		if r.Fence != model.DefaultFence {
+			t.Fatalf("unexpected fence region %q", r.Name)
+		}
+		if r.Span.Lo != prevHi {
+			t.Errorf("slab %d starts at %d, want %d (contiguous cover)", i, r.Span.Lo, prevHi)
+		}
+		prevHi = r.Span.Hi
+		// Complement blockages must cover exactly the outside of the span
+		// (plus the interior seam pad on the left).
+		for _, b := range r.Blockages {
+			if b.XLo < r.Span.Hi && b.XHi > r.Span.Lo {
+				overlap := geom.Interval{Lo: max(b.XLo, r.Span.Lo), Hi: min(b.XHi, r.Span.Hi)}
+				if i > 0 && b.XLo == 0 {
+					// Left complement: may eat the seam pad only.
+					if overlap.Hi-overlap.Lo > d.Tech.MaxEdgeSpacing() {
+						t.Errorf("slab %d left blockage intrudes %d sites", i, overlap.Hi-overlap.Lo)
+					}
+				} else if overlap.Hi > overlap.Lo {
+					t.Errorf("slab %d blockage %v overlaps span %v", i, b, r.Span)
+				}
+			}
+		}
+		// Cells are assigned by GP center column within the span.
+		for _, id := range r.Cells {
+			c := &d.Cells[id]
+			col := c.GX + d.Types[c.Type].Width/2
+			if col < r.Span.Lo || col >= r.Span.Hi {
+				t.Errorf("slab %d holds cell %d whose center col %d is outside %v", i, id, col, r.Span)
+			}
+		}
+	}
+	if prevHi != d.Tech.NumSites {
+		t.Errorf("slabs end at %d, want %d", prevHi, d.Tech.NumSites)
+	}
+}
+
+func TestSlabFallsBackToOnePiece(t *testing.T) {
+	// Everything crammed into a few columns: balanced cuts cannot keep
+	// the minimum slab width, so the planner settles on one slab.
+	d := planDesign(40, 4)
+	for i := 0; i < 40; i++ {
+		addMovable(d, 0, 10, i%4, 0)
+	}
+	plan := BuildPlan(d, buildGrid(t, d), Options{SlabTargetCells: 5})
+	if plan.Slabs != 1 {
+		t.Fatalf("want single-slab fallback, got %d slabs", plan.Slabs)
+	}
+	if plan.Regions[0].Blockages != nil {
+		t.Errorf("single slab must not carry blockages")
+	}
+	if got := len(plan.Regions[0].Cells); got != 40 {
+		t.Errorf("single slab holds %d of 40 cells", got)
+	}
+}
+
+func TestSlabbingDisabled(t *testing.T) {
+	d := planDesign(400, 20)
+	for i := 0; i < 100; i++ {
+		addMovable(d, 0, (i*4)%396, i%20, 0)
+	}
+	plan := BuildPlan(d, buildGrid(t, d), Options{SlabTargetCells: -1})
+	if plan.Slabs != 1 {
+		t.Fatalf("negative SlabTargetCells should disable slabbing, got %d slabs", plan.Slabs)
+	}
+}

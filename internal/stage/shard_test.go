@@ -1,0 +1,340 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mclegal/internal/geom"
+	"mclegal/internal/model"
+)
+
+// shardParent builds a legal parent design: 8 movables on distinct
+// sites plus one fixed cell the shards must never touch.
+func shardParent(t *testing.T) *model.Design {
+	t.Helper()
+	d := &model.Design{
+		Name: "sharded",
+		Tech: model.Tech{SiteW: 10, RowH: 80, NumSites: 60, NumRows: 6},
+		Types: []model.CellType{
+			{Name: "S1", Width: 2, Height: 1},
+		},
+	}
+	for i := 0; i < 8; i++ {
+		x, y := 4*i, i%3
+		d.Cells = append(d.Cells, model.Cell{
+			Name: "c", Type: 0, GX: x, GY: y, X: x, Y: y,
+		})
+	}
+	d.Cells = append(d.Cells, model.Cell{
+		Name: "blk", Type: 0, GX: 50, GY: 5, X: 50, Y: 5, Fixed: true,
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// twoShards splits the parent's movables into two disjoint halves.
+func twoShards(t *testing.T, d *model.Design) []Shard {
+	t.Helper()
+	a, err := model.NewSubdesign(d, "a", []model.CellID{0, 1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.NewSubdesign(d, "b", []model.CellID{4, 5, 6, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Shard{{Name: "a", Sub: a}, {Name: "b", Sub: b}}
+}
+
+// shiftMaker builds a one-stage pipeline per shard that shifts every
+// movable of the shard right by dx sites — a deterministic stand-in
+// for the real legalization stack.
+func shiftMaker(dx int) func(Shard) (*Pipeline, *PipelineContext, error) {
+	return func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		pc, err := NewContext(sh.Sub.Design, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		mov := sh.Sub.Movables
+		p := &Pipeline{Stages: []Stage{&fakeStage{
+			name: "shift",
+			onRun: func(pc *PipelineContext) {
+				for i := 0; i < mov; i++ {
+					pc.Design.Cells[i].X += dx
+				}
+			},
+		}}}
+		return p, pc, nil
+	}
+}
+
+// A sharded run must write every shard's movables back to the parent
+// and leave fixed cells untouched.
+func TestShardedRunMergesDisjointWrites(t *testing.T) {
+	d := shardParent(t)
+	sp := &ShardedPipeline{Workers: 2, Make: shiftMaker(1)}
+	results, report, err := sp.Run(context.Background(), d, twoShards(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Status != StatusLegal || len(report.Gates) != 0 {
+		t.Errorf("report = %+v", report)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil || r.Context == nil || len(r.Timings) != 1 {
+			t.Errorf("shard %s: err=%v ctx=%v timings=%d", r.Shard.Name, r.Err, r.Context, len(r.Timings))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if d.Cells[i].X != 4*i+1 {
+			t.Errorf("cell %d at %d, want %d", i, d.Cells[i].X, 4*i+1)
+		}
+	}
+	if blk := d.Cells[8]; blk.X != 50 || blk.Y != 5 {
+		t.Errorf("fixed cell moved to (%d,%d)", blk.X, blk.Y)
+	}
+}
+
+// The worker count is a pure concurrency knob: any value must produce
+// a byte-identical merged placement.
+func TestShardedRunWorkerCountInvariant(t *testing.T) {
+	var snaps [][]geom.Pt
+	for _, workers := range []int{1, 2, 7} {
+		d := shardParent(t)
+		sp := &ShardedPipeline{Workers: workers, Make: shiftMaker(2)}
+		if _, _, err := sp.Run(context.Background(), d, twoShards(t, d)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snaps = append(snaps, d.SnapshotXY())
+	}
+	for i := 1; i < len(snaps); i++ {
+		if !reflect.DeepEqual(snaps[0], snaps[i]) {
+			t.Fatalf("placement differs between worker counts")
+		}
+	}
+}
+
+// recordObserver collects events; the shard runner must serialize
+// callbacks (this test runs under -race) and prefix stage names.
+type recordObserver struct {
+	starts, finishes []string
+}
+
+func (o *recordObserver) StageStart(ev StartEvent)   { o.starts = append(o.starts, ev.Stage) }
+func (o *recordObserver) StageFinish(ev FinishEvent) { o.finishes = append(o.finishes, ev.Stage) }
+
+func TestShardedRunPrefixesAndSerializesObserver(t *testing.T) {
+	d := shardParent(t)
+	obs := &recordObserver{}
+	base := shiftMaker(1)
+	sp := &ShardedPipeline{Workers: 4, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		p, pc, err := base(sh)
+		if err == nil {
+			p.Observer = obs
+		}
+		return p, pc, err
+	}}
+	if _, _, err := sp.Run(context.Background(), d, twoShards(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.starts) != 2 || len(obs.finishes) != 2 {
+		t.Fatalf("events: %d starts, %d finishes", len(obs.starts), len(obs.finishes))
+	}
+	seen := map[string]bool{}
+	for _, s := range append(append([]string{}, obs.starts...), obs.finishes...) {
+		seen[s] = true
+		if !strings.HasPrefix(s, "a/") && !strings.HasPrefix(s, "b/") {
+			t.Errorf("stage name %q lacks shard prefix", s)
+		}
+	}
+	if !seen["a/shift"] || !seen["b/shift"] {
+		t.Errorf("missing prefixed events: %v", seen)
+	}
+}
+
+// The aggregated report takes the worst per-shard status and prefixes
+// gate entries with the shard name.
+func TestShardedRunAggregatesReports(t *testing.T) {
+	d := shardParent(t)
+	ok := shiftMaker(1)
+	sp := &ShardedPipeline{Workers: 2, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		if sh.Name != "b" {
+			return ok(sh)
+		}
+		pc, err := NewContext(sh.Sub.Design, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := &Pipeline{
+			Stages:    []Stage{&fakeStage{name: "prim", err: errors.New("boom")}},
+			Fallbacks: map[string]Stage{"prim": &fakeStage{name: "prim-fallback"}},
+			Recovery:  RecoverFallback,
+		}
+		return p, pc, nil
+	}}
+	results, report, err := sp.Run(context.Background(), d, twoShards(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Status != StatusRecovered {
+		t.Errorf("status = %v, want recovered", report.Status)
+	}
+	if len(report.Gates) != 1 || report.Gates[0].Stage != "b/prim" {
+		t.Errorf("gates = %+v", report.Gates)
+	}
+	if results[1].Report.Status != StatusRecovered {
+		t.Errorf("shard b status = %v", results[1].Report.Status)
+	}
+	// Shard a still merged its placement.
+	if d.Cells[0].X != 1 {
+		t.Errorf("shard a not merged: cell 0 at %d", d.Cells[0].X)
+	}
+}
+
+// A failing shard's error is attributed by name; healthy shards still
+// merge back.
+func TestShardedRunAttributesErrors(t *testing.T) {
+	d := shardParent(t)
+	sentinel := errors.New("shard exploded")
+	ok := shiftMaker(3)
+	sp := &ShardedPipeline{Workers: 2, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		if sh.Name != "b" {
+			return ok(sh)
+		}
+		pc, err := NewContext(sh.Sub.Design, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Pipeline{Stages: []Stage{&fakeStage{name: "prim", err: sentinel}}}, pc, nil
+	}}
+	results, _, err := sp.Run(context.Background(), d, twoShards(t, d))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "shard b:") {
+		t.Errorf("error not attributed: %v", err)
+	}
+	if results[1].Err == nil {
+		t.Error("shard b result has no error")
+	}
+	if d.Cells[0].X != 3 {
+		t.Errorf("healthy shard a not merged: cell 0 at %d", d.Cells[0].X)
+	}
+}
+
+// A Make failure is reported like a shard error, with a nil context.
+func TestShardedRunMakeFailure(t *testing.T) {
+	d := shardParent(t)
+	ok := shiftMaker(1)
+	sp := &ShardedPipeline{Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		if sh.Name == "a" {
+			return nil, nil, errors.New("no pipeline for you")
+		}
+		return ok(sh)
+	}}
+	results, _, err := sp.Run(context.Background(), d, twoShards(t, d))
+	if err == nil || !strings.Contains(err.Error(), "shard a: build pipeline:") {
+		t.Fatalf("err = %v", err)
+	}
+	if results[0].Context != nil {
+		t.Error("failed Make left a context")
+	}
+}
+
+// Cancellation surfaces as the plain context error, not a shard-
+// attributed one, and the placement of finished shards is kept.
+func TestShardedRunCancellation(t *testing.T) {
+	d := shardParent(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sp := &ShardedPipeline{Workers: 2, Make: shiftMaker(1)}
+	_, _, err := sp.Run(ctx, d, twoShards(t, d))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(err.Error(), "shard") {
+		t.Errorf("cancellation attributed to a shard: %v", err)
+	}
+}
+
+func settledShardGoroutines(base int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50 && n > base; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// The shard worker pool must be torn down on every Run return path:
+// normal completion, shard error, and cancellation.
+func TestShardedRunNoGoroutineLeak(t *testing.T) {
+	check := func(name string, run func(t *testing.T) error, wantErr bool) {
+		t.Helper()
+		before := runtime.NumGoroutine()
+		err := run(t)
+		if wantErr && err == nil {
+			t.Fatalf("%s: expected an error", name)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if after := settledShardGoroutines(before); after > before {
+			t.Errorf("%s: %d goroutines before Run, %d after — shard pool leaked",
+				name, before, after)
+		}
+	}
+
+	check("normal", func(t *testing.T) error {
+		d := shardParent(t)
+		sp := &ShardedPipeline{Workers: 4, Make: shiftMaker(1)}
+		_, _, err := sp.Run(context.Background(), d, twoShards(t, d))
+		return err
+	}, false)
+
+	check("error", func(t *testing.T) error {
+		d := shardParent(t)
+		ok := shiftMaker(1)
+		sp := &ShardedPipeline{Workers: 4, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+			if sh.Name == "b" {
+				return nil, nil, errors.New("boom")
+			}
+			return ok(sh)
+		}}
+		_, _, err := sp.Run(context.Background(), d, twoShards(t, d))
+		return err
+	}, true)
+
+	check("cancelled", func(t *testing.T) error {
+		d := shardParent(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		base := shiftMaker(1)
+		sp := &ShardedPipeline{Workers: 4, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+			p, pc, err := base(sh)
+			if err == nil {
+				// Cancel mid-run, from the first shard that gets going.
+				p.Stages = append([]Stage{&fakeStage{name: "trip", onRun: func(*PipelineContext) {
+					once.Do(cancel)
+				}}}, p.Stages...)
+			}
+			return p, pc, err
+		}}
+		_, _, err := sp.Run(ctx, d, twoShards(t, d))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled path: got %v, want context.Canceled", err)
+		}
+		return err
+	}, true)
+}

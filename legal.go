@@ -40,6 +40,7 @@ import (
 	"mclegal/internal/plot"
 	"mclegal/internal/route"
 	"mclegal/internal/seg"
+	"mclegal/internal/shard"
 	"mclegal/internal/stage"
 )
 
@@ -83,7 +84,17 @@ type (
 	Metrics = eval.Metrics
 	// Violations counts pin access/short and edge-spacing violations.
 	Violations = route.Violations
+	// ShardPlanOptions tunes the shard decomposition used when
+	// Options.Shards > 0 (slab size target, utilization guard).
+	ShardPlanOptions = shard.Options
+	// ShardOutcome is one shard's slice of a sharded Result.
+	ShardOutcome = flow.ShardOutcome
 )
+
+// ParseShards parses a -shards flag value: a non-negative shard
+// concurrency, or "auto" for the machine's CPU count; 0 selects the
+// monolithic path. Set the result as Options.Shards.
+func ParseShards(s string) (int, error) { return flow.ParseShards(s) }
 
 // Pipeline observability (see Options.Observer): observers receive a
 // StageStart event when a stage begins and a StageFinish event — with
@@ -214,6 +225,13 @@ func ContestBenches() []Bench { return bmark.ContestBenches() }
 
 // ISPDBenches lists the ISPD 2015-derived suite (paper Table 2).
 func ISPDBenches() []Bench { return bmark.ISPDBenches() }
+
+// ShardBenches lists the sharding suite (multi-fence synthetics up to
+// a million cells, sized for the shard-scaling sweep).
+func ShardBenches() []Bench { return bmark.ShardBenches() }
+
+// ShardDesign generates one shard-suite instance at the given scale.
+func ShardDesign(b Bench, scale float64) *Design { return bmark.ShardDesign(b, scale) }
 
 // ContestDesign generates one Table 1 instance at the given scale.
 func ContestDesign(b Bench, scale float64) *Design { return bmark.ContestDesign(b, scale) }
