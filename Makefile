@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vet-json race check bench bench-smoke bench-json clean fuzz faults
+.PHONY: all build test vet lint vet-json race check bench bench-smoke bench-json clean fuzz faults chaos
 
 all: check
 
@@ -40,10 +40,12 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Fuzz smoke: a bounded run of the .mcl parser fuzzer (the committed
-# seed corpus always runs as part of plain `go test`).
+# Fuzz smoke: bounded runs of the .mcl parser fuzzer and its
+# input-limits variant (the committed seed corpora always run as part
+# of plain `go test`).
 fuzz:
-	$(GO) test -run FuzzRead -fuzz FuzzRead -fuzztime 30s ./internal/bmark/
+	$(GO) test -run 'FuzzRead$$' -fuzz 'FuzzRead$$' -fuzztime 20s ./internal/bmark/
+	$(GO) test -run FuzzReadLimited -fuzz FuzzReadLimited -fuzztime 10s ./internal/bmark/
 
 # The fault-injection recovery suites under the race detector, as a
 # focused target: every injection point x every recovery policy must
@@ -52,6 +54,17 @@ fuzz:
 faults:
 	$(GO) test -race -run 'Gate|Recovery|Fallback|BestEffort|Strict|Panic|Inject|Fault' \
 		./internal/stage/ ./internal/flow/ ./internal/mgl/ ./internal/faults/
+
+# The server chaos suite under the race detector: seeded storms of
+# injected faults, deadline expiries, mid-request cancels and drains
+# against mclegald's serving layer, plus the endpoint and daemon
+# lifecycle tests. `race` (and therefore `check`) already covers these
+# as part of the whole suite; this is the focused loop for iterating
+# on the server.
+chaos:
+	$(GO) test -race -run 'Chaos|Drain|Overload|Panic|Deadline|Cancel|Shutdown' \
+		./internal/serve/ ./cmd/mclegald/
+	$(GO) test -race ./internal/serve/
 
 # The full gate: lint (vet + staticcheck + mclegal-vet) + build + the
 # whole suite under the race detector (includes the worker-count
@@ -77,6 +90,7 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchjson -mode mgl -out BENCH_mgl.json
 	$(GO) run ./cmd/benchjson -mode shard -out BENCH_shard.json
+	$(GO) run ./cmd/benchjson -mode serve -out BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

@@ -7,11 +7,14 @@
 //
 //	benchjson [-out BENCH_mgl.json] [-scale 0.01] [-workers 1,2,4,8]
 //	benchjson -mode shard [-out BENCH_shard.json] [-shards 1,2,4]
+//	benchjson -mode serve [-out BENCH_serve.json]
 //
 // The default mode sweeps MGL worker counts on a fixed instance; the
 // shard mode sweeps the shard concurrency of the fence/slab-sharded
 // pipeline on a multi-fence instance and records the per-shard
-// wall-clock breakdown of the plan.
+// wall-clock breakdown of the plan; the serve mode profiles the
+// legalization server end to end over an in-process HTTP server and
+// records per-endpoint request-latency percentiles (p50/p90/p99/max).
 //
 // The recorded environment (numcpu, per-run gomaxprocs, goversion)
 // travels with the numbers: speedup figures are only meaningful
@@ -136,8 +139,15 @@ func run(args []string, stdout io.Writer) int {
 		rep := sweepShards(counts, *scale)
 		buf = marshal(rep)
 		summary = fmt.Sprintf("%s, %d cells, %d CPUs", rep.Design, rep.Cells, rep.NumCPU)
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		rep := sweepServe(*scale)
+		buf = marshal(rep)
+		summary = fmt.Sprintf("%s, %d cells, %d CPUs", rep.Design, rep.Cells, rep.NumCPU)
 	default:
-		log.Printf("-mode must be mgl or shard, got %q", *mode)
+		log.Printf("-mode must be mgl, shard or serve, got %q", *mode)
 		return 2
 	}
 

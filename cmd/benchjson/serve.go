@@ -1,0 +1,167 @@
+package main
+
+import (
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mclegal"
+	"mclegal/internal/serve"
+)
+
+// serveRun is the latency profile of one endpoint under the serve
+// sweep: Requests samples at the given client concurrency, with
+// percentiles over per-request wall-clock latency.
+type serveRun struct {
+	Endpoint    string `json:"endpoint"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	// Errors counts non-2xx responses and transport failures; a healthy
+	// sweep has zero.
+	Errors int   `json:"errors"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+}
+
+type serveReport struct {
+	Bench       string     `json:"bench"`
+	Design      string     `json:"design"`
+	Scale       float64    `json:"scale"`
+	Cells       int        `json:"cells"`
+	MaxInflight int        `json:"max_inflight"`
+	NumCPU      int        `json:"numcpu"`
+	GoVersion   string     `json:"goversion"`
+	Runs        []serveRun `json:"runs"`
+}
+
+// sweepServe profiles the legalization server end to end: an
+// in-process httptest server with one resident design, driven over
+// real HTTP. Rows cover the cheap control-plane endpoints, the three
+// run endpoints (legalize both unsharded and sharded), and a
+// concurrent-client legalize row that exercises the admission path.
+func sweepServe(scale float64) serveReport {
+	bench := mclegal.ISPDBenches()[6] // fft_a, same instance as the MGL sweep
+	base := mclegal.ISPDDesign(bench, scale)
+
+	s := serve.New(serve.Config{MaxInflight: 8, Workers: 1})
+	s.AddDesign("bench", base.Clone())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep := serveReport{
+		Bench:       "ServeLatency",
+		Design:      bench.Name,
+		Scale:       scale,
+		Cells:       base.MovableCount(),
+		MaxInflight: 8,
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+	}
+
+	for _, target := range []struct {
+		name, method, path string
+		reqs, conc         int
+	}{
+		{"healthz", http.MethodGet, "/healthz", 200, 1},
+		{"designs-list", http.MethodGet, "/designs", 100, 1},
+		{"audit", http.MethodPost, "/audit/bench", 30, 1},
+		{"evaluate", http.MethodPost, "/evaluate/bench", 30, 1},
+		{"legalize", http.MethodPost, "/legalize/bench", 10, 1},
+		{"legalize-sharded", http.MethodPost, "/legalize/bench?shards=2", 10, 1},
+		{"legalize-concurrent", http.MethodPost, "/legalize/bench", 16, 4},
+	} {
+		rr := measureEndpoint(ts.URL, target.method, target.path, target.reqs, target.conc)
+		rr.Endpoint = target.name
+		rep.Runs = append(rep.Runs, rr)
+		log.Printf("%-20s %5d reqs x%d  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  max %8.2fms  errs %d",
+			rr.Endpoint, rr.Requests, rr.Concurrency,
+			float64(rr.P50Ns)/1e6, float64(rr.P90Ns)/1e6, float64(rr.P99Ns)/1e6,
+			float64(rr.MaxNs)/1e6, rr.Errors)
+	}
+	return rep
+}
+
+// measureEndpoint fires reqs requests at the endpoint from conc
+// concurrent clients and aggregates per-request latencies.
+func measureEndpoint(baseURL, method, path string, reqs, conc int) serveRun {
+	var mu sync.Mutex
+	lat := make([]int64, 0, reqs)
+	errs := 0
+
+	work := make(chan struct{}, reqs)
+	for i := 0; i < reqs; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				start := time.Now()
+				req, err := http.NewRequest(method, baseURL+path, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				ok := err == nil
+				if ok {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ok = resp.StatusCode < 300
+				}
+				ns := time.Since(start).Nanoseconds()
+				mu.Lock()
+				lat = append(lat, ns)
+				if !ok {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum int64
+	for _, ns := range lat {
+		sum += ns
+	}
+	rr := serveRun{
+		Requests:    len(lat),
+		Concurrency: conc,
+		Errors:      errs,
+		P50Ns:       percentile(lat, 0.50),
+		P90Ns:       percentile(lat, 0.90),
+		P99Ns:       percentile(lat, 0.99),
+	}
+	if n := len(lat); n > 0 {
+		rr.MaxNs = lat[n-1]
+		rr.MeanNs = sum / int64(n)
+	}
+	return rr
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample
+// (nearest-rank method).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}

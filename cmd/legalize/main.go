@@ -16,6 +16,9 @@
 //	   the result is legal
 //	4  best-effort recovery was exhausted; the written result is the
 //	   best known state but NOT verified legal
+//	5  the -timeout budget expired mid-run (deadline exceeded) — a
+//	   distinct failure class from 1: the input may be fine, the run
+//	   just needs more time
 package main
 
 import (
@@ -36,6 +39,7 @@ const (
 	exitUsage     = 2
 	exitRecovered = 3
 	exitPartial   = 4
+	exitDeadline  = 5
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -130,6 +134,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gate: %s\n", g.String())
 	}
 	if err != nil {
+		var de *mclegal.DeadlineError
+		if errors.As(err, &de) {
+			lg.Printf("deadline exceeded: -timeout %v expired after %v of work", *timeout, de.Elapsed)
+			return exitDeadline
+		}
 		var ge *mclegal.GateError
 		if errors.As(err, &ge) {
 			lg.Printf("stage %s failed its legality gate: %v", ge.Report.Stage, err)

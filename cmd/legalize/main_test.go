@@ -101,3 +101,17 @@ func TestRunMonolithicHasNoShardSection(t *testing.T) {
 		t.Errorf("monolithic run printed a shard section:\n%s", out.String())
 	}
 }
+
+// -timeout expiry is a distinct outcome from generic failure: the CLI
+// must report it on the dedicated deadline exit code.
+func TestRunTimeoutExitsDeadline(t *testing.T) {
+	path := writeBench(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-i", path, "-timeout", "1ns"}, &out, &errb)
+	if code != exitDeadline {
+		t.Fatalf("run = %d, want %d (stderr: %s)", code, exitDeadline, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deadline exceeded") {
+		t.Errorf("stderr %q does not name the deadline", errb.String())
+	}
+}

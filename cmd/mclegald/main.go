@@ -1,0 +1,172 @@
+// mclegald is the legalization server: it holds parsed .mcl designs
+// resident in memory and serves concurrent legalize, evaluate and
+// audit requests over HTTP (see docs/ROBUSTNESS.md, "Serving").
+//
+// Usage:
+//
+//	mclegald [-addr :8765] [-max-inflight 4] [-timeout 1m]
+//	         [-max-timeout 5m] [-grace 30s] [-max-bytes 67108864]
+//	         [-max-count 4194304] [-workers 0] [-shards 0]
+//	         [-design name=path.mcl]...
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness (always 200 while the process runs)
+//	GET    /readyz               readiness (503 once draining)
+//	GET    /designs              list resident designs
+//	POST   /designs/{name}       store the .mcl request body as a resident design
+//	GET    /designs/{name}       fetch a resident design as .mcl
+//	DELETE /designs/{name}       drop a resident design
+//	POST   /legalize[/{name}]    legalize the body (or resident {name}); .mcl out
+//	POST   /evaluate[/{name}]    score the body (or resident {name}); JSON out
+//	POST   /audit[/{name}]       audit legality; JSON out
+//
+// Run options ride query parameters (?routability=1&total=1&verify=0
+// &recovery=strict|fallback|besteffort&shards=N|auto&workers=N
+// &timeout=30s); failures come back as JSON {"error":{"kind":...}}
+// with matching HTTP status codes.
+//
+// SIGTERM/SIGINT drain gracefully: the server stops accepting work,
+// in-flight runs get -grace to finish, and whatever is still running
+// when the grace expires is cancelled and answers its client with a
+// typed partial-result error before the process exits.
+//
+// Exit codes:
+//
+//	0  clean shutdown: every in-flight request finished inside -grace
+//	1  server failure (bad listen address, unreadable -design preload)
+//	2  usage error
+//	3  forced drain: -grace expired and in-flight runs were cancelled
+//	   (each still answered its client with a typed error)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/model"
+	"mclegal/internal/serve"
+)
+
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitForcedDrain = 3
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mclegald", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8765", "listen address (host:port; :0 picks a free port)")
+		maxInflight = fs.Int("max-inflight", 4, "concurrent run requests admitted; beyond this the server answers 429 + Retry-After")
+		timeout     = fs.Duration("timeout", time.Minute, "default per-request deadline budget")
+		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested ?timeout budgets")
+		grace       = fs.Duration("grace", 30*time.Second, "drain grace: how long in-flight runs get to finish on SIGTERM")
+		maxBytes    = fs.Int64("max-bytes", 64<<20, "request-body byte limit for .mcl parsing")
+		maxCount    = fs.Int("max-count", 4<<20, "per-section entity-count limit for .mcl parsing")
+		workers     = fs.Int("workers", 0, "default MGL worker threads per run (0 = all cores)")
+		shards      = fs.Int("shards", 0, "default shard concurrency per run (0 = monolithic)")
+	)
+	preload := map[string]string{}
+	fs.Func("design", "preload a resident design as name=path.mcl (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("-design wants name=path.mcl, got %q", v)
+		}
+		preload[name] = path
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lg := log.New(stderr, "mclegald: ", 0)
+	if *maxInflight <= 0 || *timeout <= 0 || *maxTimeout <= 0 || *grace <= 0 {
+		lg.Print("-max-inflight, -timeout, -max-timeout and -grace must be positive")
+		return exitUsage
+	}
+
+	s := serve.New(serve.Config{
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Limits:         bmark.Limits{MaxBytes: *maxBytes, MaxCount: *maxCount},
+		Workers:        *workers,
+		Shards:         *shards,
+	})
+	// Preload in sorted order so startup logs are deterministic.
+	names := make([]string, 0, len(preload))
+	for name := range preload {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d, err := readDesignFile(preload[name])
+		if err != nil {
+			lg.Printf("preload %s: %v", name, err)
+			return exitFailed
+		}
+		s.AddDesign(name, d)
+		lg.Printf("resident design %q: %d cells", name, len(d.Cells))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		lg.Print(err)
+		return exitFailed
+	}
+	fmt.Fprintf(stdout, "mclegald listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigs)
+
+	drained := make(chan error, 1)
+	go func() {
+		<-sigs
+		lg.Printf("draining (grace %v)", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		derr := s.Drain(ctx)
+		// By now every run is finished or cancelled; Shutdown just
+		// closes the listener and idle connections.
+		_ = srv.Shutdown(ctx)
+		drained <- derr
+	}()
+
+	if serr := srv.Serve(ln); serr != http.ErrServerClosed {
+		lg.Print(serr)
+		return exitFailed
+	}
+	if derr := <-drained; derr != nil {
+		lg.Printf("forced drain: in-flight runs were cancelled (%v)", derr)
+		return exitForcedDrain
+	}
+	lg.Print("drained cleanly")
+	return exitOK
+}
+
+func readDesignFile(path string) (*model.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bmark.Read(f)
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mclegal/internal/bmark"
+)
+
+// syncBuffer lets the test read run's stdout while run is still
+// writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (\S+)`)
+
+// waitForAddr polls stdout for the bound listen address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func writeBench(t *testing.T) string {
+	t.Helper()
+	d := bmark.Generate(bmark.Params{
+		Name: "mclegald-test", Seed: 5, Counts: [4]int{40, 6, 1, 1},
+		Density: 0.5, NumFences: 1, FenceFrac: 0.5, NetFrac: 0.5,
+	})
+	path := filepath.Join(t.TempDir(), "d.mcl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bmark.Write(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The full daemon lifecycle: boot with a preloaded design, serve
+// health and legalization requests over real HTTP, then drain cleanly
+// on SIGTERM and exit 0.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	path := writeBench(t)
+	var stdout syncBuffer
+	var stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-grace", "30s",
+			"-design", "alpha=" + path,
+		}, &stdout, &stderr)
+	}()
+	addr := waitForAddr(t, &stdout)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	leg, err := http.Post(base+"/legalize/alpha", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(leg.Body)
+	leg.Body.Close()
+	if leg.StatusCode != http.StatusOK {
+		t.Fatalf("legalize/alpha = %d: %s", leg.StatusCode, body)
+	}
+	if st := leg.Header.Get("X-Mclegal-Status"); st != "legal" {
+		t.Errorf("X-Mclegal-Status = %q, want legal", st)
+	}
+	if _, err := bmark.Read(bytes.NewReader(body)); err != nil {
+		t.Errorf("response body is not a readable design: %v", err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit code = %d, want %d; stderr: %s", code, exitOK, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("stderr lacks the clean-drain line: %q", stderr.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb syncBuffer
+	for _, args := range [][]string{
+		{"-max-inflight", "0"},
+		{"-grace", "-1s"},
+		{"-design", "nopath"},
+	} {
+		if code := run(args, &out, &errb); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestPreloadFailure(t *testing.T) {
+	var out, errb syncBuffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-design", "x=/does/not/exist.mcl"}, &out, &errb); code != exitFailed {
+		t.Errorf("missing preload file: run = %d, want %d", code, exitFailed)
+	}
+}

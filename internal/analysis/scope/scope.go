@@ -18,6 +18,10 @@ var DeterministicCore = []string{
 	"internal/flow",
 	"internal/stage",
 	"internal/shard",
+	// The serving layer answers identical requests with byte-identical
+	// placements, so it is held to the same no-wallclock/no-map-order
+	// rules as the pipeline it wraps.
+	"internal/serve",
 }
 
 // FloatCritical lists the packages where float64 equality comparisons
@@ -35,6 +39,10 @@ var FloatCritical = []string{
 // docs/ROBUSTNESS.md rather than bare fmt.Errorf values.
 var GateBoundary = []string{
 	"internal/stage",
+	// The server's wire errors are the same taxonomy one layer out:
+	// every failure a client sees must be a typed Error, never a bare
+	// errors.New/fmt.Errorf value.
+	"internal/serve",
 }
 
 // CancellationAware lists the packages where a context.Context, once
@@ -50,6 +58,9 @@ var CancellationAware = []string{
 	"internal/stage",
 	"internal/shard",
 	"internal/mcf",
+	// Request handlers thread the per-request context (deadline budget,
+	// client cancellation, drain) into every run they start.
+	"internal/serve",
 }
 
 // HotPathClosure lists every package the //mclegal:hotpath call tree

@@ -158,10 +158,86 @@ const (
 	ModeLenient
 )
 
+// Limits bounds what a Read consumes from an untrusted reader — a
+// network request body, say — so an oversized input fails with a typed
+// *LimitError instead of exhausting memory. The zero value imposes no
+// limits (the historical behavior for trusted local files).
+type Limits struct {
+	// MaxBytes caps the total bytes read from the input (0 = no cap).
+	// An input of exactly MaxBytes still parses; the first byte beyond
+	// it fails the read.
+	MaxBytes int64
+	// MaxCount caps every section count header (cells, nets, types,
+	// fences, blockages, iopins, spacing; 0 = no cap). A header
+	// declaring more items than MaxCount fails before any of the items
+	// are consumed.
+	MaxCount int
+}
+
+// LimitError is the typed error Read fails with when an input exceeds
+// a configured limit.
+type LimitError struct {
+	// What names the exceeded limit: "bytes" or the section keyword
+	// whose count was over the cap.
+	What string
+	// Limit is the configured bound; Actual is the observed value (for
+	// "bytes" it is the byte position at which the cap was hit).
+	Limit  int64
+	Actual int64
+}
+
+func (e *LimitError) Error() string {
+	if e.What == "bytes" {
+		return fmt.Sprintf("bmark: input exceeds %d-byte limit", e.Limit)
+	}
+	return fmt.Sprintf("bmark: %s count %d exceeds limit %d", e.What, e.Actual, e.Limit)
+}
+
+// ReadOption customizes ReadWithMode; see WithLimits.
+type ReadOption func(*parser)
+
+// WithLimits applies input-size limits to a read.
+func WithLimits(l Limits) ReadOption {
+	return func(p *parser) { p.limits = l }
+}
+
+// cappedReader yields at most limit bytes, then fails with a typed
+// *LimitError on the first byte beyond the cap — but still reports a
+// clean EOF for inputs of exactly limit bytes.
+type cappedReader struct {
+	r     io.Reader
+	n     int64
+	limit int64
+	// hit records that excess data was seen, so Read's caller can
+	// prefer the limit error over whatever parse error the truncation
+	// provoked first.
+	hit bool
+}
+
+func (cr *cappedReader) Read(p []byte) (int, error) {
+	if rem := cr.limit - cr.n; rem <= 0 {
+		// Probe: only actual excess data is an error; EOF exactly at
+		// the cap is a legal input.
+		var b [1]byte
+		n, err := cr.r.Read(b[:])
+		if n > 0 {
+			cr.hit = true
+			return 0, &LimitError{What: "bytes", Limit: cr.limit, Actual: cr.limit + 1}
+		}
+		return 0, err
+	} else if int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 type parser struct {
-	sc   *bufio.Scanner
-	line int
-	mode ReadMode
+	sc     *bufio.Scanner
+	line   int
+	mode   ReadMode
+	limits Limits
 }
 
 func (p *parser) next() ([]string, error) {
@@ -174,6 +250,10 @@ func (p *parser) next() ([]string, error) {
 		return strings.Fields(s), nil
 	}
 	if err := p.sc.Err(); err != nil {
+		var le *LimitError
+		if errors.As(err, &le) {
+			return nil, le // already carries the "bmark:" prefix
+		}
 		return nil, fmt.Errorf("bmark: line %d: %w", p.line, err)
 	}
 	return nil, fmt.Errorf("bmark: line %d: %w", p.line, io.ErrUnexpectedEOF)
@@ -232,6 +312,9 @@ func (p *parser) count(keyword string) (int, error) {
 	if n < 0 {
 		return 0, p.errf("%s: negative count %d", keyword, n)
 	}
+	if p.limits.MaxCount > 0 && n > p.limits.MaxCount {
+		return 0, &LimitError{What: keyword, Limit: int64(p.limits.MaxCount), Actual: int64(n)}
+	}
 	return n, nil
 }
 
@@ -240,13 +323,43 @@ func Read(r io.Reader) (*model.Design, error) {
 	return ReadWithMode(r, ModeStrict)
 }
 
-// ReadWithMode parses a .mcl design with the given tolerance mode.
-// Errors carry the 1-based line number they were detected on.
-func ReadWithMode(r io.Reader, mode ReadMode) (*model.Design, error) {
+// ReadWithMode parses a .mcl design with the given tolerance mode and
+// optional input limits (WithLimits). Errors carry the 1-based line
+// number they were detected on; limit violations are typed
+// *LimitError values (wrapped, so use errors.As).
+func ReadWithMode(r io.Reader, mode ReadMode, opts ...ReadOption) (*model.Design, error) {
+	p := &parser{mode: mode}
+	for _, o := range opts {
+		o(p)
+	}
+	var cr *cappedReader
+	if p.limits.MaxBytes > 0 {
+		cr = &cappedReader{r: r, limit: p.limits.MaxBytes}
+		r = cr
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), 1<<24)
-	p := &parser{sc: sc, mode: mode}
+	p.sc = sc
 
+	d, err := p.readDesign()
+	if err != nil && cr != nil && cr.hit {
+		// A byte-capped input is cut at an arbitrary point, so the
+		// parser usually trips over the truncated tail before it sees
+		// the reader's error. The limit is the root cause; it wins over
+		// the incidental parse error.
+		var le *LimitError
+		if !errors.As(err, &le) {
+			err = &LimitError{What: "bytes", Limit: cr.limit, Actual: cr.limit + 1}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readDesign is the parse proper, over the parser's configured scanner.
+func (p *parser) readDesign() (*model.Design, error) {
 	f, err := p.next()
 	if err != nil {
 		return nil, err

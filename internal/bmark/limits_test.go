@@ -1,0 +1,112 @@
+package bmark
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func limitsBench(t testing.TB) []byte {
+	t.Helper()
+	d := Generate(Params{
+		Name: "limits", Seed: 7, Counts: [4]int{20, 4, 1, 1}, Density: 0.5,
+		NumFences: 1, FenceFrac: 0.5, NetFrac: 0.5, IOPins: 2, Routability: true,
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// An input of exactly MaxBytes still parses; one byte less fails with a
+// typed *LimitError. The boundary matters for servers that size the cap
+// to their request-body limit.
+func TestReadMaxBytesBoundary(t *testing.T) {
+	data := limitsBench(t)
+	if _, err := ReadWithMode(bytes.NewReader(data), ModeStrict,
+		WithLimits(Limits{MaxBytes: int64(len(data))})); err != nil {
+		t.Fatalf("input exactly at the byte cap rejected: %v", err)
+	}
+	_, err := ReadWithMode(bytes.NewReader(data), ModeStrict,
+		WithLimits(Limits{MaxBytes: int64(len(data)) - 1}))
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %T %v, want *LimitError", err, err)
+	}
+	if le.What != "bytes" || le.Limit != int64(len(data))-1 {
+		t.Errorf("LimitError = %+v, want bytes/%d", le, len(data)-1)
+	}
+	if !strings.HasPrefix(err.Error(), "bmark:") {
+		t.Errorf("limit error lacks bmark prefix: %v", err)
+	}
+}
+
+// A section header declaring more items than MaxCount fails typed
+// before any of the declared items are consumed.
+func TestReadMaxCountRejectsOversizedSection(t *testing.T) {
+	data := limitsBench(t)
+	_, err := ReadWithMode(bytes.NewReader(data), ModeStrict,
+		WithLimits(Limits{MaxCount: 3}))
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %T %v, want *LimitError", err, err)
+	}
+	if le.What == "bytes" || le.What == "" {
+		t.Errorf("What = %q, want a section keyword", le.What)
+	}
+	if le.Limit != 3 || le.Actual <= 3 {
+		t.Errorf("LimitError = %+v, want limit 3 and actual > 3", le)
+	}
+	if !strings.HasPrefix(err.Error(), "bmark:") {
+		t.Errorf("limit error lacks bmark prefix: %v", err)
+	}
+}
+
+// The zero Limits value (and plain ReadWithMode with no options) is the
+// historical unlimited behavior.
+func TestReadZeroLimitsUnlimited(t *testing.T) {
+	data := limitsBench(t)
+	if _, err := ReadWithMode(bytes.NewReader(data), ModeStrict,
+		WithLimits(Limits{})); err != nil {
+		t.Fatalf("zero limits rejected a valid design: %v", err)
+	}
+	// A count cap generous enough for every section is inert too.
+	if _, err := ReadWithMode(bytes.NewReader(data), ModeStrict,
+		WithLimits(Limits{MaxBytes: 1 << 20, MaxCount: 1 << 20})); err != nil {
+		t.Fatalf("generous limits rejected a valid design: %v", err)
+	}
+}
+
+// FuzzReadLimited drives the limited read path. Invariants: never
+// panics, every failure keeps the "bmark:" prefix, and limits only
+// restrict — anything a limited read accepts, an unlimited read accepts
+// identically.
+func FuzzReadLimited(f *testing.F) {
+	valid := limitsBench(f)
+	f.Add(valid, int64(0), 0)
+	f.Add(valid, int64(len(valid)), 1<<20)
+	f.Add(valid, int64(10), 0)           // byte cap mid-header
+	f.Add(valid, int64(len(valid)-1), 0) // byte cap one short
+	f.Add(valid, int64(0), 3)            // count cap under the cell count
+	f.Add([]byte("MCLEGAL 1\nname x\n"), int64(5), 2)
+	f.Add([]byte("cells 99999999999999999999"), int64(64), 4)
+
+	f.Fuzz(func(t *testing.T, data []byte, maxBytes int64, maxCount int) {
+		lim := Limits{MaxBytes: maxBytes, MaxCount: maxCount}
+		d, err := ReadWithMode(bytes.NewReader(data), ModeLenient, WithLimits(lim))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "bmark:") {
+				t.Fatalf("error without bmark prefix: %v", err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatal("nil design without error")
+		}
+		if _, uerr := ReadWithMode(bytes.NewReader(data), ModeLenient); uerr != nil {
+			t.Fatalf("unlimited read rejected a limited-accepted input: %v", uerr)
+		}
+	})
+}

@@ -68,8 +68,9 @@ type arm struct {
 // only on per-point hit counts, so runs with deterministic hit
 // sequences produce deterministic faults.
 type Injector struct {
-	mu   sync.Mutex
-	arms map[Point]*arm
+	mu    sync.Mutex
+	arms  map[Point]*arm
+	forks map[int]*Injector
 }
 
 // New returns an empty (inert) injector; arm points to make it bite.
@@ -89,6 +90,36 @@ func (in *Injector) ArmN(p Point, skip, count int) *Injector {
 	}
 	in.arms[p] = &arm{skip: skip, limit: count}
 	return in
+}
+
+// Fork returns the injector's child for one shard of a sharded run:
+// an injector with the same armed points but fully independent hit and
+// fire counters. Hit counts inside one shard's pipeline are
+// deterministic (each shard legalizes its own subdesign), so keying
+// the fork by plan index makes the injected behavior a function of the
+// shard plan alone — never of how shards happened to be scheduled
+// across workers. Forking the same index again returns the same child,
+// so tests can inspect per-shard counters after the run. Children copy
+// the arm configuration at first-fork time; re-arming the parent later
+// does not reach existing forks. A nil injector forks to nil.
+func (in *Injector) Fork(shard int) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f := in.forks[shard]; f != nil {
+		return f
+	}
+	f := &Injector{arms: make(map[Point]*arm, len(in.arms))}
+	for p, a := range in.arms {
+		f.arms[p] = &arm{skip: a.skip, limit: a.limit}
+	}
+	if in.forks == nil {
+		in.forks = make(map[int]*Injector)
+	}
+	in.forks[shard] = f
+	return f
 }
 
 // ShouldFire records one hit at p and reports whether the fault fires.

@@ -130,3 +130,69 @@ func TestArmedLists(t *testing.T) {
 		t.Errorf("armed = %v", pts)
 	}
 }
+
+// Fork gives every shard independent deterministic counters: firing a
+// point on one fork must not consume another fork's (or the parent's)
+// shots, and re-forking an index returns the same child so tests can
+// read its counters after a run.
+func TestForkIndependentCounters(t *testing.T) {
+	parent := New().ArmN(MGLWorkerPanic, 1, 1) // skip 1, fire 1 — per fork
+	f0, f1 := parent.Fork(0), parent.Fork(1)
+	if f0 == nil || f1 == nil || f0 == f1 {
+		t.Fatalf("forks = %p, %p", f0, f1)
+	}
+	for _, f := range []*Injector{f0, f1} {
+		if f.ShouldFire(MGLWorkerPanic) {
+			t.Error("fork fired on the skipped first hit")
+		}
+		if !f.ShouldFire(MGLWorkerPanic) {
+			t.Error("fork did not fire on its second hit")
+		}
+		if f.ShouldFire(MGLWorkerPanic) {
+			t.Error("fork fired past its limit")
+		}
+	}
+	if f0.Fired(MGLWorkerPanic) != 1 || f1.Fired(MGLWorkerPanic) != 1 {
+		t.Errorf("fired = %d, %d; want 1, 1", f0.Fired(MGLWorkerPanic), f1.Fired(MGLWorkerPanic))
+	}
+	if parent.Hits(MGLWorkerPanic) != 0 || parent.Fired(MGLWorkerPanic) != 0 {
+		t.Error("fork hits leaked into the parent's counters")
+	}
+	if parent.Fork(0) != f0 {
+		t.Error("re-forking index 0 built a new child")
+	}
+}
+
+// A nil injector forks to nil, preserving the nil-is-inert contract at
+// every shard boundary.
+func TestForkNil(t *testing.T) {
+	var in *Injector
+	f := in.Fork(3)
+	if f != nil {
+		t.Fatalf("nil.Fork = %v, want nil", f)
+	}
+	if f.ShouldFire(MGLWorkerPanic) || f.Err(MGLWorkerPanic) != nil {
+		t.Error("nil fork is not inert")
+	}
+}
+
+// Forks copy the arm configuration but keep the armed-point set: a
+// fork of an injector with two armed points lists both, with fresh
+// counters.
+func TestForkCopiesArms(t *testing.T) {
+	parent := New().Arm(RefineInfeasible).ArmN(MatchingFail, 0, -1)
+	parent.ShouldFire(RefineInfeasible) // consume the parent's only shot
+	f := parent.Fork(0)
+	pts := f.Armed()
+	if len(pts) != 2 {
+		t.Fatalf("fork armed = %v", pts)
+	}
+	if !f.ShouldFire(RefineInfeasible) {
+		t.Error("fork inherited the parent's spent counter")
+	}
+	for i := 0; i < 3; i++ {
+		if !f.ShouldFire(MatchingFail) {
+			t.Error("unlimited arm did not survive the fork")
+		}
+	}
+}

@@ -137,3 +137,40 @@ func (c stageStartCanceller) StageStart(ev stage.StartEvent) {
 }
 
 func (c stageStartCanceller) StageFinish(stage.FinishEvent) {}
+
+// A run whose context *deadline* expires must fail with the typed
+// *DeadlineError — distinguishable from an explicit cancellation —
+// while errors.Is still sees context.DeadlineExceeded through Unwrap.
+func TestDeadlineSurfacesTypedError(t *testing.T) {
+	d := cancelBench(53)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := RunContext(ctx, d, Options{Workers: 1})
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T %v, want *flow.DeadlineError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("DeadlineError does not unwrap to context.DeadlineExceeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("deadline expiry claims to be an explicit cancellation")
+	}
+}
+
+// An explicit cancellation must NOT be reported as a DeadlineError,
+// even when the context also carries a (future) deadline.
+func TestExplicitCancelIsNotDeadline(t *testing.T) {
+	d := cancelBench(54)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	cancel()
+	_, err := RunContext(ctx, d, Options{Workers: 1})
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		t.Fatalf("explicit cancel surfaced as DeadlineError: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -11,6 +11,7 @@ package flow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -78,7 +79,10 @@ type Options struct {
 	Recovery stage.RecoveryPolicy
 	// Faults is the optional deterministic fault-injection harness
 	// consulted at the pipeline's injection points; see
-	// internal/faults. Nil (the default) disables injection.
+	// internal/faults. Nil (the default) disables injection. In a
+	// sharded run every shard consults its own Fork of the injector,
+	// keyed by plan index, so injected behavior stays a function of the
+	// plan rather than of shard scheduling order.
 	Faults *faults.Injector
 	// Shards enables sharded execution: the design is decomposed into
 	// per-fence regions plus default-region die slabs (internal/shard)
@@ -134,11 +138,6 @@ func (o *Options) Validate() error {
 	if o.Shards < 0 {
 		return fmt.Errorf("flow: Shards must be >= 0, got %d", o.Shards)
 	}
-	if o.Shards > 0 && o.Faults != nil {
-		// Injection points trigger on per-harness hit counters, so what
-		// they hit would depend on shard scheduling order.
-		return fmt.Errorf("flow: fault injection is hit-order dependent and unsupported in sharded runs")
-	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -151,6 +150,29 @@ func (o *Options) Validate() error {
 	}
 	return nil
 }
+
+// DeadlineError reports that the run's deadline budget expired
+// mid-pipeline — as opposed to an explicit caller cancellation, which
+// surfaces as a plain context.Canceled. Callers with different
+// contracts for "too slow" and "told to stop" (the CLI's exit codes,
+// the serving layer's HTTP codes) dispatch on it with errors.As;
+// errors.Is(err, context.DeadlineExceeded) also remains true through
+// Unwrap.
+type DeadlineError struct {
+	// Cause is the underlying context error chain (always satisfying
+	// errors.Is(Cause, context.DeadlineExceeded)).
+	Cause error
+	// Elapsed is how long the run had been going when the deadline cut
+	// it off.
+	Elapsed time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("flow: deadline exceeded after %v", e.Elapsed)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *DeadlineError) Unwrap() error { return e.Cause }
 
 // Result reports the pipeline outcome.
 type Result struct {
@@ -282,6 +304,12 @@ func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, erro
 	//mclegal:wallclock total-runtime reporting only, never influences placement
 	res.Total = time.Since(start)
 	if perr != nil {
+		if errors.Is(perr, context.DeadlineExceeded) {
+			// Deadline expiry is a distinct failure class from caller
+			// cancellation: the caller set a time budget and the run
+			// honestly exceeded it.
+			return res, &DeadlineError{Cause: perr, Elapsed: res.Total}
+		}
 		return res, fmt.Errorf("flow: %w", perr)
 	}
 
@@ -389,7 +417,7 @@ func runSharded(ctx context.Context, d *model.Design, opt Options, res *Result) 
 		if err != nil {
 			return nil, fmt.Errorf("shard %s: %w", r.Name, err)
 		}
-		shards[i] = stage.Shard{Name: r.Name, Sub: sub}
+		shards[i] = stage.Shard{Name: r.Name, Sub: sub, Index: i}
 	}
 
 	sp := &stage.ShardedPipeline{
@@ -399,6 +427,10 @@ func runSharded(ctx context.Context, d *model.Design, opt Options, res *Result) 
 			if err != nil {
 				return nil, nil, err
 			}
+			// Each shard gets its own deterministic fork of the
+			// injector: per-shard hit counters keyed by plan index, so
+			// what fires never depends on shard scheduling order.
+			spc.Faults = opt.Faults.Fork(sh.Index)
 			p := buildPipeline(spc, opt)
 			return &p, spc, nil
 		},

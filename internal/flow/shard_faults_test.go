@@ -1,0 +1,151 @@
+package flow
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/faults"
+	"mclegal/internal/model"
+	"mclegal/internal/shard"
+	"mclegal/internal/stage"
+)
+
+// shardFaultBench builds a multi-fence design whose shard plan has
+// several regions, so per-shard injector forks are actually exercised
+// across more than one pipeline.
+func shardFaultBench() *model.Design {
+	return bmark.Generate(bmark.Params{
+		Name: "shard-faults", Seed: 4218, Counts: [4]int{700, 70, 16, 6},
+		Density: 0.6, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.3,
+	})
+}
+
+var shardFaultPlan = shard.Options{SlabTargetCells: 180, MaxSlabUtil: 0.95}
+
+// Every injection point of the pipeline must behave under sharded
+// execution exactly as the monolithic recovery suite proves for the
+// single pipeline: strict runs fail with a typed GateError naming the
+// stage, fallback runs end legal and recovered, best-effort runs never
+// error. Each shard consults its own fork of the injector, so every
+// shard experiences the armed fault — the sharded run's behavior is
+// therefore shard-scheduling independent.
+func TestShardedFaultInjectionEveryPointEveryPolicy(t *testing.T) {
+	for _, ip := range injectionPoints {
+		for _, policy := range []stage.RecoveryPolicy{
+			stage.RecoverStrict, stage.RecoverFallback, stage.RecoverBestEffort,
+		} {
+			t.Run(ip.name+"/"+policy.String(), func(t *testing.T) {
+				d := shardFaultBench()
+				inj := faults.New().Arm(ip.point)
+				res, err := Run(d, Options{
+					Workers: 1, Shards: 2, Verify: true,
+					Recovery:  policy,
+					Faults:    inj,
+					ShardPlan: shardFaultPlan,
+				})
+				switch policy {
+				case stage.RecoverStrict:
+					var ge *stage.GateError
+					if !errors.As(err, &ge) {
+						t.Fatalf("err = %T %v, want *stage.GateError", err, err)
+					}
+					// Sharded gate reports are namespaced shard/stage; the
+					// error's own report keeps the bare stage name.
+					if ge.Report.Stage != ip.stage {
+						t.Errorf("gate names stage %q, want %q", ge.Report.Stage, ip.stage)
+					}
+					if !strings.Contains(err.Error(), "shard ") {
+						t.Errorf("sharded strict error %q lacks the shard name", err)
+					}
+				case stage.RecoverFallback:
+					if err != nil {
+						t.Fatalf("fallback run failed: %v", err)
+					}
+					if res.Status != stage.StatusRecovered {
+						t.Errorf("status = %v, want recovered", res.Status)
+					}
+					var hit bool
+					for _, g := range res.Gates {
+						if strings.HasSuffix(g.Stage, "/"+ip.stage) {
+							hit = true
+						}
+					}
+					if !hit {
+						t.Errorf("no shard-prefixed gate names %q: %+v", ip.stage, res.Gates)
+					}
+					auditClean(t, d)
+				case stage.RecoverBestEffort:
+					if err != nil {
+						t.Fatalf("best-effort returned error: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A fault armed on the parent injector fires once per shard (each fork
+// has independent counters), and the per-shard fired counts are
+// observable on the memoized forks after the run.
+func TestShardedForkFiresPerShard(t *testing.T) {
+	d := shardFaultBench()
+	inj := faults.New().Arm(faults.StageError(stage.NameMGL))
+	res, err := Run(d, Options{
+		Workers: 1, Shards: 2, Verify: true,
+		Recovery:  stage.RecoverFallback,
+		Faults:    inj,
+		ShardPlan: shardFaultPlan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) < 2 {
+		t.Fatalf("plan has %d regions, want >= 2", len(res.Shards))
+	}
+	for i := range res.Shards {
+		f := inj.Fork(i)
+		if got := f.Fired(faults.StageError(stage.NameMGL)); got != 1 {
+			t.Errorf("shard %d fork fired %d times, want 1", i, got)
+		}
+		if res.Shards[i].Status != stage.StatusRecovered {
+			t.Errorf("shard %d status = %v, want recovered", i, res.Shards[i].Status)
+		}
+	}
+	if inj.Hits(faults.StageError(stage.NameMGL)) != 0 {
+		t.Error("shard hits leaked into the parent injector")
+	}
+	auditClean(t, d)
+}
+
+// Injected faults keep the sharded byte-identity guarantee: forks are
+// keyed by plan index, so a faulted fallback run at shard concurrency
+// 1 and 4 must produce byte-identical placements. Runs under -race via
+// `make check`.
+func TestShardedFaultDeterministicAcrossShardCounts(t *testing.T) {
+	run := func(shards int) []byte {
+		d := shardFaultBench()
+		res, err := Run(d, Options{
+			Workers: 1, Shards: shards, Verify: true,
+			Recovery:  stage.RecoverFallback,
+			Faults:    faults.New().Arm(faults.MGLWorkerPanic).Arm(faults.RefineInfeasible),
+			ShardPlan: shardFaultPlan,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Status != stage.StatusRecovered {
+			t.Fatalf("shards=%d: status = %v, want recovered", shards, res.Status)
+		}
+		var buf bytes.Buffer
+		if err := bmark.Write(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("faulted Shards=1 and Shards=4 placements are not byte-identical")
+	}
+}

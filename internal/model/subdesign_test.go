@@ -91,6 +91,35 @@ func TestMergeBackWritesOnlySelectedMovables(t *testing.T) {
 	}
 }
 
+// A subdesign over zero movable cells is legal to build (an empty
+// fence region or slab produces one) and its MergeBack is a strict
+// no-op on the parent, fixed obstacles included.
+func TestMergeBackZeroMovables(t *testing.T) {
+	d := shardParent()
+	sd, err := NewSubdesign(d, "empty", nil, nil)
+	if err != nil {
+		t.Fatalf("NewSubdesign with no movables: %v", err)
+	}
+	if sd.Movables != 0 {
+		t.Fatalf("Movables = %d, want 0", sd.Movables)
+	}
+	// The shard instance still carries every fixed obstacle so a
+	// pipeline run over it sees the true occupancy.
+	if len(sd.Design.Cells) != 1 || !sd.Design.Cells[0].Fixed {
+		t.Fatalf("cells = %+v, want exactly the fixed macro", sd.Design.Cells)
+	}
+	// Even if a stage scribbles on the shard's fixed copy, MergeBack
+	// must write nothing back.
+	sd.Design.Cells[0].X = 1
+	before := d.Clone()
+	sd.MergeBack(d)
+	for i := range d.Cells {
+		if d.Cells[i] != before.Cells[i] {
+			t.Fatalf("zero-movable merge changed cell %d: %+v vs %+v", i, d.Cells[i], before.Cells[i])
+		}
+	}
+}
+
 func TestDisjointMergeIsOrderIndependent(t *testing.T) {
 	d := shardParent()
 	a, err := NewSubdesign(d, "a", []CellID{0}, nil)

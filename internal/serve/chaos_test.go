@@ -1,0 +1,289 @@
+package serve
+
+// The seeded chaos suite: concurrent clients fire randomized request
+// mixes — injected stage errors, worker panics, deadline expiries,
+// mid-request cancels, sharded and unsharded runs — at one server and
+// verify the serving contract holds under all of it:
+//
+//   - every request ends with either a legal placement or a typed
+//     error from the wire taxonomy (never a hung or malformed
+//     response);
+//   - the server leaks no goroutines;
+//   - identical requests produce byte-identical placements, faults and
+//     shard concurrency notwithstanding.
+//
+// Runs under -race via `make check` (and the CI chaos job at
+// GOMAXPROCS 1 and 4).
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mclegal/internal/bmark"
+	"mclegal/internal/faults"
+	"mclegal/internal/stage"
+)
+
+// chaosPoints maps the ?chaos= wire names the test hook understands to
+// the pipeline's injection points. chaosPointNames is its sorted key
+// list, so seeded point picks are reproducible.
+var chaosPoints = map[string]faults.Point{
+	"mgl-error":         faults.StageError(stage.NameMGL),
+	"maxdisp-error":     faults.StageError(stage.NameMaxDisp),
+	"refine-error":      faults.StageError(stage.NameRefine),
+	"mgl-illegal":       faults.IllegalMove(stage.NameMGL),
+	"maxdisp-illegal":   faults.IllegalMove(stage.NameMaxDisp),
+	"refine-illegal":    faults.IllegalMove(stage.NameRefine),
+	"worker-panic":      faults.MGLWorkerPanic,
+	"insert-outside":    faults.MGLInsertOutside,
+	"refine-infeasible": faults.RefineInfeasible,
+	"matching-fail":     faults.MatchingFail,
+}
+
+var chaosPointNames = []string{
+	"insert-outside", "matching-fail", "maxdisp-error", "maxdisp-illegal",
+	"mgl-error", "mgl-illegal", "refine-error", "refine-illegal",
+	"refine-infeasible", "worker-panic",
+}
+
+// chaosHook is the Config.FaultHook of the chaos servers: it arms the
+// injection points the request's ?chaos= parameter names.
+func chaosHook(r *http.Request) *faults.Injector {
+	spec := r.URL.Query().Get("chaos")
+	if spec == "" {
+		return nil
+	}
+	inj := faults.New()
+	for _, name := range strings.Split(spec, ",") {
+		inj.Arm(chaosPoints[name])
+	}
+	return inj
+}
+
+// waitForGoroutines retries until the goroutine count falls back to
+// want (timer and AfterFunc goroutines take a moment to unwind).
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, want <= %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// verifyChaosResponse checks the serving contract on one response:
+// a 200 carries a parseable design that audits clean whenever the run
+// status claims legality; anything else is a typed error whose kind
+// matches its HTTP status.
+func verifyChaosResponse(t *testing.T, resp *http.Response, body []byte) {
+	t.Helper()
+	if resp.StatusCode == http.StatusOK {
+		status := resp.Header.Get("X-Mclegal-Status")
+		switch status {
+		case "legal", "recovered", "partial":
+		default:
+			t.Errorf("200 with unknown X-Mclegal-Status %q", status)
+		}
+		if status != "partial" {
+			if vs := auditBytes(t, body); len(vs) > 0 {
+				t.Errorf("200/%s response is not legal: %v", status, vs)
+			}
+		}
+		return
+	}
+	rc := &http.Response{StatusCode: resp.StatusCode, Body: readCloser(body)}
+	decodeError(t, rc)
+}
+
+func readCloser(b []byte) *nopCloser { return &nopCloser{Reader: bytes.NewReader(b)} }
+
+type nopCloser struct{ *bytes.Reader }
+
+func (*nopCloser) Close() error { return nil }
+
+// chaosRequest fires one seeded random request at the handler and
+// verifies the contract on whatever comes back.
+func chaosRequest(t *testing.T, h http.Handler, rng *rand.Rand, data []byte) {
+	q := url.Values{}
+	// Fault mix: none, one, or a pair of injection points.
+	switch rng.Intn(3) {
+	case 1:
+		q.Set("chaos", chaosPointNames[rng.Intn(len(chaosPointNames))])
+	case 2:
+		a := chaosPointNames[rng.Intn(len(chaosPointNames))]
+		b := chaosPointNames[rng.Intn(len(chaosPointNames))]
+		q.Set("chaos", a+","+b)
+	}
+	q.Set("recovery", []string{"fallback", "besteffort", "strict"}[rng.Intn(3)])
+	if rng.Intn(2) == 1 {
+		q.Set("shards", "2")
+	}
+	if rng.Intn(8) == 0 {
+		q.Set("timeout", "1ns") // guaranteed deadline expiry
+	}
+
+	path := "/legalize"
+	var body *bytes.Reader
+	if rng.Intn(2) == 1 {
+		path = "/legalize/resident"
+		body = bytes.NewReader(nil)
+	} else {
+		body = bytes.NewReader(data)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if rng.Intn(6) == 0 {
+		// Mid-request cancel: the run is a few ms in when this fires.
+		timer := time.AfterFunc(time.Duration(rng.Intn(8))*time.Millisecond, cancel)
+		defer timer.Stop()
+	}
+
+	req := httptest.NewRequest(http.MethodPost, path+"?"+q.Encode(), body).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	verifyChaosResponse(t, rec.Result(), rec.Body.Bytes())
+}
+
+// TestChaosSuite is the main storm: concurrent seeded clients, every
+// failure mode at once, followed by a drain and a goroutine-leak check.
+func TestChaosSuite(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1, MaxInflight: 16, FaultHook: chaosHook})
+	s.AddDesign("resident", testDesign(t))
+	h := s.Handler()
+	data := designBytes(t, testDesign(t))
+
+	const clients, perClient = 4, 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(4218 + 1000*c)))
+			for i := 0; i < perClient; i++ {
+				chaosRequest(t, h, rng, data)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain after the storm: %v", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// Identical requests must produce byte-identical placements — across
+// repeats, across concurrent execution, with faults armed, both
+// unsharded and sharded.
+func TestChaosIdenticalRequestsByteIdentical(t *testing.T) {
+	for _, shards := range []string{"0", "2"} {
+		t.Run("shards="+shards, func(t *testing.T) {
+			s := New(Config{Workers: 1, MaxInflight: 16, FaultHook: chaosHook})
+			h := s.Handler()
+			data := designBytes(t, testDesign(t))
+			target := "/legalize?shards=" + shards + "&chaos=worker-panic,refine-infeasible"
+
+			const n = 6
+			results := make([][]byte, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					req := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(data))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						t.Errorf("request %d = %d: %s", i, rec.Code, rec.Body.String())
+						return
+					}
+					results[i] = rec.Body.Bytes()
+				}(i)
+			}
+			wg.Wait()
+			for i := 1; i < n; i++ {
+				if !bytes.Equal(results[0], results[i]) {
+					t.Fatalf("request %d produced a different placement than request 0", i)
+				}
+			}
+		})
+	}
+}
+
+// Draining mid-run: in-flight requests either finish legal or get the
+// typed draining error when the grace expires; later requests are
+// refused immediately; the server winds down without leaking.
+func TestChaosDrainCancelsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 1, MaxInflight: 4})
+	h := s.Handler()
+	big := bmark.Generate(bmark.Params{
+		Name: "drain-chaos", Seed: 99, Counts: [4]int{2500, 250, 40, 10},
+		Density: 0.6, NumFences: 2, FenceFrac: 0.5, NetFrac: 0.3,
+	})
+	data := designBytes(t, big)
+
+	const n = 3
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		recs[i] = httptest.NewRecorder()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/legalize?timeout=1m", bytes.NewReader(data))
+			h.ServeHTTP(recs[i], req)
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the runs get in flight
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_ = s.Drain(ctx) // forced drain is expected; clean is fine too
+	wg.Wait()
+
+	for i, rec := range recs {
+		resp := rec.Result()
+		if resp.StatusCode == http.StatusOK {
+			continue // finished inside the grace
+		}
+		e := decodeError(t, &http.Response{StatusCode: resp.StatusCode, Body: readCloser(rec.Body.Bytes())})
+		if e.Kind != KindDraining {
+			t.Errorf("in-flight request %d ended %d/%q, want 200 or draining", i, resp.StatusCode, e.Kind)
+		}
+		// A request cut down mid-run carries the typed partial-run
+		// status; one refused at admission (it lost the race to the
+		// draining flag) legitimately has none.
+		if strings.Contains(e.Message, "mid-run") && e.Status == "" {
+			t.Errorf("in-flight request %d: drain error lacks the typed partial-run status", i)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/legalize", bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain request = %d, want 503", rec.Code)
+	}
+	waitForGoroutines(t, before)
+}

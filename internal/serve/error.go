@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Kind classifies a request failure for the wire contract. Every error
+// the server sends is one of these kinds, serialized as the JSON body
+// {"error":{"kind":...,"message":...}} with the HTTP status of
+// Kind.HTTPStatus — clients dispatch on the kind, not on message text.
+type Kind string
+
+const (
+	// KindParse: the request body is not a well-formed .mcl design.
+	KindParse Kind = "parse"
+	// KindLimit: the request body exceeds the server's byte or
+	// section-count limits.
+	KindLimit Kind = "limit"
+	// KindNotFound: the named resident design does not exist.
+	KindNotFound Kind = "not-found"
+	// KindBadRequest: a query parameter is malformed or out of range.
+	KindBadRequest Kind = "bad-request"
+	// KindGate: the run failed a legality gate (strict or exhausted
+	// fallback recovery); Stage and Gates carry the report.
+	KindGate Kind = "gate"
+	// KindDeadline: the per-request deadline budget expired mid-run —
+	// the design may be fine, the run just needs more time.
+	KindDeadline Kind = "deadline"
+	// KindCanceled: the client went away mid-run.
+	KindCanceled Kind = "canceled"
+	// KindDraining: the server is shutting down; retry elsewhere.
+	KindDraining Kind = "draining"
+	// KindOverload: all admission slots are busy; retry after
+	// RetryAfterSeconds.
+	KindOverload Kind = "overload"
+	// KindPanic: the request handler panicked; the panic was contained
+	// to this request.
+	KindPanic Kind = "panic"
+	// KindInternal: any other server-side failure.
+	KindInternal Kind = "internal"
+)
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for
+// a client that cancelled its own request; net/http has no name for it.
+const statusClientClosedRequest = 499
+
+// HTTPStatus maps a failure kind to its HTTP status code.
+func (k Kind) HTTPStatus() int {
+	switch k {
+	case KindParse, KindBadRequest:
+		return http.StatusBadRequest
+	case KindLimit:
+		return http.StatusRequestEntityTooLarge
+	case KindNotFound:
+		return http.StatusNotFound
+	case KindGate:
+		return http.StatusUnprocessableEntity
+	case KindDeadline:
+		return http.StatusGatewayTimeout
+	case KindCanceled:
+		return statusClientClosedRequest
+	case KindDraining:
+		return http.StatusServiceUnavailable
+	case KindOverload:
+		return http.StatusTooManyRequests
+	case KindPanic, KindInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// Error is the server's typed request failure: what went wrong (Kind),
+// for humans (Message), and — for failures of a legalization run — the
+// stage that failed, the run's trust status at the point of failure,
+// and every gate intervention. It is both the Go error the handlers
+// pass around and the JSON wire form clients receive.
+type Error struct {
+	Kind    Kind   `json:"kind"`
+	Message string `json:"message"`
+	// Stage names the pipeline stage a KindGate failure stopped at.
+	Stage string `json:"stage,omitempty"`
+	// Status is the run's stage.Status verdict when a run got far
+	// enough to have one ("legal", "recovered", "partial") — the typed
+	// partial result of a deadline/cancel/drain interruption.
+	Status string `json:"status,omitempty"`
+	// Gates lists the run's gate interventions, in order.
+	Gates []string `json:"gates,omitempty"`
+	// RetryAfterSeconds is set on KindOverload and mirrored into the
+	// Retry-After header.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("serve: %s: %s (stage %s)", e.Kind, e.Message, e.Stage)
+	}
+	return fmt.Sprintf("serve: %s: %s", e.Kind, e.Message)
+}
+
+// errorBody is the wire envelope: {"error": {...}}.
+type errorBody struct {
+	Error *Error `json:"error"`
+}
+
+// writeError sends e as the response. Write failures are ignored: they
+// mean the client is gone, which no response can fix.
+func writeError(w http.ResponseWriter, e *Error) {
+	h := w.Header()
+	if e.RetryAfterSeconds > 0 {
+		h.Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(e.Kind.HTTPStatus())
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(errorBody{Error: e})
+}
+
+// writeJSON sends v with the given status. Write failures are ignored
+// for the same reason as in writeError.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -16,6 +16,11 @@ import (
 type Shard struct {
 	Name string
 	Sub  *model.Subdesign
+	// Index is the shard's position in the plan. Builders that depend
+	// on a stable per-shard identity — the fault-injection fork of a
+	// sharded run keys its deterministic hit counters on it — must use
+	// Index, never the order shards happen to be scheduled in.
+	Index int
 }
 
 // ShardResult is the outcome of one shard's pipeline run.

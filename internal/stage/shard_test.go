@@ -268,6 +268,84 @@ func TestShardedRunCancellation(t *testing.T) {
 	}
 }
 
+// A mid-run cancellation with partially completed shards: the shard
+// that finished before the cancel merges its placement into the
+// parent, the shard cancelled mid-flight leaves its cells exactly
+// where they were, each ShardResult reports its own outcome, and the
+// worker pool is torn down.
+func TestShardedRunMidRunCancelMergesFinishedShards(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d := shardParent(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	aDone := make(chan struct{})
+	base := shiftMaker(5)
+	sp := &ShardedPipeline{Workers: 2, Make: func(sh Shard) (*Pipeline, *PipelineContext, error) {
+		if sh.Name == "a" {
+			p, pc, err := base(sh)
+			if err == nil {
+				p.Stages = append(p.Stages, &fakeStage{name: "done", onRun: func(*PipelineContext) {
+					close(aDone)
+				}})
+			}
+			return p, pc, err
+		}
+		pc, err := NewContext(sh.Sub.Design, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Shard b stalls until shard a has fully finished, then the run
+		// is cancelled out from under it before it moves a single cell.
+		p := &Pipeline{Stages: []Stage{&FuncStage{StageName: "stall", Fn: func(ctx context.Context, _ *PipelineContext) error {
+			<-aDone
+			cancel()
+			<-ctx.Done()
+			return ctx.Err()
+		}}}}
+		return p, pc, nil
+	}}
+
+	results, report, err := sp.Run(ctx, d, twoShards(t, d))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(err.Error(), "shard") {
+		t.Errorf("cancellation attributed to a shard: %v", err)
+	}
+
+	// The finished shard's moves survived the cancellation...
+	for i := 0; i < 4; i++ {
+		if d.Cells[i].X != 4*i+5 {
+			t.Errorf("finished shard a: cell %d at %d, want %d", i, d.Cells[i].X, 4*i+5)
+		}
+	}
+	// ...and the cancelled shard's cells are untouched.
+	for i := 4; i < 8; i++ {
+		if d.Cells[i].X != 4*i {
+			t.Errorf("cancelled shard b: cell %d at %d, want %d", i, d.Cells[i].X, 4*i)
+		}
+	}
+
+	// Per-shard outcomes are faithful: a legal and complete, b cancelled.
+	if results[0].Err != nil || results[0].Report.Status != StatusLegal || len(results[0].Timings) != 2 {
+		t.Errorf("shard a result: err=%v status=%v timings=%d",
+			results[0].Err, results[0].Report.Status, len(results[0].Timings))
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("shard b err = %v, want context.Canceled", results[1].Err)
+	}
+	// Cancellation is not a gate event: the aggregate carries no gates
+	// and no downgraded status.
+	if report.Status != StatusLegal || len(report.Gates) != 0 {
+		t.Errorf("aggregate report = %+v, want clean legal", report)
+	}
+
+	if after := settledShardGoroutines(before); after > before {
+		t.Errorf("%d goroutines before Run, %d after — shard pool leaked", before, after)
+	}
+}
+
 func settledShardGoroutines(base int) int {
 	n := runtime.NumGoroutine()
 	for i := 0; i < 50 && n > base; i++ {

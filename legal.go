@@ -122,6 +122,10 @@ type (
 	// GateError is the typed error a Strict (or exhausted Fallback) run
 	// fails with; its Report names the offending stage.
 	GateError = stage.GateError
+	// DeadlineError is the typed error a run fails with when its
+	// context deadline budget expires mid-pipeline — distinct from an
+	// explicit cancellation, which surfaces as context.Canceled.
+	DeadlineError = flow.DeadlineError
 	// FaultInjector deterministically forces failures at the pipeline's
 	// injection points (Options.Faults); nil disables injection.
 	FaultInjector = faults.Injector
