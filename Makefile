@@ -75,22 +75,28 @@ check: lint build race fuzz
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# One-iteration run of the MGL throughput bench: catches bit-rot in the
-# bench harness itself without paying for a real measurement. CI runs
-# this on every push.
+# One-iteration run of the MGL throughput bench plus the mcf solver
+# sweep in smoke mode (tiny instances, one iteration per config, full
+# cross-solver validation): catches bit-rot in the bench harnesses
+# themselves without paying for a real measurement. CI runs this on
+# every push.
 bench-smoke:
 	$(GO) test -bench MGLThroughput -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/benchjson -mode mcf -smoke -out /dev/null
 
 # The benchmark-trajectory harness: sweeps MGL worker counts into
-# BENCH_mgl.json (ns/op, allocs/op, cells/sec, speedup vs workers=1)
-# and shard concurrencies into BENCH_shard.json (ns/op, per-region
-# wall-clock breakdown, speedup vs shards=1). Compare the committed
-# baselines against a fresh run to judge a perf change; see
-# docs/PERFORMANCE.md.
+# BENCH_mgl.json (ns/op, allocs/op, cells/sec, speedup vs workers=1),
+# shard concurrencies into BENCH_shard.json (ns/op, per-region
+# wall-clock breakdown, speedup vs shards=1), server latencies into
+# BENCH_serve.json, and the min-cost-flow solver layer (pivot rules,
+# solver reuse, warm-start resolves, cross-solver validation) into
+# BENCH_mcf.json. Compare the committed baselines against a fresh run
+# to judge a perf change; see docs/PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -mode mgl -out BENCH_mgl.json
 	$(GO) run ./cmd/benchjson -mode shard -out BENCH_shard.json
 	$(GO) run ./cmd/benchjson -mode serve -out BENCH_serve.json
+	$(GO) run ./cmd/benchjson -mode mcf -out BENCH_mcf.json
 
 clean:
 	$(GO) clean ./...

@@ -8,13 +8,17 @@
 //	benchjson [-out BENCH_mgl.json] [-scale 0.01] [-workers 1,2,4,8]
 //	benchjson -mode shard [-out BENCH_shard.json] [-shards 1,2,4]
 //	benchjson -mode serve [-out BENCH_serve.json]
+//	benchjson -mode mcf [-out BENCH_mcf.json] [-smoke]
 //
 // The default mode sweeps MGL worker counts on a fixed instance; the
 // shard mode sweeps the shard concurrency of the fence/slab-sharded
 // pipeline on a multi-fence instance and records the per-shard
 // wall-clock breakdown of the plan; the serve mode profiles the
 // legalization server end to end over an in-process HTTP server and
-// records per-endpoint request-latency percentiles (p50/p90/p99/max).
+// records per-endpoint request-latency percentiles (p50/p90/p99/max);
+// the mcf mode sweeps the min-cost-flow solver layer (pivot rules,
+// solver reuse, warm-start resolves) over the benchmark graph families
+// with cross-solver validation (see mcf.go).
 //
 // The recorded environment (numcpu, per-run gomaxprocs, goversion)
 // travels with the numbers: speedup figures are only meaningful
@@ -106,6 +110,7 @@ func run(args []string, stdout io.Writer) int {
 		scale   = fs.Float64("scale", 0.01, "cell-count scale vs published sizes")
 		workers = fs.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (mgl mode)")
 		shards  = fs.String("shards", "1,2,4", "comma-separated shard concurrencies to sweep (shard mode)")
+		smoke   = fs.Bool("smoke", false, "shrink instances and run one iteration per config (mcf mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -146,8 +151,15 @@ func run(args []string, stdout io.Writer) int {
 		rep := sweepServe(*scale)
 		buf = marshal(rep)
 		summary = fmt.Sprintf("%s, %d cells, %d CPUs", rep.Design, rep.Cells, rep.NumCPU)
+	case "mcf":
+		if *out == "" {
+			*out = "BENCH_mcf.json"
+		}
+		rep := sweepMCF(*smoke)
+		buf = marshal(rep)
+		summary = fmt.Sprintf("%d families, %d CPUs", len(rep.Families), rep.NumCPU)
 	default:
-		log.Printf("-mode must be mgl, shard or serve, got %q", *mode)
+		log.Printf("-mode must be mgl, shard, serve or mcf, got %q", *mode)
 		return 2
 	}
 

@@ -1,0 +1,394 @@
+// mcf mode: the solver-layer sweep behind BENCH_mcf.json. It measures
+// the network-simplex pivot rules and the reusable-Solver/warm-start
+// machinery over the three benchmark graph families (mcf/families.go)
+// and cross-validates every configuration against the independent
+// solvers before recording a single number: on each family's
+// validation instance, simplex under all three pivot rules,
+// cost-scaling, SSP, a warm Resolve round-trip, and (assignment only)
+// the Hungarian matching solver must all report the same optimal cost,
+// or the sweep aborts.
+//
+// SSP is benchmarked at the (smaller) validation size — its
+// Bellman-Ford inner loop does not finish in sensible time at the
+// simplex bench sizes — so every run records its own nodes/arcs; rows
+// are only comparable at equal sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"testing"
+
+	"mclegal/internal/matching"
+	"mclegal/internal/mcf"
+)
+
+// mcfRun is one measured configuration on one family.
+type mcfRun struct {
+	Solver string `json:"solver"`         // simplex | costscaling | ssp
+	Rule   string `json:"rule,omitempty"` // pivot rule (simplex only)
+	// Mode: cold-fresh allocates a solver per solve (the pre-Solver
+	// code path), cold-reused solves the same shape on one Solver,
+	// warm-resolve alternates a perturbation and its inverse through
+	// Solver.Resolve.
+	Mode        string  `json:"mode"`
+	Nodes       int     `json:"nodes"`
+	Arcs        int     `json:"arcs"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Pivots      float64 `json:"pivots,omitempty"` // mean pivots per solve (simplex only)
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+}
+
+// mcfValidation records the cross-solver agreement that gates the
+// family's benchmark rows.
+type mcfValidation struct {
+	Nodes int `json:"nodes"`
+	Arcs  int `json:"arcs"`
+	// Cost is the optimal objective every listed solver agreed on.
+	Cost    int64    `json:"cost"`
+	Solvers []string `json:"solvers"`
+}
+
+type mcfFamilySummary struct {
+	Family string `json:"family"`
+	Nodes  int    `json:"nodes"`
+	Arcs   int    `json:"arcs"`
+	// Pivot economy of warm starts: cold vs warm mean pivots under
+	// first-eligible on the same perturbation sequence.
+	ColdPivots     float64 `json:"cold_pivots"`
+	WarmPivots     float64 `json:"warm_pivots"`
+	WarmPivotRatio float64 `json:"warm_pivot_ratio"`
+	// Allocation economy of Solver reuse vs a fresh solve.
+	ColdAllocs   int64         `json:"cold_allocs_per_op"`
+	ReusedAllocs int64         `json:"reused_allocs_per_op"`
+	AllocRatio   float64       `json:"alloc_ratio"`
+	Validation   mcfValidation `json:"validation"`
+	Runs         []mcfRun      `json:"runs"`
+}
+
+type mcfReport struct {
+	Bench     string             `json:"bench"`
+	Smoke     bool               `json:"smoke,omitempty"`
+	NumCPU    int                `json:"numcpu"`
+	GoVersion string             `json:"goversion"`
+	Families  []mcfFamilySummary `json:"families"`
+}
+
+// mcfFamily pairs a benchmark instance with the smaller validation
+// instance the cross-solver agreement runs on.
+type mcfFamily struct {
+	name  string
+	bench *mcf.Graph
+	valid *mcf.Graph
+	// assignN is the matrix size when the family is an assignment
+	// instance (enables the Hungarian cross-check), 0 otherwise.
+	assignN int
+}
+
+func mcfFamilies(smoke bool) []mcfFamily {
+	if smoke {
+		return []mcfFamily{
+			{name: "refinement", bench: mcf.RefinementGraph(60, 7), valid: mcf.RefinementGraph(48, 3)},
+			{name: "assignment", bench: mcf.AssignmentGraph(12, 9), valid: mcf.AssignmentGraph(10, 4), assignN: 10},
+			{name: "circulation", bench: mcf.CirculationGraph(40, 160, 11), valid: mcf.CirculationGraph(32, 128, 5)},
+		}
+	}
+	return []mcfFamily{
+		{name: "refinement", bench: mcf.RefinementGraph(5000, 7), valid: mcf.RefinementGraph(300, 3)},
+		{name: "assignment", bench: mcf.AssignmentGraph(150, 9), valid: mcf.AssignmentGraph(60, 4), assignN: 60},
+		{name: "circulation", bench: mcf.CirculationGraph(2000, 10000, 11), valid: mcf.CirculationGraph(200, 800, 5)},
+	}
+}
+
+var mcfRules = []mcf.PivotRule{mcf.FirstEligible, mcf.BlockSearch, mcf.CandidateList}
+
+// sweepMCF measures the solver layer and returns the report committed
+// as BENCH_mcf.json. Smoke mode shrinks every instance and clamps
+// benchtime to one iteration so CI can exercise the full code path in
+// seconds.
+func sweepMCF(smoke bool) mcfReport {
+	if smoke {
+		// When running inside a test binary the testing flags already
+		// exist; outside one they must be registered first.
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+		flag.Set("test.benchtime", "1x")
+	}
+	rep := mcfReport{
+		Bench:     "MCFSolvers",
+		Smoke:     smoke,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	for _, fam := range mcfFamilies(smoke) {
+		rep.Families = append(rep.Families, sweepMCFFamily(fam))
+	}
+	return rep
+}
+
+func sweepMCFFamily(fam mcfFamily) mcfFamilySummary {
+	sum := mcfFamilySummary{
+		Family:     fam.name,
+		Nodes:      fam.bench.NumNodes(),
+		Arcs:       fam.bench.NumArcs(),
+		Validation: validateMCFFamily(fam),
+	}
+	log.Printf("%s: %d nodes, %d arcs (validated cost %d at %d nodes)",
+		fam.name, sum.Nodes, sum.Arcs, sum.Validation.Cost, sum.Validation.Nodes)
+
+	g := fam.bench
+	upsA := mcf.PerturbCosts(g, 0.25, 101)
+	upsB := invertUpdates(g, upsA)
+
+	for _, rule := range mcfRules {
+		sum.Runs = append(sum.Runs, benchColdFresh(g, rule))
+		sum.Runs = append(sum.Runs, benchColdReused(g, rule))
+		sum.Runs = append(sum.Runs, benchWarmResolve(g, rule, upsA, upsB))
+	}
+	sum.Runs = append(sum.Runs, benchAltSolver(g, "costscaling", func() error {
+		_, err := g.SolveCostScaling()
+		return err
+	}))
+	// SSP at validation size only; its nodes/arcs fields say so.
+	vg := fam.valid
+	sum.Runs = append(sum.Runs, benchAltSolver(vg, "ssp", func() error {
+		_, err := vg.SolveSSP()
+		return err
+	}))
+
+	for _, r := range sum.Runs {
+		if r.Solver != "simplex" || r.Rule != mcf.FirstEligible.String() {
+			continue
+		}
+		switch r.Mode {
+		case "cold-fresh":
+			sum.ColdPivots = r.Pivots
+			sum.ColdAllocs = r.AllocsPerOp
+		case "cold-reused":
+			sum.ReusedAllocs = r.AllocsPerOp
+		case "warm-resolve":
+			sum.WarmPivots = r.Pivots
+		}
+	}
+	warmPiv := sum.WarmPivots
+	if warmPiv < 1 { // a resolve that repairs without pivoting
+		warmPiv = 1
+	}
+	sum.WarmPivotRatio = sum.ColdPivots / warmPiv
+	reused := sum.ReusedAllocs
+	if reused < 1 {
+		reused = 1
+	}
+	sum.AllocRatio = float64(sum.ColdAllocs) / float64(reused)
+	log.Printf("%s: warm pivot ratio %.1fx (%.0f cold -> %.1f warm), alloc ratio %.0fx (%d -> %d)",
+		fam.name, sum.WarmPivotRatio, sum.ColdPivots, sum.WarmPivots,
+		sum.AllocRatio, sum.ColdAllocs, sum.ReusedAllocs)
+	return sum
+}
+
+// validateMCFFamily proves every solver configuration agrees on the
+// validation instance's optimal cost, aborting the sweep otherwise.
+func validateMCFFamily(fam mcfFamily) mcfValidation {
+	g := fam.valid
+	val := mcfValidation{Nodes: g.NumNodes(), Arcs: g.NumArcs()}
+	check := func(name string, cost int64, err error) {
+		if err != nil {
+			log.Fatalf("%s validation: %s: %v", fam.name, name, err)
+		}
+		if len(val.Solvers) == 0 {
+			val.Cost = cost
+		} else if cost != val.Cost {
+			log.Fatalf("%s validation: %s found cost %d, others found %d",
+				fam.name, name, cost, val.Cost)
+		}
+		val.Solvers = append(val.Solvers, name)
+	}
+	for _, rule := range mcfRules {
+		res, err := g.SolveWith(rule)
+		if err == nil {
+			if verr := g.VerifyOptimal(res); verr != nil {
+				log.Fatalf("%s validation: simplex/%v certificate: %v", fam.name, rule, verr)
+			}
+		}
+		var cost int64
+		if res != nil {
+			cost = res.Cost
+		}
+		check("simplex/"+rule.String(), cost, err)
+	}
+	res, err := g.SolveCostScaling()
+	check("costscaling", costOf(res), err)
+	res, err = g.SolveSSP()
+	check("ssp", costOf(res), err)
+
+	// Warm Resolve round-trip: perturb, resolve, compare against a cold
+	// solve of the perturbed twin, revert, land back on val.Cost.
+	sv := mcf.NewSolver()
+	if _, err := sv.SolveWith(g, mcf.FirstEligible); err != nil {
+		log.Fatalf("%s validation: warm setup: %v", fam.name, err)
+	}
+	ups := mcf.PerturbCosts(g, 0.3, 77)
+	inv := invertUpdates(g, ups)
+	warmRes, err := sv.Resolve(ups)
+	if err != nil {
+		log.Fatalf("%s validation: resolve: %v", fam.name, err)
+	}
+	coldRes, err := mcf.ApplyUpdates(g, ups).SolveWith(mcf.FirstEligible)
+	if err != nil || warmRes.Cost != coldRes.Cost {
+		log.Fatalf("%s validation: warm resolve cost %d, cold twin %v (err %v)",
+			fam.name, warmRes.Cost, coldRes, err)
+	}
+	backRes, err := sv.Resolve(inv)
+	check("simplex/warm-resolve", costOf(backRes), err)
+
+	if fam.assignN > 0 {
+		n := fam.assignN
+		var msv matching.Solver
+		_, total, ok := msv.MinCostPerfect(n, func(i, j int) int64 {
+			return g.Arc(i*n + j).Cost
+		})
+		if !ok {
+			log.Fatalf("%s validation: matching found no perfect assignment", fam.name)
+		}
+		check("matching/hungarian", total, nil)
+	}
+	return val
+}
+
+func costOf(res *mcf.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	return res.Cost
+}
+
+// invertUpdates builds the update set that restores g's original
+// costs/caps after ups has been applied.
+func invertUpdates(g *mcf.Graph, ups []mcf.ArcUpdate) []mcf.ArcUpdate {
+	inv := make([]mcf.ArcUpdate, len(ups))
+	for i, u := range ups {
+		arc := g.Arc(u.Arc)
+		inv[i] = mcf.ArcUpdate{Arc: u.Arc, Cost: arc.Cost, Cap: arc.Cap}
+	}
+	return inv
+}
+
+func benchColdFresh(g *mcf.Graph, rule mcf.PivotRule) mcfRun {
+	res, err := g.SolveWith(rule)
+	if err != nil {
+		log.Fatalf("cold-fresh %v: %v", rule, err)
+	}
+	pivots := res.Pivots
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.SolveWith(rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mcfRunFrom(g, "simplex", rule.String(), "cold-fresh", r, float64(pivots))
+}
+
+func benchColdReused(g *mcf.Graph, rule mcf.PivotRule) mcfRun {
+	sv := mcf.NewSolver()
+	res, err := sv.SolveWith(g, rule)
+	if err != nil {
+		log.Fatalf("cold-reused %v: %v", rule, err)
+	}
+	pivots := res.Pivots
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sv.SolveWith(g, rule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mcfRunFrom(g, "simplex", rule.String(), "cold-reused", r, float64(pivots))
+}
+
+// benchWarmResolve alternates a perturbation and its inverse through
+// one Solver so every measured iteration is a warm Resolve between two
+// nearby instances. Pivot counts are averaged over a measured A/B
+// window after the scratch arrays and basis cycle have settled.
+func benchWarmResolve(g *mcf.Graph, rule mcf.PivotRule, upsA, upsB []mcf.ArcUpdate) mcfRun {
+	sv := mcf.NewSolver()
+	if _, err := sv.SolveWith(g, rule); err != nil {
+		log.Fatalf("warm-resolve %v: %v", rule, err)
+	}
+	flip := 0
+	step := func() error {
+		ups := upsA
+		if flip%2 == 1 {
+			ups = upsB
+		}
+		flip++
+		_, err := sv.ResolveWith(ups, rule)
+		return err
+	}
+	for i := 0; i < 16; i++ { // settle the A/B cycle
+		if err := step(); err != nil {
+			log.Fatalf("warm-resolve %v warm-up: %v", rule, err)
+		}
+	}
+	before := sv.Stats().TotalPivots
+	const window = 8
+	for i := 0; i < window; i++ {
+		if err := step(); err != nil {
+			log.Fatalf("warm-resolve %v: %v", rule, err)
+		}
+	}
+	pivots := float64(sv.Stats().TotalPivots-before) / window
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mcfRunFrom(g, "simplex", rule.String(), "warm-resolve", r, pivots)
+}
+
+func benchAltSolver(g *mcf.Graph, name string, solve func() error) mcfRun {
+	if err := solve(); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mcfRunFrom(g, name, "", "cold-fresh", r, 0)
+}
+
+func mcfRunFrom(g *mcf.Graph, solver, rule, mode string, r testing.BenchmarkResult, pivots float64) mcfRun {
+	run := mcfRun{
+		Solver:      solver,
+		Rule:        rule,
+		Mode:        mode,
+		Nodes:       g.NumNodes(),
+		Arcs:        g.NumArcs(),
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Pivots:      pivots,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	label := run.Solver
+	if rule != "" {
+		label = fmt.Sprintf("%s/%s", solver, rule)
+	}
+	log.Printf("  %-28s %-12s %12d ns/op  %8d allocs/op  pivots %.1f",
+		label, mode, run.NsPerOp, run.AllocsPerOp, run.Pivots)
+	return run
+}

@@ -9,12 +9,19 @@ import (
 )
 
 // TestHotPathRootsMatchDynamicProof pins the static noalloc proof to
-// the dynamic one: mgl.TestBestInWindowZeroAlloc measures exactly the
-// call tree under (*Legalizer).bestInWindow, so (a) bestInWindow must
-// be a //mclegal:hotpath root, and (b) every other root must be
-// reachable from bestInWindow — otherwise the static proof would claim
-// coverage the benchmark does not actually measure, and the two could
-// silently drift apart.
+// the dynamic ones. Each //mclegal:hotpath call tree has a
+// testing.AllocsPerRun witness measuring an anchor function whose call
+// tree contains it:
+//
+//	(*mgl.Legalizer).bestInWindow  — mgl.TestBestInWindowZeroAlloc
+//	(*mcf.Solver).resolve          — mcf.TestResolveZeroAlloc
+//	(*matching.Solver).solve       — matching.TestSolverReuseZeroAlloc
+//	                                 (root: augmentRow, inside solve)
+//
+// Every anchor marked mustBeRoot must itself carry the hotpath
+// annotation, and every root must be reachable from some anchor —
+// otherwise the static proof would claim coverage no benchmark
+// actually measures, and the two could silently drift apart.
 func TestHotPathRootsMatchDynamicProof(t *testing.T) {
 	prog := loadScopedProgram(t)
 	cg, err := prog.CallGraph()
@@ -29,51 +36,69 @@ func TestHotPathRootsMatchDynamicProof(t *testing.T) {
 		t.Fatal("no //mclegal:hotpath roots found; the noalloc analyzer is proving nothing")
 	}
 
-	mgl := prog.Package("mclegal/internal/mgl")
-	if mgl == nil {
-		t.Fatal("internal/mgl not in the scoped program")
-	}
-	leg, _ := mgl.Types.Scope().Lookup("Legalizer").(*types.TypeName)
-	if leg == nil {
-		t.Fatal("mgl.Legalizer not found")
-	}
-	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(leg.Type()), true, mgl.Types, "bestInWindow")
-	fn, _ := obj.(*types.Func)
-	if fn == nil {
-		t.Fatal("(*mgl.Legalizer).bestInWindow not found")
-	}
-	bench := cg.Node(fn)
-	if bench == nil {
-		t.Fatal("bestInWindow has no call-graph node")
+	anchors := []struct {
+		pkg, typ, method string
+		mustBeRoot       bool
+		witness          string
+	}{
+		{"mclegal/internal/mgl", "Legalizer", "bestInWindow", true, "mgl.TestBestInWindowZeroAlloc"},
+		{"mclegal/internal/mcf", "Solver", "resolve", true, "mcf.TestResolveZeroAlloc"},
+		{"mclegal/internal/matching", "Solver", "solve", false, "matching.TestSolverReuseZeroAlloc"},
 	}
 
-	isRoot := false
-	for _, r := range roots {
-		if r == bench {
-			isRoot = true
+	reach := map[*framework.Node]bool{}
+	for _, a := range anchors {
+		pkg := prog.Package(a.pkg)
+		if pkg == nil {
+			t.Fatalf("%s not in the scoped program", a.pkg)
 		}
-	}
-	if !isRoot {
-		t.Errorf("bestInWindow is not a //mclegal:hotpath root; the static proof no longer covers what TestBestInWindowZeroAlloc measures")
-	}
-
-	// BFS from bestInWindow over in-program edges.
-	reach := map[*framework.Node]bool{bench: true}
-	queue := []*framework.Node{bench}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, e := range n.Out {
-			if e.Callee == nil || e.Callee.External() || reach[e.Callee] {
-				continue
+		tn, _ := pkg.Types.Scope().Lookup(a.typ).(*types.TypeName)
+		if tn == nil {
+			t.Fatalf("%s.%s not found", a.pkg, a.typ)
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, a.method)
+		fn, _ := obj.(*types.Func)
+		if fn == nil {
+			t.Fatalf("(*%s.%s).%s not found", a.pkg, a.typ, a.method)
+		}
+		node := cg.Node(fn)
+		if node == nil {
+			t.Fatalf("%s has no call-graph node", fn.FullName())
+		}
+		if a.mustBeRoot {
+			isRoot := false
+			for _, r := range roots {
+				if r == node {
+					isRoot = true
+				}
 			}
-			reach[e.Callee] = true
-			queue = append(queue, e.Callee)
+			if !isRoot {
+				t.Errorf("%s is not a //mclegal:hotpath root; the static proof no longer covers what %s measures",
+					fn.FullName(), a.witness)
+			}
+		}
+
+		// BFS from the anchor over in-program edges.
+		if reach[node] {
+			continue
+		}
+		reach[node] = true
+		queue := []*framework.Node{node}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Out {
+				if e.Callee == nil || e.Callee.External() || reach[e.Callee] {
+					continue
+				}
+				reach[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
 		}
 	}
 	for _, r := range roots {
 		if !reach[r] {
-			t.Errorf("root %s is not reachable from bestInWindow: the dynamic benchmark does not exercise it, so its zero-alloc claim has no runtime witness",
+			t.Errorf("root %s is not reachable from any dynamic-proof anchor: no benchmark exercises it, so its zero-alloc claim has no runtime witness",
 				r.Func.FullName())
 		}
 	}

@@ -63,10 +63,11 @@ var CancellationAware = []string{
 	"internal/serve",
 }
 
-// HotPathClosure lists every package the //mclegal:hotpath call tree
-// (rooted in mgl.bestInWindow) reaches: the noalloc proof needs full
-// bodies for all of them, so program loads (suite tests, mclegal-vet)
-// must include the whole list.
+// HotPathClosure lists every package the //mclegal:hotpath call trees
+// reach (mgl.bestInWindow, the mcf warm-start resolve path, and the
+// matching augment phase): the noalloc proof needs full bodies for all
+// of them, so program loads (suite tests, mclegal-vet) must include
+// the whole list.
 var HotPathClosure = []string{
 	"internal/mgl",
 	"internal/curve",
@@ -74,4 +75,6 @@ var HotPathClosure = []string{
 	"internal/seg",
 	"internal/model",
 	"internal/route",
+	"internal/mcf",
+	"internal/matching",
 }

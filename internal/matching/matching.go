@@ -8,6 +8,12 @@
 // (Hungarian/Jonker-Volgenant) algorithm with potentials, an instance of
 // the min-cost-flow formulation the paper references [20], specialized
 // to assignment problems for an O(n^3) bound.
+//
+// A Solver owns all scratch arrays (u/v/p/way/minv/used) and is reused
+// across instances; it can also carry the dual potentials of the
+// previous solve into the next same-size instance (a warm start), which
+// shortens the augmenting phases when consecutive instances are
+// similar, as the per-(type×fence) groups of one design sweep are.
 package matching
 
 import (
@@ -20,6 +26,72 @@ import (
 // when n Forbidden entries are summed.
 const Forbidden = int64(math.MaxInt64) / (1 << 20)
 
+const inf = int64(math.MaxInt64) / 4
+
+// Solver is a reusable assignment solver. The zero value is ready to
+// use. A Solver is not safe for concurrent use.
+//
+// The assign slice returned by its methods aliases solver-owned
+// storage and is valid until the next call on the same Solver.
+type Solver struct {
+	// 1-based arrays in the classic formulation; index 0 is virtual.
+	u, v   []int64 // dual potentials (rows, columns)
+	p      []int   // p[j]: row matched to column j (0 = free)
+	way    []int   // way[j]: previous column on the shortest path
+	minv   []int64 // per-column min reduced cost this phase
+	used   []bool  // columns on the alternating tree this phase
+	assign []int
+
+	lastN     int
+	warmValid bool // duals are from a completed solve of size lastN
+	lastWarm  bool
+	stats     SolverStats
+}
+
+// SolverStats counts a Solver's activity since creation.
+type SolverStats struct {
+	Solves int // completed solves (perfect matching found)
+	// WarmHits / WarmMisses split the warm-start attempts: a hit
+	// reused the stored duals, a miss fell back to zero duals (first
+	// solve, size change, or stored duals infeasible for the costs).
+	WarmHits   int
+	WarmMisses int
+}
+
+// NewSolver returns an empty Solver. Equivalent to new(Solver).
+func NewSolver() *Solver { return &Solver{} }
+
+// Stats returns the solve counters.
+func (sv *Solver) Stats() SolverStats { return sv.stats }
+
+// WarmStarted reports whether the most recent solve reused stored
+// dual potentials.
+func (sv *Solver) WarmStarted() bool { return sv.lastWarm }
+
+// MinCostPerfect solves one instance cold (duals reset to zero); see
+// the package-level MinCostPerfect for the contract.
+func (sv *Solver) MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64, ok bool) {
+	assign, total, ok, _ = sv.solve(nil, n, cost, false)
+	return assign, total, ok
+}
+
+// MinCostPerfectContext is the Solver's cold solve with cancellation;
+// see the package-level MinCostPerfectContext for the contract.
+func (sv *Solver) MinCostPerfectContext(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
+	return sv.solve(ctx, n, cost, false)
+}
+
+// MinCostPerfectWarmContext solves the instance starting from the dual
+// potentials of the Solver's previous completed solve when they are
+// valid for it: same size and dual-feasible for the new costs
+// (cost(i,j) ≥ u[i]+v[j] everywhere, checked in O(n²)). Otherwise it
+// falls back to zero duals. Either way the returned matching is
+// exactly optimal — warm duals change the tie-breaking among equal-cost
+// optima, never the total cost.
+func (sv *Solver) MinCostPerfectWarmContext(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
+	return sv.solve(ctx, n, cost, true)
+}
+
 // MinCostPerfect computes a minimum-cost perfect matching between n
 // "rows" (cells) and n "columns" (positions). cost(i,j) is the cost of
 // assigning row i to column j; return Forbidden to rule a pair out.
@@ -28,7 +100,8 @@ const Forbidden = int64(math.MaxInt64) / (1 << 20)
 // total cost. ok is false if no perfect matching avoiding Forbidden
 // pairs exists.
 func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64, ok bool) {
-	assign, total, ok, _ = minCostPerfect(nil, n, cost)
+	var sv Solver
+	assign, total, ok, _ = sv.solve(nil, n, cost, false)
 	return assign, total, ok
 }
 
@@ -38,87 +111,161 @@ func MinCostPerfect(n int, cost func(i, j int) int64) (assign []int, total int64
 // always ctx.Err() — means the solve was abandoned, not that no
 // matching exists.
 func MinCostPerfectContext(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
-	return minCostPerfect(ctx, n, cost)
-}
-
-func minCostPerfect(ctx context.Context, n int, cost func(i, j int) int64) (assign []int, total int64, ok bool, err error) {
-	if n == 0 {
-		return nil, 0, true, nil
-	}
-	const inf = int64(math.MaxInt64) / 4
-	// 1-based arrays in the classic formulation; index 0 is virtual.
-	u := make([]int64, n+1)
-	v := make([]int64, n+1)
-	p := make([]int, n+1)   // p[j]: row matched to column j (0 = free)
-	way := make([]int, n+1) // way[j]: previous column on the shortest path
-	for i := 1; i <= n; i++ {
-		if ctx != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, 0, false, cerr
-			}
-		}
-		p[0] = i
-		j0 := 0
-		minv := make([]int64, n+1)
-		used := make([]bool, n+1)
-		for j := 1; j <= n; j++ {
-			minv[j] = inf
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			var delta int64 = inf
-			j1 := -1
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost(i0-1, j-1) - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			if j1 < 0 || delta >= inf/2 {
-				return nil, 0, false, nil // no augmenting path
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-	assign = make([]int, n)
-	for j := 1; j <= n; j++ {
-		assign[p[j]-1] = j - 1
-		c := cost(p[j]-1, j-1)
-		if c >= Forbidden {
-			return nil, 0, false, nil
-		}
-		total += c
-	}
-	return assign, total, true, nil
+	var sv Solver
+	return sv.solve(ctx, n, cost, false)
 }
 
 // MinCostPerfectMatrix is MinCostPerfect over an explicit cost matrix.
 func MinCostPerfectMatrix(cost [][]int64) (assign []int, total int64, ok bool) {
 	n := len(cost)
 	return MinCostPerfect(n, func(i, j int) int64 { return cost[i][j] })
+}
+
+// grow sizes the scratch arrays for an n-row instance, reallocating
+// only when n outgrows their capacity.
+func (sv *Solver) grow(n int) {
+	nn := n + 1
+	if cap(sv.u) < nn {
+		sv.u = make([]int64, nn)
+		sv.v = make([]int64, nn)
+		sv.p = make([]int, nn)
+		sv.way = make([]int, nn)
+		sv.minv = make([]int64, nn)
+		sv.used = make([]bool, nn)
+	} else {
+		sv.u = sv.u[:nn]
+		sv.v = sv.v[:nn]
+		sv.p = sv.p[:nn]
+		sv.way = sv.way[:nn]
+		sv.minv = sv.minv[:nn]
+		sv.used = sv.used[:nn]
+	}
+	if cap(sv.assign) < n {
+		sv.assign = make([]int, n)
+	} else {
+		sv.assign = sv.assign[:n]
+	}
+}
+
+// dualsFeasible reports whether the stored potentials satisfy
+// cost(i,j) - u[i] - v[j] >= 0 for every pair — the invariant the
+// augmenting phases rely on when starting from nonzero duals.
+func (sv *Solver) dualsFeasible(n int, cost func(i, j int) int64) bool {
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if cost(i-1, j-1)-sv.u[i]-sv.v[j] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (sv *Solver) solve(ctx context.Context, n int, cost func(i, j int) int64, warm bool) (assign []int, total int64, ok bool, err error) {
+	if n == 0 {
+		return nil, 0, true, nil
+	}
+	sv.grow(n)
+	warmOK := warm && sv.warmValid && sv.lastN == n && sv.dualsFeasible(n, cost)
+	if warm {
+		if warmOK {
+			sv.stats.WarmHits++
+		} else {
+			sv.stats.WarmMisses++
+		}
+	}
+	sv.lastWarm = warmOK
+	sv.lastN = n
+	sv.warmValid = false // until this solve completes
+	if !warmOK {
+		for j := range sv.u {
+			sv.u[j] = 0
+			sv.v[j] = 0
+		}
+	}
+	for j := range sv.p {
+		sv.p[j] = 0
+		sv.way[j] = 0
+	}
+	for i := 1; i <= n; i++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, 0, false, cerr
+			}
+		}
+		sv.minv[0] = 0
+		for j := 1; j <= n; j++ {
+			sv.minv[j] = inf
+		}
+		for j := range sv.used {
+			sv.used[j] = false
+		}
+		if !sv.augmentRow(i, n, cost) {
+			return nil, 0, false, nil // no augmenting path
+		}
+	}
+	for j := 1; j <= n; j++ {
+		sv.assign[sv.p[j]-1] = j - 1
+		c := cost(sv.p[j]-1, j-1)
+		if c >= Forbidden {
+			return nil, 0, false, nil
+		}
+		total += c
+	}
+	sv.stats.Solves++
+	sv.warmValid = true
+	return sv.assign[:n:n], total, true, nil
+}
+
+// augmentRow runs one shortest-path phase: it grows the alternating
+// tree from row i until a free column is reached, updating the dual
+// potentials, then flips the matching along the path. It reports false
+// when no augmenting path exists.
+//
+//mclegal:hotpath matching augment phase; TestSolverReuseZeroAlloc pins reused Solvers to 0 allocs/op
+func (sv *Solver) augmentRow(i, n int, cost func(i, j int) int64) bool {
+	sv.p[0] = i
+	j0 := 0
+	for {
+		sv.used[j0] = true
+		i0 := sv.p[j0]
+		var delta int64 = inf
+		j1 := -1
+		for j := 1; j <= n; j++ {
+			if sv.used[j] {
+				continue
+			}
+			//mclegal:alloc cost is a caller-supplied closure; its own allocation behaviour is the caller's
+			cur := cost(i0-1, j-1) - sv.u[i0] - sv.v[j]
+			if cur < sv.minv[j] {
+				sv.minv[j] = cur
+				sv.way[j] = j0
+			}
+			if sv.minv[j] < delta {
+				delta = sv.minv[j]
+				j1 = j
+			}
+		}
+		if j1 < 0 || delta >= inf/2 {
+			return false
+		}
+		for j := 0; j <= n; j++ {
+			if sv.used[j] {
+				sv.u[sv.p[j]] += delta
+				sv.v[j] -= delta
+			} else {
+				sv.minv[j] -= delta
+			}
+		}
+		j0 = j1
+		if sv.p[j0] == 0 {
+			break
+		}
+	}
+	for j0 != 0 {
+		j1 := sv.way[j0]
+		sv.p[j0] = sv.p[j1]
+		j0 = j1
+	}
+	return true
 }

@@ -35,6 +35,13 @@ type Options struct {
 	// faults.MatchingFail point fails the optimization before any
 	// group is solved. Nil disables injection.
 	Faults *faults.Injector
+	// WarmDuals carries the matching solver's dual potentials from one
+	// group into the next same-size group (validated for feasibility
+	// before use, so totals are still exactly optimal). Off by
+	// default: warm duals can pick a different tie among equal-cost
+	// optimal assignments, and the default path stays byte-identical
+	// to the cold solver.
+	WarmDuals bool
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +62,10 @@ type Stats struct {
 	Swapped int
 	// CostBefore and CostAfter are the summed φ costs over all groups.
 	CostBefore, CostAfter int64
+	// WarmHits and WarmMisses count the solver's warm-start attempts
+	// when Options.WarmDuals is set (a miss solved cold: first group,
+	// size change, or stored duals infeasible for the new costs).
+	WarmHits, WarmMisses int
 }
 
 // Phi evaluates Eq. (3) in integer DBU with δ0 given in DBU, returning
@@ -97,6 +108,7 @@ func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, 
 		t model.CellTypeID
 		f model.FenceID
 	}
+	var sv matching.Solver
 	groups := make(map[key][]model.CellID)
 	for i := range d.Cells {
 		c := &d.Cells[i]
@@ -149,11 +161,13 @@ func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, 
 				continue
 			}
 			st.Groups++
-			if err := optimizeGroup(ctx, d, ids[lo:hi], delta0, &st); err != nil {
+			if err := optimizeGroup(ctx, d, &sv, opt, ids[lo:hi], delta0, &st); err != nil {
 				return st, err
 			}
 		}
 	}
+	st.WarmHits = sv.Stats().WarmHits
+	st.WarmMisses = sv.Stats().WarmMisses
 	return st, nil
 }
 
@@ -161,7 +175,7 @@ func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, 
 // multiset of their positions. The ctx flows into the assignment
 // solver, where a large group's O(n^3) solve is the bulk of the
 // stage's work.
-func optimizeGroup(ctx context.Context, d *model.Design, ids []model.CellID, delta0 int64, st *Stats) error {
+func optimizeGroup(ctx context.Context, d *model.Design, sv *matching.Solver, opt Options, ids []model.CellID, delta0 int64, st *Stats) error {
 	n := len(ids)
 	pos := make([]geom.Pt, n)
 	for i, id := range ids {
@@ -177,7 +191,17 @@ func optimizeGroup(ctx context.Context, d *model.Design, ids []model.CellID, del
 	for i := 0; i < n; i++ {
 		before += cost(i, i)
 	}
-	assign, after, ok, err := matching.MinCostPerfectContext(ctx, n, cost)
+	var (
+		assign []int
+		after  int64
+		ok     bool
+		err    error
+	)
+	if opt.WarmDuals {
+		assign, after, ok, err = sv.MinCostPerfectWarmContext(ctx, n, cost)
+	} else {
+		assign, after, ok, err = sv.MinCostPerfectContext(ctx, n, cost)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,56 @@
+package maxdisp
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclegal/internal/model"
+)
+
+// WarmDuals must not change any cost figure: every group's matching is
+// exactly optimal either way, so the summed φ totals agree with the
+// cold path, and the warm-attempt counters account for every group.
+func TestWarmDualsMatchesColdCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d1 := newDesign()
+	for i := 0; i < 60; i++ {
+		place(d1, model.CellTypeID(i%2), rng.Intn(98), rng.Intn(10), (i*2)%98, i%10, 0)
+	}
+	d2 := d1.Clone()
+	cold := Optimize(d1, Options{MaxGroup: 16})
+	warm := Optimize(d2, Options{MaxGroup: 16, WarmDuals: true})
+	if cold.WarmHits != 0 || cold.WarmMisses != 0 {
+		t.Errorf("cold run counted warm attempts: %+v", cold)
+	}
+	if warm.CostBefore != cold.CostBefore || warm.CostAfter != cold.CostAfter {
+		t.Errorf("warm costs (%d->%d) differ from cold (%d->%d)",
+			warm.CostBefore, warm.CostAfter, cold.CostBefore, cold.CostAfter)
+	}
+	if warm.Groups != cold.Groups {
+		t.Errorf("group counts differ: %d vs %d", warm.Groups, cold.Groups)
+	}
+	if warm.WarmHits+warm.WarmMisses != warm.Groups {
+		t.Errorf("warm attempts %d+%d do not cover %d groups",
+			warm.WarmHits, warm.WarmMisses, warm.Groups)
+	}
+	// Hits across unrelated groups are opportunistic (the stored duals
+	// must stay feasible for the next group's costs), so only the
+	// accounting is asserted here; the hit path itself is pinned by the
+	// matching package's TestWarmDualsExactAndCounted.
+	// Positions must be a permutation within each (type, fence) group
+	// either way; comparing the full multisets of the two runs keeps
+	// the check simple.
+	pos := func(d *model.Design) map[[2]int]int {
+		m := map[[2]int]int{}
+		for i := range d.Cells {
+			m[[2]int{d.Cells[i].X, d.Cells[i].Y}]++
+		}
+		return m
+	}
+	p1, p2 := pos(d1), pos(d2)
+	for k, v := range p1 {
+		if p2[k] != v {
+			t.Fatalf("position multisets differ at %v: %d vs %d", k, v, p2[k])
+		}
+	}
+}

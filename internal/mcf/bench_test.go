@@ -5,29 +5,9 @@ import (
 	"testing"
 )
 
-// refinementLike builds a graph with the shape of the fixed-order
-// refinement network: n cell nodes all connected to a hub, plus chain
-// arcs.
-func refinementLike(n int, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	g := NewGraph(n + 1)
-	hub := n
-	for i := 0; i < n; i++ {
-		gx := int64(rng.Intn(1 << 16))
-		g.AddArc(i, hub, 4, gx)
-		g.AddArc(hub, i, 4, -gx)
-		g.AddArc(hub, i, 1<<20, -int64(rng.Intn(64)))
-		g.AddArc(i, hub, 1<<20, int64(rng.Intn(1<<16)))
-		if i > 0 && rng.Intn(4) != 0 {
-			g.AddArc(i-1, i, 1<<20, -int64(2+rng.Intn(6)))
-		}
-	}
-	return g
-}
-
 func BenchmarkSimplexRefinementShape(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g := refinementLike(5000, 7)
+		g := RefinementGraph(5000, 7)
 		res, err := g.Solve()
 		if err != nil {
 			b.Fatal(err)

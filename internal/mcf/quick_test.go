@@ -2,6 +2,7 @@ package mcf
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -113,6 +114,116 @@ func TestQuickCostScalingEqualsSimplex(t *testing.T) {
 		return g.VerifyOptimal(rc) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (a): all three pivot rules and all three solvers agree on
+// feasibility and optimal cost for arbitrary random instances, and
+// every simplex solution verifies.
+func TestQuickAllRulesAllSolversAgree(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 2
+		m := int(mRaw%24) + 1
+		g := randomGraph(rng, n, m, seed%2 == 0)
+		rs, errS := g.SolveWith(FirstEligible)
+		for _, rule := range []PivotRule{BlockSearch, CandidateList} {
+			r, err := g.SolveWith(rule)
+			if (errS == nil) != (err == nil) {
+				return false
+			}
+			if errS != nil {
+				continue
+			}
+			if r.Cost != rs.Cost || g.VerifyOptimal(r) != nil {
+				return false
+			}
+		}
+		rp, errP := g.SolveSSP()
+		rc, errC := g.SolveCostScaling()
+		if (errS == nil) != (errP == nil) || (errS == nil) != (errC == nil) {
+			return false
+		}
+		if errS != nil {
+			return true
+		}
+		return rp.Cost == rs.Cost && rc.Cost == rs.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (b): Resolve after arbitrary random cost/capacity
+// perturbations equals a cold Solve on the perturbed graph exactly
+// (optimal cost and a verified certificate).
+func TestQuickResolveEqualsCold(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 2
+		m := int(mRaw%24) + 1
+		g := randomGraph(rng, n, m, true)
+		sv := NewSolver()
+		if _, err := sv.SolveWith(g, FirstEligible); err != nil {
+			return true // infeasible base: nothing to resolve from
+		}
+		var ups []ArcUpdate
+		for a := 0; a < g.NumArcs(); a++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			arc := g.Arc(a)
+			ncap := arc.Cap + int64(rng.Intn(9)-4)
+			if ncap < 0 {
+				ncap = 0
+			}
+			ups = append(ups, ArcUpdate{Arc: a, Cost: arc.Cost + int64(rng.Intn(13)-6), Cap: ncap})
+		}
+		pg := ApplyUpdates(g, ups)
+		warm, werr := sv.Resolve(ups)
+		cold, cerr := pg.Solve()
+		if (werr == nil) != (cerr == nil) {
+			return false
+		}
+		if werr != nil {
+			return true
+		}
+		return warm.Cost == cold.Cost && pg.VerifyOptimal(warm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (c): a Solver reused across a randomized instance sequence
+// matches fresh-solver results byte-for-byte at every step.
+func TestQuickSolverReuseByteIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reused := NewSolver()
+		for it := 0; it < 6; it++ {
+			n := 2 + rng.Intn(12)
+			m := 1 + rng.Intn(30)
+			g := randomGraph(rng, n, m, it%2 == 0)
+			rule := allRules[it%len(allRules)]
+			var fresh Solver
+			fr, ferr := fresh.SolveWith(g, rule)
+			rr, rerr := reused.SolveWith(g, rule)
+			if (ferr == nil) != (rerr == nil) {
+				return false
+			}
+			if ferr != nil {
+				continue
+			}
+			if fr.Cost != rr.Cost || fr.Pivots != rr.Pivots ||
+				!slices.Equal(fr.Flow, rr.Flow) || !slices.Equal(fr.Pi, rr.Pi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
 	}
 }

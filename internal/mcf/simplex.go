@@ -10,17 +10,74 @@ import (
 type PivotRule int
 
 const (
+	// Auto picks a concrete rule from the instance size: FirstEligible
+	// below autoArcThreshold arcs, CandidateList above it. It is the
+	// zero value, so a zero-valued options struct gets the heuristic.
+	Auto PivotRule = iota
 	// FirstEligible scans arcs cyclically from the previous stop and
 	// enters the first arc that violates its optimality condition.
 	// This is the rule named by the paper (Section 3.3.1).
-	FirstEligible PivotRule = iota
+	FirstEligible
 	// BlockSearch scans a block of arcs and enters the most violating
 	// arc of the block; usually faster on large instances.
 	BlockSearch
+	// CandidateList keeps a queue of eligible arcs found by a major
+	// scan and serves minor pivots from it (most violating first),
+	// dropping entries that have gone stale; LEMON's default rule.
+	CandidateList
 )
+
+// autoArcThreshold is the instance size (arcs + artificial arcs) at
+// which Auto switches from FirstEligible to CandidateList. Tuned from
+// BENCH_mcf.json: the candidate list only pays for its major scans on
+// instances with enough arcs to amortize them.
+const autoArcThreshold = 4096
+
+// String returns the rule name as spelled in BENCH_mcf.json.
+func (r PivotRule) String() string {
+	switch r {
+	case Auto:
+		return "auto"
+	case FirstEligible:
+		return "first-eligible"
+	case BlockSearch:
+		return "block-search"
+	case CandidateList:
+		return "candidate-list"
+	default:
+		return fmt.Sprintf("PivotRule(%d)", int(r))
+	}
+}
+
+// resolveRule maps Auto to a concrete rule for an instance with size
+// total arcs (real + artificial) and rejects unknown values.
+func resolveRule(rule PivotRule, total int) (PivotRule, error) {
+	switch rule {
+	case Auto:
+		if total <= autoArcThreshold {
+			return FirstEligible, nil
+		}
+		return CandidateList, nil
+	case FirstEligible, BlockSearch, CandidateList:
+		return rule, nil
+	default:
+		return rule, fmt.Errorf("mcf: unknown pivot rule %d", rule)
+	}
+}
 
 // ErrInfeasible is returned when the supplies cannot be routed.
 var ErrInfeasible = errors.New("mcf: infeasible problem")
+
+// errUnknownRule is the allocation-free twin of resolveRule's error for
+// the pivot loop's default case; unreachable because every caller
+// validates the rule first.
+var errUnknownRule = errors.New("mcf: unknown pivot rule")
+
+// errPivotLimit is an internal signal: a warm-started run exceeded its
+// pivot budget (the repaired basis is not strongly feasible, so the
+// anti-cycling guarantee of the cold start does not apply) and the
+// solver should rebuild the all-artificial basis and solve cold.
+var errPivotLimit = errors.New("mcf: pivot limit exceeded")
 
 const (
 	stateLower int8 = 1
@@ -55,61 +112,116 @@ func (g *Graph) SolveWithContext(ctx context.Context, rule PivotRule) (*Result, 
 }
 
 func (g *Graph) solve(ctx context.Context, rule PivotRule) (*Result, error) {
-	if g.err != nil {
-		return nil, g.err
-	}
+	var sv Solver
+	return sv.solveGraph(ctx, g, rule)
+}
+
+// simplex is the solver state: one spanning tree over the n real nodes
+// plus an artificial root, with one artificial big-M arc per node
+// (arcs m..m+n-1) so any basis can be repaired back to feasibility.
+// All arrays are sized once per instance shape and reused across
+// solves by the owning Solver.
+type simplex struct {
+	n, m, root int
+	ctx        context.Context // nil: cancellation disabled
+
+	from, to   []int32
+	cap, cost  []int64
+	flow       []int64
+	state      []int8
+	supply     []int64 // copy of the instance supplies (Resolve needs them)
+	parent     []int32
+	parentArc  []int32
+	children   [][]int32
+	childIdx   []int32
+	pi         []int64
+	visited    []int32 // join-search stamps
+	stamp      int32
+	pivots     int
+	scanPos    int     // next arc to examine (first-eligible / block start)
+	cand       []int32 // candidate-list queue (most recent major scan)
+	subtreeBuf []int32
+	excess     []int64 // basis-repair scratch: per-node imbalance
+	orderBuf   []int32 // basis-repair scratch: tree preorder
+}
+
+// init sizes the state for g and copies its arcs and supplies, growing
+// the scratch arrays only when the shape outgrows their capacity, then
+// builds the initial all-artificial basis.
+func (s *simplex) init(g *Graph) {
 	n := len(g.supply)
 	m := len(g.arcs)
-	var sum int64
-	for _, b := range g.supply {
-		sum += b
-	}
-	if sum != 0 {
-		return nil, fmt.Errorf("mcf: supplies sum to %d, want 0: %w", sum, ErrInfeasible)
-	}
-
-	s := &simplex{
-		n:    n,
-		m:    m,
-		root: n,
-		ctx:  ctx,
-	}
+	s.n, s.m, s.root = n, m, n
 	total := m + n // real arcs then one artificial arc per node
-	s.from = make([]int32, total)
-	s.to = make([]int32, total)
-	s.cap = make([]int64, total)
-	s.cost = make([]int64, total)
-	s.flow = make([]int64, total)
-	s.state = make([]int8, total)
-
-	var artCost int64 = 1
+	if cap(s.from) < total {
+		s.from = make([]int32, total)
+		s.to = make([]int32, total)
+		s.cap = make([]int64, total)
+		s.cost = make([]int64, total)
+		s.flow = make([]int64, total)
+		s.state = make([]int8, total)
+	} else {
+		s.from = s.from[:total]
+		s.to = s.to[:total]
+		s.cap = s.cap[:total]
+		s.cost = s.cost[:total]
+		s.flow = s.flow[:total]
+		s.state = s.state[:total]
+	}
 	for a, arc := range g.arcs {
 		s.from[a] = int32(arc.From)
 		s.to[a] = int32(arc.To)
 		s.cap[a] = arc.Cap
 		s.cost[a] = arc.Cost
+	}
+	s.supply = append(s.supply[:0], g.supply...)
+
+	nn := n + 1
+	if cap(s.parent) < nn {
+		s.parent = make([]int32, nn)
+		s.parentArc = make([]int32, nn)
+		s.childIdx = make([]int32, nn)
+		s.pi = make([]int64, nn)
+		s.visited = make([]int32, nn)
+		s.stamp = 0
+	} else {
+		s.parent = s.parent[:nn]
+		s.parentArc = s.parentArc[:nn]
+		s.childIdx = s.childIdx[:nn]
+		s.pi = s.pi[:nn]
+		s.visited = s.visited[:nn]
+	}
+	if cap(s.children) < nn {
+		s.children = make([][]int32, nn)
+	} else {
+		s.children = s.children[:nn]
+	}
+	s.buildInitialBasis()
+}
+
+// buildInitialBasis resets flows and states to the all-artificial
+// strongly feasible tree: every node hangs off the artificial root
+// through an artificial arc oriented by its supply sign. It reads only
+// s.from/to/cost for the real arcs and s.supply, so a warm start that
+// went off the rails can rebuild the cold basis without the Graph.
+func (s *simplex) buildInitialBasis() {
+	n, m := s.n, s.m
+	var artCost int64 = 1
+	for a := 0; a < m; a++ {
+		s.flow[a] = 0
 		s.state[a] = stateLower
-		c := arc.Cost
+		c := s.cost[a]
 		if c < 0 {
 			c = -c
 		}
 		artCost += c
 	}
-
-	nn := n + 1
-	s.parent = make([]int32, nn)
-	s.parentArc = make([]int32, nn)
-	s.childIdx = make([]int32, nn)
-	s.children = make([][]int32, nn)
-	s.pi = make([]int64, nn)
-	s.visited = make([]int32, nn)
-
-	// Initial tree: every node hangs off the artificial root through an
-	// artificial arc oriented by its supply sign. This tree is strongly
-	// feasible.
+	for v := 0; v <= n; v++ {
+		s.children[v] = s.children[v][:0]
+	}
 	for v := 0; v < n; v++ {
 		a := m + v
-		b := g.supply[v]
+		b := s.supply[v]
 		if b >= 0 {
 			s.from[a] = int32(v)
 			s.to[a] = int32(s.root)
@@ -131,47 +243,11 @@ func (g *Graph) solve(ctx context.Context, rule PivotRule) (*Result, error) {
 	}
 	s.parent[s.root] = -1
 	s.parentArc[s.root] = -1
-
-	if err := s.run(rule); err != nil {
-		return nil, err
-	}
-
-	// Feasibility: all artificial arcs must be drained.
-	for a := m; a < total; a++ {
-		if s.flow[a] != 0 {
-			return nil, ErrInfeasible
-		}
-	}
-	res := &Result{
-		Flow:   s.flow[:m:m],
-		Pi:     s.pi[:n:n],
-		Pivots: s.pivots,
-	}
-	for a := 0; a < m; a++ {
-		res.Cost += res.Flow[a] * g.arcs[a].Cost
-	}
-	return res, nil
-}
-
-type simplex struct {
-	n, m, root int
-	ctx        context.Context // nil: cancellation disabled
-
-	from, to   []int32
-	cap, cost  []int64
-	flow       []int64
-	state      []int8
-	parent     []int32
-	parentArc  []int32
-	children   [][]int32
-	childIdx   []int32
-	pi         []int64
-	visited    []int32 // join-search stamps
-	stamp      int32
-	pivots     int
-	scanPos    int // next arc to examine (first-eligible / block start)
-	path1Buf   []int32
-	subtreeBuf []int32
+	s.childIdx[s.root] = 0
+	s.pi[s.root] = 0
+	s.pivots = 0
+	s.scanPos = 0
+	s.cand = s.cand[:0]
 }
 
 // reducedCost of arc a under current potentials.
@@ -193,7 +269,11 @@ func (s *simplex) eligible(a int) bool {
 	return false
 }
 
-func (s *simplex) run(rule PivotRule) error {
+// runPivots drives the simplex to optimality under rule. limit > 0
+// bounds the number of pivots (warm starts lose the strong-feasibility
+// anti-cycling guarantee, so the caller imposes a budget and falls
+// back to a cold basis on errPivotLimit); limit == 0 is unbounded.
+func (s *simplex) runPivots(rule PivotRule, limit int) error {
 	total := s.m + s.n
 	if total == 0 {
 		return nil
@@ -203,11 +283,32 @@ func (s *simplex) run(rule PivotRule) error {
 		bs *= 2
 		blockSize = bs
 	}
+	// Candidate-list sizing (LEMON's proportions): list length about
+	// sqrt(total)/4 with a floor, minor iterations about a tenth of it.
+	// The sqrt is approximated by doubling to stay off math.Sqrt.
+	sq := 1
+	for sq*sq < total {
+		sq *= 2
+	}
+	listLen := sq / 4
+	if listLen < 10 {
+		listLen = 10
+	}
+	minorLimit := listLen / 10
+	if minorLimit < 3 {
+		minorLimit = 3
+	}
+	minorLeft := 0
+	s.cand = s.cand[:0]
 	for {
 		if s.ctx != nil && s.pivots%ctxCheckInterval == 0 {
+			//mclegal:alloc ctx.Err is an interface call on the cancellation path only
 			if err := s.ctx.Err(); err != nil {
 				return err
 			}
+		}
+		if limit > 0 && s.pivots >= limit {
+			return errPivotLimit
 		}
 		in := -1
 		switch rule {
@@ -250,8 +351,55 @@ func (s *simplex) run(rule PivotRule) error {
 					break
 				}
 			}
+		case CandidateList:
+			for {
+				// Minor iteration: serve the most violating surviving
+				// candidate, compacting stale entries in place.
+				if minorLeft > 0 && len(s.cand) > 0 {
+					minorLeft--
+					var best int64
+					w := 0
+					for _, ca := range s.cand {
+						a := int(ca)
+						if !s.eligible(a) {
+							continue
+						}
+						s.cand[w] = ca
+						w++
+						v := s.reducedCost(a)
+						if v < 0 {
+							v = -v
+						}
+						if v > best {
+							best = v
+							in = a
+						}
+					}
+					s.cand = s.cand[:w]
+					if in >= 0 {
+						break
+					}
+				}
+				// Major iteration: rebuild the list with a cyclic scan.
+				// An empty list after a full scan proves optimality.
+				s.cand = s.cand[:0]
+				for cnt := 0; cnt < total && len(s.cand) < listLen; cnt++ {
+					a := s.scanPos
+					s.scanPos++
+					if s.scanPos == total {
+						s.scanPos = 0
+					}
+					if s.eligible(a) {
+						s.cand = append(s.cand, int32(a))
+					}
+				}
+				if len(s.cand) == 0 {
+					break
+				}
+				minorLeft = minorLimit
+			}
 		default:
-			return fmt.Errorf("mcf: unknown pivot rule %d", rule)
+			return errUnknownRule // unreachable: rules validated by resolveRule
 		}
 		if in < 0 {
 			return nil // optimal
@@ -435,4 +583,162 @@ func (s *simplex) removeChild(v int32) {
 		s.childIdx[moved] = i
 	}
 	s.children[p] = cs[:last]
+}
+
+// repairBasis makes the stored spanning tree primal feasible again
+// after arc cost/capacity updates. Non-tree arcs snap to their bound
+// under the new capacities; tree-arc flows are recomputed bottom-up
+// from conservation; a tree arc pushed outside [0, cap] is clamped to
+// its nearer bound and demoted to non-tree, with its node re-attached
+// to the root through the node's artificial arc, which carries the
+// residual imbalance. Potentials are then re-priced over the repaired
+// tree so every tree arc has reduced cost zero.
+func (s *simplex) repairBasis() {
+	n, m := s.n, s.m
+	total := m + n
+
+	// Costs changed, so the big-M of the artificial arcs must again
+	// dominate every real cost.
+	var artCost int64 = 1
+	for a := 0; a < m; a++ {
+		c := s.cost[a]
+		if c < 0 {
+			c = -c
+		}
+		artCost += c
+	}
+	for a := m; a < total; a++ {
+		s.cost[a] = artCost
+	}
+
+	// Non-tree arcs sit at a bound under the new capacities.
+	for a := 0; a < total; a++ {
+		switch s.state[a] {
+		case stateLower:
+			s.flow[a] = 0
+		case stateUpper:
+			s.flow[a] = s.cap[a]
+		case stateTree:
+			// recomputed below
+		}
+	}
+
+	// Per-node imbalance from supplies and non-tree flows; tree-arc
+	// flows must drain it toward the root.
+	nn := n + 1
+	if cap(s.excess) < nn {
+		s.excess = make([]int64, nn)
+	} else {
+		s.excess = s.excess[:nn]
+	}
+	for v := 0; v < n; v++ {
+		s.excess[v] = s.supply[v]
+	}
+	s.excess[s.root] = 0
+	for a := 0; a < total; a++ {
+		if s.state[a] == stateTree {
+			continue
+		}
+		s.excess[s.from[a]] -= s.flow[a]
+		s.excess[s.to[a]] += s.flow[a]
+	}
+
+	// Tree preorder, then process leaves-first so every node sees its
+	// children's carried flow before its own parent arc is set.
+	s.orderBuf = s.orderBuf[:0]
+	stack := s.subtreeBuf[:0]
+	stack = append(stack, int32(s.root))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.orderBuf = append(s.orderBuf, v)
+		stack = append(stack, s.children[v]...)
+	}
+	s.subtreeBuf = stack[:0]
+	for i := len(s.orderBuf) - 1; i >= 0; i-- {
+		v := s.orderBuf[i]
+		if int(v) == s.root {
+			continue
+		}
+		a := int(s.parentArc[v])
+		e := s.excess[v]
+		oldParent := s.parent[v]
+		var f int64
+		if s.from[a] == v {
+			f = e
+		} else {
+			f = -e
+		}
+		if a >= m {
+			// Artificial arc: solver-owned, re-orientable, unbounded.
+			if f < 0 {
+				s.from[a], s.to[a] = s.to[a], s.from[a]
+				f = -f
+			}
+			s.flow[a] = f
+			s.excess[oldParent] += e
+			continue
+		}
+		if f >= 0 && f <= s.cap[a] {
+			s.flow[a] = f
+			s.excess[oldParent] += e
+			continue
+		}
+		// Infeasible tree arc: clamp to the nearer bound, demote to
+		// non-tree, and re-attach v under the root via its artificial
+		// arc, which carries the residual imbalance.
+		var bound int64
+		if f > s.cap[a] {
+			bound = s.cap[a]
+			s.state[a] = stateUpper
+		} else {
+			s.state[a] = stateLower
+		}
+		s.flow[a] = bound
+		var carried int64
+		if s.from[a] == v {
+			carried = bound
+		} else {
+			carried = -bound
+		}
+		s.excess[oldParent] += carried
+		rem := e - carried
+		art := m + int(v)
+		s.removeChild(v)
+		s.parent[v] = int32(s.root)
+		s.parentArc[v] = int32(art)
+		s.childIdx[v] = int32(len(s.children[s.root]))
+		s.children[s.root] = append(s.children[s.root], v)
+		s.from[art] = v
+		s.to[art] = int32(s.root)
+		if rem < 0 {
+			s.from[art], s.to[art] = s.to[art], s.from[art]
+			rem = -rem
+		}
+		s.flow[art] = rem
+		s.state[art] = stateTree
+	}
+
+	// Re-price: every tree arc must have reduced cost zero under the
+	// (possibly repaired) tree and new costs.
+	s.pi[s.root] = 0
+	stack = s.subtreeBuf[:0]
+	stack = append(stack, int32(s.root))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range s.children[v] {
+			a := s.parentArc[c]
+			if s.from[a] == c {
+				s.pi[c] = s.pi[v] + s.cost[a]
+			} else {
+				s.pi[c] = s.pi[v] - s.cost[a]
+			}
+			stack = append(stack, c)
+		}
+	}
+	s.subtreeBuf = stack[:0]
+	s.pivots = 0
+	s.scanPos = 0
+	s.cand = s.cand[:0]
 }

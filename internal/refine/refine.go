@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"mclegal/internal/faults"
 	"mclegal/internal/geom"
@@ -51,6 +52,16 @@ type Options struct {
 	// faults.RefineInfeasible point reports min-cost-flow
 	// infeasibility instead of solving. Nil disables injection.
 	Faults *faults.Injector
+	// Rule selects the simplex pivot rule. The zero value is mcf.Auto,
+	// which picks FirstEligible (the paper's rule) or CandidateList by
+	// instance size — deterministic, since the network is a function of
+	// the design.
+	Rule mcf.PivotRule
+	// Solver, when non-nil, is reused across calls: scratch arrays are
+	// kept and a same-shape network (e.g. the ECO loop re-refining the
+	// same cells) warm-starts from the previous optimal basis. Nil
+	// solves with a private solver.
+	Solver *mcf.Solver
 }
 
 // Report describes the solved flow problem.
@@ -64,6 +75,15 @@ type Report struct {
 	Edges int
 	// Moved is the number of cells whose x changed.
 	Moved int
+	// Rule is the concrete pivot rule of the solve (Auto resolved).
+	// Across a sharded run it is the last shard's rule.
+	Rule mcf.PivotRule
+	// WarmHits and WarmMisses count solves that warm-started from a
+	// reused solver basis vs solved cold; sharded runs sum them.
+	WarmHits, WarmMisses int
+	// SolveNs is wall-clock nanoseconds inside the simplex solve
+	// (observability only — never feeds back into placement).
+	SolveNs int64
 }
 
 // Optimize shifts cells horizontally (rows and order unchanged) to the
@@ -264,11 +284,25 @@ func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt O
 	if opt.Faults.ShouldFire(faults.RefineInfeasible) {
 		return rep, fmt.Errorf("refine: injected: %w", mcf.ErrInfeasible)
 	}
-	res, err := g.SolveContext(ctx)
+	sv := opt.Solver
+	if sv == nil {
+		sv = mcf.NewSolver()
+	}
+	//mclegal:wallclock solve timing feeds Report.SolveNs (observability), never placement
+	solveStart := time.Now()
+	res, warm, err := sv.SolveGraphContext(ctx, g, opt.Rule)
+	//mclegal:wallclock solve timing feeds Report.SolveNs (observability), never placement
+	rep.SolveNs = time.Since(solveStart).Nanoseconds()
 	if err != nil {
 		return rep, fmt.Errorf("refine: %w", err)
 	}
 	rep.Pivots = res.Pivots
+	rep.Rule = sv.Stats().LastRule
+	if warm {
+		rep.WarmHits++
+	} else {
+		rep.WarmMisses++
+	}
 
 	// Node potentials are the legal x-coordinates.
 	piz := res.Pi[z]
