@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vet-json race check bench bench-smoke bench-json clean fuzz faults chaos
+.PHONY: all build test vet lint vet-json vet-concurrency race check bench bench-smoke bench-json clean fuzz faults chaos
 
 all: check
 
@@ -14,9 +14,10 @@ vet:
 # sandboxes have no module proxy, so it is only mandatory in CI where
 # the lint job installs it), and the in-tree mclegal-vet analyzer suite
 # enforcing the determinism/aliasing/numeric/allocation/exhaustiveness
-# invariants (docs/STATIC_ANALYSIS.md). Any diagnostic fails the
-# target. The second mclegal-vet run is the self-check: the analysis
-# machinery is held to its own rules.
+# and concurrency (goleak, lockguard, sharedwrite) invariants
+# (docs/STATIC_ANALYSIS.md). Any diagnostic fails the target. The
+# second mclegal-vet run is the self-check: the analysis machinery is
+# held to its own rules.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -31,6 +32,18 @@ lint: vet
 # for editor and CI-annotation tooling. Exit codes match the text mode.
 vet-json:
 	$(GO) run ./cmd/mclegal-vet -json ./...
+
+# The concurrency analyzers alone, as JSON, over the packages that
+# spawn or synchronize (scope.ConcurrencyScope mirrored here): the
+# focused gate the CI vet-concurrency job runs and archives. A clean
+# run writes [] to vet-concurrency.json; any finding fails the target
+# after the file is written.
+vet-concurrency:
+	$(GO) run ./cmd/mclegal-vet -run goleak,lockguard,sharedwrite -json \
+		./internal/mgl ./internal/stage ./internal/shard \
+		./internal/serve ./internal/faults ./cmd/mclegald \
+		> vet-concurrency.json; \
+	status=$$?; cat vet-concurrency.json; exit $$status
 
 test:
 	$(GO) test ./...

@@ -2,18 +2,25 @@
 // (internal/analysis) over the module: cancellation plumbing (ctxflow),
 // enum coverage (exhaustive), determinism (maporder, nowallclock),
 // aliasing (scratchescape), numeric (floatcmp), hot-path allocation
-// (noalloc), and error-taxonomy (typederr) invariants. See
-// docs/STATIC_ANALYSIS.md.
+// (noalloc), error-taxonomy (typederr), and concurrency (goleak,
+// lockguard, sharedwrite) invariants. See docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
-//	mclegal-vet [-json] [packages]
+//	mclegal-vet [-json] [-run analyzer,...] [packages]
+//	mclegal-vet -list
 //
 // Package arguments are import paths of this module or the ./... and
 // ./dir/... wildcard forms; with no arguments it checks ./... from the
 // working directory's module root. All named packages are loaded as
 // one program, so cross-package analyses (the noalloc call-graph
 // proof) see every function body named on the command line.
+//
+// -run restricts the run to a comma-separated subset of analyzers (an
+// unknown name is a usage error), so CI jobs and golden tests can
+// target one analyzer without paying for the rest; exit-code and -json
+// behavior are unchanged. -list prints each analyzer's name and
+// one-line doc and exits 0.
 //
 // With -json, diagnostics are emitted as a single JSON array of
 // {file, line, column, analyzer, message} objects in the same stable
@@ -54,10 +61,40 @@ func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("mclegal-vet", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "print the analyzer names and docs, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	args = fs.Args()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if *runFilter != "" {
+		byName := make(map[string]*framework.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*runFilter, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mclegal-vet: unknown analyzer %q (run mclegal-vet -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
 
 	modRoot, modPath, err := findModule()
 	if err != nil {
@@ -79,7 +116,7 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
 		return 2
 	}
-	diags, err := prog.Run(analysis.All())
+	diags, err := prog.Run(analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mclegal-vet: %v\n", err)
 		return 2

@@ -118,6 +118,135 @@ func TestRunJSONClean(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-list"}, &buf); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"ctxflow", "exhaustive", "floatcmp", "goleak", "lockguard",
+		"maporder", "noalloc", "nowallclock", "scratchescape", "sharedwrite", "typederr",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 11 {
+		t.Errorf("-list printed %d lines, want 11:\n%s", len(lines), out)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": dirty})
+	t.Chdir(root)
+
+	// The violations are exhaustive's; filtering to maporder must turn
+	// the run clean without changing exit-code semantics.
+	var buf bytes.Buffer
+	if code := run([]string{"-run", "maporder", "./..."}, &buf); code != 0 {
+		t.Fatalf("filtered-clean exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-run", "exhaustive,maporder", "./..."}, &buf); code != 1 {
+		t.Fatalf("filtered-dirty exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	if got := strings.Count(buf.String(), ": exhaustive: "); got != 2 {
+		t.Errorf("filtered run found %d exhaustive findings, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-run", "nonesuch", "./..."}, &buf); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for an unknown analyzer name", code)
+	}
+}
+
+// multiDirty sits at an internal/mgl-suffixed import path so the
+// deterministic-core analyzers scope onto it: one early nowallclock
+// line, one line where maporder and nowallclock both diagnose, and one
+// late maporder line — enough to assert the stable global position
+// sort across analyzers.
+const multiDirty = `package mgl
+
+import "time"
+
+func Wall() int64 {
+	return time.Now().Unix()
+}
+
+func SameLine(m map[int]int) int {
+	total := 0
+	for k := range m { total = total + k + int(time.Now().Unix()) }
+	return total
+}
+
+func OrderDep(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func TestRunJSONMultiAnalyzer(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/mgl/m.go": multiDirty})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &buf); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, buf.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["nowallclock"] != 2 || byAnalyzer["maporder"] != 2 {
+		t.Fatalf("diagnostics per analyzer = %v, want 2 nowallclock and 2 maporder:\n%s", byAnalyzer, buf.String())
+	}
+	// Two analyzers must diagnose the SameLine range statement's line.
+	lineCount := make(map[int]map[string]bool)
+	for _, d := range diags {
+		if lineCount[d.Line] == nil {
+			lineCount[d.Line] = make(map[string]bool)
+		}
+		lineCount[d.Line][d.Analyzer] = true
+	}
+	shared := false
+	for _, analyzers := range lineCount {
+		if analyzers["maporder"] && analyzers["nowallclock"] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("no line diagnosed by both analyzers:\n%s", buf.String())
+	}
+	// Global order: (file, line, column, analyzer), across analyzers.
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ordered := a.File < b.File ||
+			(a.File == b.File && (a.Line < b.Line ||
+				(a.Line == b.Line && (a.Column < b.Column ||
+					(a.Column == b.Column && a.Analyzer <= b.Analyzer)))))
+		if !ordered {
+			t.Errorf("diagnostics %d and %d out of global position order:\n%s", i-1, i, buf.String())
+		}
+	}
+}
+
 func TestRunBadPattern(t *testing.T) {
 	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
 	t.Chdir(root)

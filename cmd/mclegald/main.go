@@ -138,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer signal.Stop(sigs)
 
 	drained := make(chan error, 1)
+	//mclegal:daemon blocks on the OS signal channel for the process lifetime; the drain handoff below joins it on the shutdown path
 	go func() {
 		<-sigs
 		lg.Printf("draining (grace %v)", *grace)

@@ -8,10 +8,13 @@ import (
 	"mclegal/internal/analysis/exhaustive"
 	"mclegal/internal/analysis/floatcmp"
 	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/goleak"
+	"mclegal/internal/analysis/lockguard"
 	"mclegal/internal/analysis/maporder"
 	"mclegal/internal/analysis/noalloc"
 	"mclegal/internal/analysis/nowallclock"
 	"mclegal/internal/analysis/scratchescape"
+	"mclegal/internal/analysis/sharedwrite"
 	"mclegal/internal/analysis/typederr"
 )
 
@@ -21,10 +24,13 @@ func All() []*framework.Analyzer {
 		ctxflow.Analyzer,
 		exhaustive.Analyzer,
 		floatcmp.Analyzer,
+		goleak.Analyzer,
+		lockguard.Analyzer,
 		maporder.Analyzer,
 		noalloc.Analyzer,
 		nowallclock.Analyzer,
 		scratchescape.Analyzer,
+		sharedwrite.Analyzer,
 		typederr.Analyzer,
 	}
 }

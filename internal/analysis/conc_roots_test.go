@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"go/types"
+	"testing"
+
+	"mclegal/internal/analysis/goleak"
+)
+
+// TestGoleakRootsMatchLeakTests pins the static goroutine-lifetime
+// proof to the dynamic leak tests, the way
+// TestHotPathRootsMatchDynamicProof pins noalloc to the AllocsPerRun
+// benchmarks. Every spawn site goleak inventories must live in a
+// function with a named dynamic witness — a leak test that counts
+// goroutines across the spawn/join cycle, or (for the one daemon) the
+// lifecycle test that drives the shutdown path end to end:
+//
+//	(*mgl.Legalizer).startPool   — mgl.TestPoolShutdownNoGoroutineLeak
+//	(*stage.ShardedPipeline).Run — stage.TestShardedRunNoGoroutineLeak
+//	mclegald run                 — mclegald.TestServeAndGracefulShutdown
+//	                               (daemon: joined only on the
+//	                               signal-driven shutdown path)
+//
+// Both directions are checked: a witnessed function that stops
+// spawning means the dynamic test exercises nothing; a spawn site
+// outside the witnessed set means a goroutine with no leak test
+// behind its static proof. Adding a spawn site to the concurrency
+// scope requires adding its leak test here.
+func TestGoleakRootsMatchLeakTests(t *testing.T) {
+	prog := loadScopedProgram(t)
+	spawns, err := goleak.Spawns(prog)
+	if err != nil {
+		t.Fatalf("collecting spawn inventory: %v", err)
+	}
+	if len(spawns) == 0 {
+		t.Fatal("no spawn sites inventoried; the goleak analyzer is proving nothing")
+	}
+
+	anchors := []struct {
+		pkg, typ, fn string
+		daemon       bool
+		witness      string
+	}{
+		{"mclegal/internal/mgl", "Legalizer", "startPool", false, "mgl.TestPoolShutdownNoGoroutineLeak"},
+		{"mclegal/internal/stage", "ShardedPipeline", "Run", false, "stage.TestShardedRunNoGoroutineLeak"},
+		{"mclegal/cmd/mclegald", "", "run", true, "mclegald.TestServeAndGracefulShutdown"},
+	}
+
+	witnessed := make(map[*types.Func]int) // anchor func -> index
+	for i, a := range anchors {
+		pkg := prog.Package(a.pkg)
+		if pkg == nil {
+			t.Fatalf("%s not in the scoped program", a.pkg)
+		}
+		var fn *types.Func
+		if a.typ == "" {
+			fn, _ = pkg.Types.Scope().Lookup(a.fn).(*types.Func)
+		} else {
+			tn, _ := pkg.Types.Scope().Lookup(a.typ).(*types.TypeName)
+			if tn == nil {
+				t.Fatalf("%s.%s not found", a.pkg, a.typ)
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, a.fn)
+			fn, _ = obj.(*types.Func)
+		}
+		if fn == nil {
+			t.Fatalf("%s: anchor %s.%s not found", a.witness, a.typ, a.fn)
+		}
+		witnessed[fn] = i
+
+		found := false
+		for _, sp := range spawns {
+			if sp.Fn != fn {
+				continue
+			}
+			found = true
+			if sp.Daemon != a.daemon {
+				t.Errorf("%s: spawn at %s has daemon=%v, want %v (witness %s)",
+					fn.FullName(), prog.Fset().Position(sp.Pos), sp.Daemon, a.daemon, a.witness)
+			}
+		}
+		if !found {
+			t.Errorf("%s no longer spawns; its leak test %s exercises nothing — update the anchor table",
+				fn.FullName(), a.witness)
+		}
+	}
+
+	for _, sp := range spawns {
+		if _, ok := witnessed[sp.Fn]; !ok {
+			t.Errorf("spawn at %s (in %s) has no dynamic leak-test witness; add the leak test and its anchor here",
+				prog.Fset().Position(sp.Pos), sp.Fn.FullName())
+		}
+	}
+}

@@ -26,6 +26,7 @@ package framework
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -55,6 +56,7 @@ type Node struct {
 	In   []*Edge
 
 	summary *Summary
+	conc    *ConcSummary
 }
 
 // An Edge is one (conservative) call.
@@ -264,6 +266,121 @@ func (g *CallGraph) implementations(iface *types.Interface, m *types.Func) []*ty
 		}
 	}
 	return out
+}
+
+// A BlockWitness explains why a function may block: the kind and
+// position of one concrete blocking operation, and the node whose body
+// contains it (which may be a transitive callee of the function the
+// witness was attached to).
+type BlockWitness struct {
+	Kind  BlockKind
+	Pos   token.Pos
+	Owner *Node
+}
+
+// MayBlock computes, bottom-up over the Tarjan SCC order, which nodes
+// may perform a potentially unbounded blocking operation — a channel
+// send/receive, a default-less select, or a WaitGroup.Wait — either
+// directly or through a static call chain. Lock acquisitions are
+// deliberately not counted (almost every mutex-using helper would
+// qualify, drowning the signal); callers that care about
+// lock-acquire-under-lock check direct BlockLock sites themselves.
+// External callees and dynamic/interface dispatch are treated as
+// non-blocking: this is a may-analysis whose findings must be real,
+// not a must-analysis.
+func (g *CallGraph) MayBlock() map[*Node]*BlockWitness {
+	res := make(map[*Node]*BlockWitness)
+	for _, comp := range g.SCCs() {
+		// Two passes fix the members of a cyclic component against each
+		// other; callees outside the component are already final.
+		for pass := 0; pass < 2; pass++ {
+			for _, n := range comp {
+				if res[n] != nil || n.External() {
+					continue
+				}
+				c := n.Conc()
+				for _, b := range c.Blocks {
+					if b.Kind != BlockLock {
+						res[n] = &BlockWitness{Kind: b.Kind, Pos: b.Pos, Owner: n}
+						break
+					}
+				}
+				if res[n] != nil {
+					continue
+				}
+				for _, call := range c.Calls {
+					if w := res[g.Node(call.Callee)]; w != nil {
+						res[n] = w
+						break
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// InheritedHeld computes, top-down over the call graph, the set of
+// mutexes every caller provably holds at every call site of a
+// function — the guard context a function body can rely on even though
+// it never locks anything itself (the `locked` helper-method idiom).
+// The set is the intersection over all in-edges of (caller's own
+// inherited set ∪ guards held at the site); call sites inside spawned
+// goroutine bodies contribute only their recorded site guards, never
+// the spawner's inheritance, because a goroutine does not hold its
+// spawner's locks. Members of multi-node cycles and functions with no
+// in-edges get the empty set.
+func (g *CallGraph) InheritedHeld() map[*Node]GuardSet {
+	res := make(map[*Node]GuardSet)
+	comps := g.SCCs()
+	for i := len(comps) - 1; i >= 0; i-- {
+		comp := comps[i]
+		if len(comp) > 1 {
+			for _, n := range comp {
+				res[n] = make(GuardSet)
+			}
+			continue
+		}
+		n := comp[0]
+		inter := make(GuardSet)
+		first := true
+		for _, e := range n.In {
+			if e.Caller == n {
+				continue // self-recursion neither adds nor removes guards
+			}
+			contrib := make(GuardSet)
+			held := e.Caller.Conc().CallHeld[e.Site]
+			inSpawn := e.Caller.Conc().InSpawnSite(e.Site)
+			if !inSpawn {
+				for m, mode := range res[e.Caller] {
+					contrib[m] = mode
+				}
+			}
+			for m, mode := range held {
+				if mode > contrib[m] {
+					contrib[m] = mode
+				}
+			}
+			if first {
+				inter = contrib
+				first = false
+				continue
+			}
+			for m, mode := range inter {
+				cm, ok := contrib[m]
+				if !ok {
+					delete(inter, m)
+				} else if cm < mode {
+					inter[m] = cm // the weaker guarantee wins
+				}
+			}
+			if len(inter) == 0 {
+				break
+			}
+		}
+		res[n] = inter
+	}
+	return res
 }
 
 // unwrapFun strips parens and generic instantiation indexes from a

@@ -1,0 +1,329 @@
+package framework_test
+
+import (
+	"go/token"
+	"testing"
+
+	"mclegal/internal/analysis/framework"
+)
+
+// concFixture is one package exercising every fact family the
+// concurrency walker extracts: guarded and unguarded field accesses,
+// deferred and explicit unlocks, branch-scoped locks, spawn sites of
+// all three shapes, channel and WaitGroup operations, and the helper
+// idiom InheritedHeld exists for.
+const concFixture = `package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Explicit() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // unguarded: lock released above
+}
+
+func (c *Counter) Branch(cond bool) {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+	c.n-- // the branch's lock does not cover this
+}
+
+// locked is the helper idiom: it touches c.n with no lock of its own,
+// relying on every caller holding c.mu.
+func (c *Counter) locked() { c.n *= 2 }
+
+func (c *Counter) CallsLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.locked()
+}
+
+func (c *Counter) CallsLockedToo() {
+	c.mu.Lock()
+	c.locked()
+	c.mu.Unlock()
+}
+
+// mixed touches c.n both under and outside the lock, so helpers it
+// calls inherit nothing.
+func (c *Counter) mixed() { c.naked() }
+
+func (c *Counter) naked() { c.n++ }
+
+func SpawnShapes(c *Counter, f func()) {
+	done := make(chan struct{})
+	go func() {
+		c.n++
+		done <- struct{}{}
+	}()
+	go c.Bump()
+	go f()
+	<-done
+}
+
+func Fresh() *Counter {
+	c := &Counter{}
+	c.n = 7 // constructor init: fresh, not a shared write
+	return c
+}
+
+func Blocky(ch chan int) int { return <-ch }
+
+func CallsBlocky(ch chan int) int { return Blocky(ch) }
+
+func LockOnly(c *Counter) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func SpawnedBlockOnly(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+func Selecty(a, b chan int) {
+	select {
+	case <-a:
+	case b <- 1:
+	}
+}
+
+func NonBlockingSelect(a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func Waits(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`
+
+func loadConc(t *testing.T) (*framework.Program, *framework.CallGraph) {
+	t.Helper()
+	ld := writeFixtureModule(t, map[string]string{"a/a.go": concFixture})
+	return loadGraph(t, ld, "a")
+}
+
+func fieldAccesses(c *framework.ConcSummary, name string) []framework.FieldAccess {
+	var out []framework.FieldAccess
+	for _, a := range c.Accesses {
+		if a.Obj.Name() == name && a.Obj.IsField() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestGuardTracking(t *testing.T) {
+	_, cg := loadConc(t)
+
+	bump := nodeByName(t, cg, "(*a.Counter).Bump").Conc()
+	for _, a := range fieldAccesses(bump, "n") {
+		if len(a.Held) != 1 {
+			t.Errorf("Bump: access to n at %v held=%v, want exactly the mutex", a.Pos, a.Held)
+		}
+		for _, mode := range a.Held {
+			if mode != framework.GuardWrite {
+				t.Errorf("Bump: want write-mode guard, got %v", mode)
+			}
+		}
+	}
+
+	// Explicit: first n access guarded, post-Unlock access not.
+	expl := nodeByName(t, cg, "(*a.Counter).Explicit").Conc()
+	ns := fieldAccesses(expl, "n")
+	if len(ns) != 2 {
+		t.Fatalf("Explicit: %d accesses to n, want 2", len(ns))
+	}
+	if len(ns[0].Held) != 1 || len(ns[1].Held) != 0 {
+		t.Errorf("Explicit: held sets %v / %v, want guarded then unguarded", ns[0].Held, ns[1].Held)
+	}
+
+	// Branch: the lock taken inside the if does not cover the tail.
+	br := nodeByName(t, cg, "(*a.Counter).Branch").Conc()
+	ns = fieldAccesses(br, "n")
+	if len(ns) != 2 {
+		t.Fatalf("Branch: %d accesses to n, want 2", len(ns))
+	}
+	if len(ns[0].Held) != 1 || len(ns[1].Held) != 0 {
+		t.Errorf("Branch: held sets %v / %v, want guarded then unguarded", ns[0].Held, ns[1].Held)
+	}
+}
+
+func TestSpawnShapes(t *testing.T) {
+	_, cg := loadConc(t)
+	c := nodeByName(t, cg, "a.SpawnShapes").Conc()
+	if len(c.Spawns) != 3 {
+		t.Fatalf("SpawnShapes: %d spawns, want 3", len(c.Spawns))
+	}
+	lit, named, dyn := c.Spawns[0], c.Spawns[1], c.Spawns[2]
+	if lit.Body == nil || lit.BodyLit == nil {
+		t.Errorf("literal spawn: want a sub-summary body")
+	} else {
+		if got := fieldAccesses(lit.Body, "n"); len(got) != 1 || !got[0].Write {
+			t.Errorf("literal spawn body: accesses to n = %v, want one write", got)
+		}
+		if len(lit.Body.Sends) != 1 {
+			t.Errorf("literal spawn body: %d sends, want 1", len(lit.Body.Sends))
+		}
+		if lit.Body.TailSend == nil {
+			t.Errorf("literal spawn body: want TailSend (done <- at tail)")
+		}
+	}
+	if named.Callee == nil || named.Callee.Name() != "Bump" {
+		t.Errorf("named spawn: callee = %v, want Bump", named.Callee)
+	}
+	if !dyn.Dynamic {
+		t.Errorf("func-value spawn: want Dynamic")
+	}
+	// The spawned body's send folds into the encloser's index, but its
+	// blocking op must NOT appear among the encloser's own Blocks.
+	if len(c.Sends) != 1 {
+		t.Errorf("encloser: %d sends folded, want 1", len(c.Sends))
+	}
+	for _, b := range c.Blocks {
+		if b.Kind == framework.BlockSend {
+			t.Errorf("encloser Blocks contains the spawned body's send")
+		}
+	}
+	var recvs int
+	for _, b := range c.Blocks {
+		if b.Kind == framework.BlockRecv {
+			recvs++
+		}
+	}
+	if recvs != 1 {
+		t.Errorf("encloser: %d direct recv blocks, want 1 (<-done)", recvs)
+	}
+}
+
+func TestFreshDetection(t *testing.T) {
+	_, cg := loadConc(t)
+	c := nodeByName(t, cg, "a.Fresh").Conc()
+	ns := fieldAccesses(c, "n")
+	if len(ns) != 1 || !ns[0].Fresh {
+		t.Errorf("Fresh: accesses = %+v, want one fresh write", ns)
+	}
+}
+
+func TestSelectAndWaitFacts(t *testing.T) {
+	_, cg := loadConc(t)
+
+	sel := nodeByName(t, cg, "a.Selecty").Conc()
+	var kinds []framework.BlockKind
+	for _, b := range sel.Blocks {
+		kinds = append(kinds, b.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != framework.BlockSelect {
+		t.Errorf("Selecty: blocks = %v, want one BlockSelect", kinds)
+	}
+	if len(sel.Recvs) != 1 || len(sel.Sends) != 1 {
+		t.Errorf("Selecty: recvs=%d sends=%d, want 1/1 (select comms still indexed)", len(sel.Recvs), len(sel.Sends))
+	}
+
+	nb := nodeByName(t, cg, "a.NonBlockingSelect").Conc()
+	if len(nb.Blocks) != 0 {
+		t.Errorf("NonBlockingSelect: blocks = %v, want none (has default)", nb.Blocks)
+	}
+
+	w := nodeByName(t, cg, "a.Waits").Conc()
+	if len(w.WGAdds) != 1 || len(w.WGWaits) != 1 {
+		t.Errorf("Waits: adds=%d waits=%d, want 1/1", len(w.WGAdds), len(w.WGWaits))
+	}
+	if len(w.WGDones) != 1 || !w.WGDones[0].Deferred {
+		t.Errorf("Waits: dones=%+v, want one deferred (folded from spawn body)", w.WGDones)
+	}
+	if len(w.Spawns) != 1 || w.Spawns[0].Body == nil || w.Spawns[0].Body.TailDone == nil {
+		t.Errorf("Waits: want spawned body with TailDone")
+	}
+}
+
+func TestMayBlockPropagation(t *testing.T) {
+	_, cg := loadConc(t)
+	mb := cg.MayBlock()
+
+	blocky := nodeByName(t, cg, "a.Blocky")
+	calls := nodeByName(t, cg, "a.CallsBlocky")
+	if mb[blocky] == nil {
+		t.Fatalf("Blocky: want may-block witness")
+	}
+	w := mb[calls]
+	if w == nil {
+		t.Fatalf("CallsBlocky: want may-block via static callee")
+	}
+	if w.Owner != blocky || w.Kind != framework.BlockRecv {
+		t.Errorf("CallsBlocky witness = %+v, want Blocky's recv", w)
+	}
+
+	if mb[nodeByName(t, cg, "a.LockOnly")] != nil {
+		t.Errorf("LockOnly: lock acquisition alone must not count as may-block")
+	}
+	if mb[nodeByName(t, cg, "a.SpawnedBlockOnly")] != nil {
+		t.Errorf("SpawnedBlockOnly: a block inside a spawned body must not leak to the spawner")
+	}
+}
+
+func TestInheritedHeld(t *testing.T) {
+	_, cg := loadConc(t)
+	ih := cg.InheritedHeld()
+
+	locked := nodeByName(t, cg, "(*a.Counter).locked")
+	if got := ih[locked]; len(got) != 1 {
+		t.Errorf("locked: inherited = %v, want the mutex from both callers", got)
+	}
+	// naked is called from mixed, which holds nothing.
+	naked := nodeByName(t, cg, "(*a.Counter).naked")
+	if got := ih[naked]; len(got) != 0 {
+		t.Errorf("naked: inherited = %v, want empty", got)
+	}
+	// Bump is called both directly (no locks) and as a spawn target;
+	// either way it inherits nothing.
+	bump := nodeByName(t, cg, "(*a.Counter).Bump")
+	if got := ih[bump]; len(got) != 0 {
+		t.Errorf("Bump: inherited = %v, want empty", got)
+	}
+}
+
+func TestDirectiveAt(t *testing.T) {
+	ld := writeFixtureModule(t, map[string]string{"a/a.go": `package a
+
+//mclegal:daemon serves until process exit
+func Daemon() {}
+
+func Plain() {}
+`})
+	prog, cg := loadGraph(t, ld, "a")
+	d := nodeByName(t, cg, "a.Daemon")
+	if reason, ok := prog.DirectiveAt("daemon", d.Decl.Pos()); !ok || reason != "serves until process exit" {
+		t.Errorf("DirectiveAt(daemon) = %q, %v", reason, ok)
+	}
+	p := nodeByName(t, cg, "a.Plain")
+	if _, ok := prog.DirectiveAt("daemon", p.Decl.Pos()); ok {
+		t.Errorf("Plain: unexpected daemon directive")
+	}
+	if _, ok := prog.DirectiveAt("daemon", token.NoPos); ok {
+		t.Errorf("NoPos: unexpected directive hit")
+	}
+}

@@ -99,6 +99,29 @@ func (p *Program) CacheLoad(key string, build func() (any, error)) (any, error) 
 	return v, nil
 }
 
+// DirectiveAt reports whether a //mclegal:<name> directive covers the
+// source line of pos or the line above it — the same placement rule
+// Pass.Suppressed applies — and returns its justification text. It
+// lets program-scoped inventories (e.g. goleak's spawn roots) consult
+// directives outside the reporting path.
+func (p *Program) DirectiveAt(name string, pos token.Pos) (reason string, ok bool) {
+	fset := p.Fset()
+	if fset == nil || !pos.IsValid() {
+		return "", false
+	}
+	position := fset.Position(pos)
+	lines := p.directives[position.Filename]
+	if lines == nil {
+		return "", false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if d, found := lines[line]; found && d.name == name {
+			return d.reason, true
+		}
+	}
+	return "", false
+}
+
 // Run applies every analyzer to every package of the program and
 // returns the combined diagnostics ordered by position (file, line,
 // column, analyzer) — the stable order the -json output mode relies

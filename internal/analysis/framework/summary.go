@@ -474,6 +474,208 @@ func isBuiltinCall(info *types.Info, e ast.Expr, name string) bool {
 	return ok && b.Name() == name
 }
 
+// ---- Concurrency summaries ----
+//
+// Alongside allocation facts, a function summary learns the
+// concurrency shape of its body: spawn sites (go statements, keyed
+// like alloc sites), blocking operations (channel send/recv/select,
+// WaitGroup.Wait, mutex acquisition), and guard facts — which
+// sync.Mutex/RWMutex objects are held at every field access and call
+// site, tracked by a Lock/Unlock pairing walk over the statement
+// structure with defer handling. The goleak, lockguard and sharedwrite
+// analyzers consume these bottom-up over CallGraph.SCCs (MayBlock) and
+// top-down over the in-edges (InheritedHeld).
+
+// GuardMode distinguishes how a mutex is held: GuardWrite for Lock,
+// GuardRead for RLock. A write access to a field guarded by an RWMutex
+// needs GuardWrite; a read is satisfied by either mode.
+type GuardMode int
+
+const (
+	// GuardRead is a shared (RLock) hold.
+	GuardRead GuardMode = iota + 1
+	// GuardWrite is an exclusive (Lock) hold.
+	GuardWrite
+)
+
+// A GuardSet maps each held mutex object (a sync.Mutex/RWMutex field
+// or variable) to the strongest mode held. Mutexes are keyed by their
+// types.Var, so s.mu resolves to the same guard across every method of
+// the type regardless of receiver name.
+type GuardSet map[*types.Var]GuardMode
+
+// Clone copies the set (nil-safe).
+func (g GuardSet) Clone() GuardSet {
+	out := make(GuardSet, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+// Holds reports whether m is held in at least mode (GuardRead is
+// satisfied by GuardWrite).
+func (g GuardSet) Holds(m *types.Var, mode GuardMode) bool { return g[m] >= mode }
+
+// BlockKind classifies one potentially blocking operation.
+type BlockKind int
+
+const (
+	// BlockSend is a channel send (including a semaphore acquire on a
+	// chan struct{} slot pool).
+	BlockSend BlockKind = iota
+	// BlockRecv is a channel receive (including range-over-channel).
+	BlockRecv
+	// BlockSelect is a select statement with no default clause.
+	BlockSelect
+	// BlockWait is a (*sync.WaitGroup).Wait call.
+	BlockWait
+	// BlockLock is a mutex acquisition (Lock or RLock).
+	BlockLock
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockSend:
+		return "channel send"
+	case BlockRecv:
+		return "channel receive"
+	case BlockSelect:
+		return "blocking select"
+	case BlockWait:
+		return "WaitGroup.Wait"
+	case BlockLock:
+		return "mutex acquisition"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// A BlockSite is one potentially blocking operation in a function
+// body, with the guards held on entry to it.
+type BlockSite struct {
+	Kind BlockKind
+	Pos  token.Pos
+	// Chan is the channel operated on (send/recv), when it resolves to
+	// a variable or field; nil for untrackable operands.
+	Chan *types.Var
+	// Mutex is the lock being acquired (BlockLock only).
+	Mutex *types.Var
+	// Held are the guards held entering the operation (before a
+	// BlockLock acquisition takes effect).
+	Held GuardSet
+}
+
+// A FieldAccess is one read or write of a struct field, package-level
+// variable, or local, with the guards held at the access.
+type FieldAccess struct {
+	// Obj is the accessed variable: a struct field object for selector
+	// accesses (shared across all instances of the type), or the local
+	// or package-level variable itself.
+	Obj   *types.Var
+	Write bool
+	Pos   token.Pos
+	Held  GuardSet
+	// Fresh marks accesses whose base object was constructed in this
+	// function (assigned from a composite literal or new): the object
+	// is unpublished, so pre-publication initialization needs no guard.
+	Fresh bool
+	// Deferred marks accesses inside a deferred call or literal.
+	Deferred bool
+}
+
+// A ConcCall is one resolved call with the guards held at the site.
+// Interface calls record the interface method; dynamic calls are not
+// recorded (MayBlock treats them as non-blocking, a documented
+// may-analysis choice — goleak is the one analyzer that fails closed
+// on them, at spawn sites).
+type ConcCall struct {
+	Callee *types.Func
+	Site   *ast.CallExpr
+	Pos    token.Pos
+	Held   GuardSet
+	// InSpawn marks calls made inside a spawned goroutine body: they do
+	// not inherit the spawner's locks (the goroutine runs after the
+	// caller may have released them).
+	InSpawn bool
+}
+
+// A SyncOp is one sync.WaitGroup Add/Done/Wait call.
+type SyncOp struct {
+	Obj      *types.Var // the WaitGroup
+	Pos      token.Pos
+	Deferred bool
+}
+
+// A ChanOp is one channel send, receive or close, indexed for the
+// program-wide serviceability lookups goleak performs ("does anything
+// ever close the channel this goroutine ranges over?").
+type ChanOp struct {
+	Ch  *types.Var // nil when the operand does not resolve to a variable
+	Pos token.Pos
+}
+
+// A SpawnSite is one go statement. Exactly one of Body (literal
+// spawns), Callee (static spawns of a declared function), or Dynamic
+// (function-value spawns) describes the spawned code.
+type SpawnSite struct {
+	Stmt *ast.GoStmt
+	Pos  token.Pos
+	// Callee is the spawned function for `go f()` / `go x.m()` with a
+	// statically resolved target.
+	Callee *types.Func
+	// Body is the summary of the spawned literal's body, computed with
+	// an empty guard context (a goroutine does not inherit its
+	// spawner's locks). Its Spawns list carries nested go statements.
+	Body *ConcSummary
+	// BodyLit is the spawned literal (when Body is set), for positional
+	// "outside the goroutine" checks.
+	BodyLit *ast.FuncLit
+	// Dynamic marks spawns whose target cannot be resolved (function
+	// values, interface methods); goleak fails closed on these.
+	Dynamic bool
+}
+
+// A ConcSummary holds the local concurrency facts of one function
+// body. Facts inside spawned goroutine literals live on the SpawnSite
+// (so a blocking receive in a worker loop is not attributed to the
+// function that merely starts the worker), with two deliberate
+// exceptions: CallHeld covers spawned bodies too (the call graph folds
+// literal bodies into the enclosing declaration, so held-at-site
+// lookups must resolve for those edges), and the WaitGroup/channel op
+// indexes cover them as well (a goroutine's send can service another
+// goroutine's receive).
+type ConcSummary struct {
+	Fn       *types.Func
+	Spawns   []*SpawnSite
+	Blocks   []BlockSite
+	Accesses []FieldAccess
+	Calls    []ConcCall
+
+	// CallHeld records the guards held at every call expression of the
+	// function, spawned bodies included.
+	CallHeld map[*ast.CallExpr]GuardSet
+
+	// WaitGroup and channel op indexes (spawned bodies included).
+	WGAdds, WGDones, WGWaits []SyncOp
+	Sends, Recvs, Closes     []ChanOp
+
+	// TailSend/TailDone describe the body's final statement when it is
+	// a channel send or a WaitGroup.Done — the result-slot handoff and
+	// join shapes goleak accepts.
+	TailSend *types.Var
+	TailDone *types.Var
+}
+
+// Conc returns the node's concurrency summary, computing it on first
+// use. External nodes (no body) return an empty summary.
+func (n *Node) Conc() *ConcSummary {
+	if n.conc == nil {
+		n.conc = summarizeConc(n)
+	}
+	return n.conc
+}
+
 // SCCs returns the strongly connected components of the call graph in
 // bottom-up (reverse topological) order: every static/interface callee
 // of a component appears in an earlier component (or the same one).

@@ -1,0 +1,16 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/goleak"
+)
+
+// The two fixture packages form one program: the scoped package
+// carries every diagnose/allowed/suppression shape, the unscoped one
+// proves the analyzer respects scope.ConcurrencyScope.
+func TestGoleak(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", goleak.Analyzer,
+		"goleak/internal/mgl", "goleak/notscoped")
+}

@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/lockguard"
+)
+
+// The scoped fixture package carries every inference/blocking/
+// suppression shape; the unscoped one proves the analyzer respects
+// scope.ConcurrencyScope.
+func TestLockguard(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", lockguard.Analyzer,
+		"lockguard/internal/serve", "lockguard/notscoped")
+}

@@ -63,6 +63,22 @@ var CancellationAware = []string{
 	"internal/serve",
 }
 
+// ConcurrencyScope lists the packages where goroutines, locks, and
+// shared state live — the MGL worker pool, the shard runner, the
+// serving layer's admission/drain machinery, the fault injector's
+// shared counters, and the daemon wiring them together. The three
+// concurrency analyzers (goleak, lockguard, sharedwrite) apply here;
+// the determinism guarantee is only as strong as this layer's
+// leak-freedom and race-freedom.
+var ConcurrencyScope = []string{
+	"internal/mgl",
+	"internal/stage",
+	"internal/shard",
+	"internal/serve",
+	"internal/faults",
+	"cmd/mclegald",
+}
+
 // HotPathClosure lists every package the //mclegal:hotpath call trees
 // reach (mgl.bestInWindow, the mcf warm-start resolve path, and the
 // matching augment phase): the noalloc proof needs full bodies for all

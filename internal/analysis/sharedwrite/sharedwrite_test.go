@@ -1,0 +1,16 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/sharedwrite"
+)
+
+// The scoped fixture package carries the diagnose/exempt/suppression
+// shapes; the unscoped one proves the analyzer respects
+// scope.ConcurrencyScope.
+func TestSharedwrite(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", sharedwrite.Analyzer,
+		"sharedwrite/internal/stage", "sharedwrite/notscoped")
+}

@@ -29,6 +29,7 @@ func loadScopedProgram(t *testing.T) *framework.Program {
 		scope.GateBoundary,
 		scope.CancellationAware,
 		scope.HotPathClosure,
+		scope.ConcurrencyScope,
 	} {
 		for _, p := range set {
 			full := "mclegal/" + p

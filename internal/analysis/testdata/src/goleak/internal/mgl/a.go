@@ -1,0 +1,125 @@
+// Fixture for the goleak analyzer: joined pool/WaitGroup/result-slot
+// shapes are accepted, unjoined, dynamic, external and unserviced
+// spawns are diagnosed, and //mclegal:daemon suppresses with a
+// mandatory justification.
+package mgl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// --- allowed: the PR-3 pool shutdown shape -------------------------
+
+type pool struct {
+	work    chan int
+	workers sync.WaitGroup
+}
+
+func startPool(n int) *pool {
+	p := &pool{work: make(chan int, 8)}
+	p.workers.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer p.workers.Done()
+			for i := range p.work {
+				_ = i
+			}
+		}()
+	}
+	return p
+}
+
+func (p *pool) stop() {
+	close(p.work)
+	p.workers.Wait()
+}
+
+// --- allowed: plain Add/Done/Wait pairing, named worker ------------
+
+func worker(wg *sync.WaitGroup, ch chan int) {
+	defer wg.Done()
+	for v := range ch {
+		_ = v
+	}
+}
+
+func fanOut(n int) {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go worker(&wg, ch)
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// --- allowed: result-slot channel drained by the spawner -----------
+
+func compute() error { return nil }
+
+func result() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- compute()
+	}()
+	return <-errc
+}
+
+// --- diagnosed: no join handoff at all -----------------------------
+
+func fireAndForget() {
+	go func() { // want `not provably joined`
+		_ = compute()
+	}()
+}
+
+// --- diagnosed: dynamic spawn target fails closed ------------------
+
+func spawnValue(f func()) {
+	go f() // want `dynamic function value`
+}
+
+// --- diagnosed: external callee has no body to prove ---------------
+
+func spawnExternal() {
+	go fmt.Println("x") // want `no analyzable body`
+}
+
+// --- diagnosed: receive nothing services ---------------------------
+
+func recvForever() {
+	idle := make(chan int)
+	go func() { // want `nothing in the program sends to or closes`
+		<-idle
+	}()
+}
+
+// --- diagnosed: send nobody outside the goroutine drains -----------
+
+func sendForever() {
+	sink := make(chan int)
+	go func() { // want `never received outside the goroutine`
+		sink <- 1
+	}()
+	_ = sink
+}
+
+// --- suppression: a justified daemon is accepted -------------------
+
+func daemonOK(sigs chan int) {
+	//mclegal:daemon lives until process exit, mirrors the mclegald listener
+	go func() {
+		<-sigs
+	}()
+}
+
+// --- missing justification: bare daemon directive is itself flagged
+
+func daemonBare(sigs chan int) {
+	//mclegal:daemon
+	go func() { // want `missing a justification`
+		<-sigs
+	}()
+}

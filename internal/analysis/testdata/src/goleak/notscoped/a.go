@@ -1,0 +1,9 @@
+// A leaky spawn outside scope.ConcurrencyScope: goleak must stay
+// silent here (no want comments in this file).
+package notscoped
+
+func leakFreely() {
+	go func() {
+		select {}
+	}()
+}

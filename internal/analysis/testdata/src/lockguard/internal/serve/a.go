@@ -1,0 +1,133 @@
+// Fixture for the lockguard analyzer: majority guard inference, the
+// caller-holds-the-lock helper idiom, RWMutex read/write modes,
+// constructor freshness, blocking-under-lock, and the suppression
+// directive.
+package serve
+
+import "sync"
+
+// --- guard inference: one stray access breaks the majority rule ----
+
+type tally struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *tally) inc() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+}
+
+func (t *tally) read() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+func (t *tally) racy() int {
+	return t.n // want `read of n without mu, its inferred guard`
+}
+
+// --- freshness: constructor init is not a guarded access -----------
+
+func newTally() *tally {
+	t := &tally{}
+	t.n = 1
+	return t
+}
+
+// --- helper idiom: every caller holds the lock, so the helper's
+// unannotated access inherits it -----------------------------------
+
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) locked() { b.v++ }
+
+func (b *box) Set() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.locked()
+	b.v = 1
+}
+
+func (b *box) Set2() {
+	b.mu.Lock()
+	b.locked()
+	b.mu.Unlock()
+}
+
+// --- RWMutex: a write needs the write lock -------------------------
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+func (c *cache) get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+func (c *cache) sneaky(k string, v int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.m[k] = v // want `holds only the read lock`
+}
+
+// --- blocking under a lock -----------------------------------------
+
+type pump struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (p *pump) push(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out <- v // want `channel send while holding mu`
+}
+
+func (p *pump) drain() {
+	for range p.out {
+	}
+}
+
+func (p *pump) bad() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drain() // want `may block \(channel receive in drain\) while holding mu`
+}
+
+func (p *pump) dead() {
+	p.mu.Lock()
+	p.mu.Lock() // want `self-deadlock`
+	p.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// --- suppression ----------------------------------------------------
+
+func (p *pump) justified(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//mclegal:lockguard the channel is buffered one full batch deep, the send never blocks
+	p.out <- v
+}
+
+func (p *pump) bare(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//mclegal:lockguard
+	p.out <- v // want `missing a justification`
+}

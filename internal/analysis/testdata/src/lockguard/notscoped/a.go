@@ -1,0 +1,24 @@
+// Unguarded mixed access outside scope.ConcurrencyScope: lockguard
+// must stay silent here (no want comments in this file).
+package notscoped
+
+import "sync"
+
+type loose struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *loose) guarded() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+}
+
+func (l *loose) guardedToo() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+}
+
+func (l *loose) stray() int { return l.n }

@@ -8,7 +8,7 @@ import (
 func flagged(m map[int]string) int {
 	total := 0
 	for k := range m { // want `range over map m in deterministic package`
-		total += k
+		total = total*31 + k // polynomial hash: order-dependent
 	}
 	return total
 }
@@ -31,17 +31,19 @@ func collectThenSlicesSort(m map[string]int) []string {
 	return keys
 }
 
-func justified(m map[int]int) int {
-	total := 0
-	//mclegal:ordered summing values is commutative, order cannot matter
+// Float accumulation is not provable (addition is non-associative), so
+// the escape hatch is a justified directive.
+func justified(m map[int]float64) float64 {
+	total := 0.0
+	//mclegal:ordered every value is an exact small integer, so float addition is exact and commutative here
 	for _, v := range m {
 		total += v
 	}
 	return total
 }
 
-func bareDirective(m map[int]int) int {
-	total := 0
+func bareDirective(m map[int]float64) float64 {
+	total := 0.0
 	//mclegal:ordered
 	for _, v := range m { // want `//mclegal:ordered directive is missing a justification`
 		total += v

@@ -1,0 +1,12 @@
+// A blatant continuation race outside scope.ConcurrencyScope:
+// sharedwrite must stay silent here (no want comments in this file).
+package notscoped
+
+type counter struct{ n int }
+
+func poke(c *counter) { c.n++ }
+
+func racy(c *counter) {
+	go poke(c)
+	c.n++
+}

@@ -4,14 +4,13 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"runtime"
 	"runtime/debug"
 	"testing"
-	"time"
 
 	"mclegal/internal/geom"
 	"mclegal/internal/model"
 	"mclegal/internal/seg"
+	"mclegal/internal/testutil"
 )
 
 // The prefix-width arrays must stay an exact prefix sum of the cell
@@ -130,24 +129,12 @@ func TestBestInWindowZeroAlloc(t *testing.T) {
 	}
 }
 
-// countGoroutines waits for the runtime to settle and returns the
-// goroutine count; retries absorb unrelated runtime goroutines winding
-// down.
-func settledGoroutines(base int) int {
-	n := runtime.NumGoroutine()
-	for i := 0; i < 50 && n > base; i++ {
-		time.Sleep(2 * time.Millisecond)
-		n = runtime.NumGoroutine()
-	}
-	return n
-}
-
 // The persistent worker pool must be torn down on every RunContext
 // return path: normal completion, typed error, and cancellation.
 func TestPoolShutdownNoGoroutineLeak(t *testing.T) {
 	check := func(name string, run func() error, wantErr bool) {
 		t.Helper()
-		before := runtime.NumGoroutine()
+		before := testutil.Count()
 		err := run()
 		if wantErr && err == nil {
 			t.Fatalf("%s: expected an error", name)
@@ -155,10 +142,7 @@ func TestPoolShutdownNoGoroutineLeak(t *testing.T) {
 		if !wantErr && err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if after := settledGoroutines(before); after > before {
-			t.Errorf("%s: %d goroutines before RunContext, %d after — worker pool leaked",
-				name, before, after)
-		}
+		testutil.CheckNoLeaks(t, before)
 	}
 
 	check("normal", func() error {

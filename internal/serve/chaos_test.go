@@ -22,7 +22,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -31,6 +30,7 @@ import (
 	"mclegal/internal/bmark"
 	"mclegal/internal/faults"
 	"mclegal/internal/stage"
+	"mclegal/internal/testutil"
 )
 
 // chaosPoints maps the ?chaos= wire names the test hook understands to
@@ -67,24 +67,6 @@ func chaosHook(r *http.Request) *faults.Injector {
 		inj.Arm(chaosPoints[name])
 	}
 	return inj
-}
-
-// waitForGoroutines retries until the goroutine count falls back to
-// want (timer and AfterFunc goroutines take a moment to unwind).
-func waitForGoroutines(t *testing.T, want int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= want {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d live, want <= %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
 }
 
 // verifyChaosResponse checks the serving contract on one response:
@@ -164,7 +146,7 @@ func chaosRequest(t *testing.T, h http.Handler, rng *rand.Rand, data []byte) {
 // TestChaosSuite is the main storm: concurrent seeded clients, every
 // failure mode at once, followed by a drain and a goroutine-leak check.
 func TestChaosSuite(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.Count()
 	s := New(Config{Workers: 1, MaxInflight: 16, FaultHook: chaosHook})
 	s.AddDesign("resident", testDesign(t))
 	h := s.Handler()
@@ -189,7 +171,7 @@ func TestChaosSuite(t *testing.T) {
 	if err := s.Drain(ctx); err != nil {
 		t.Errorf("drain after the storm: %v", err)
 	}
-	waitForGoroutines(t, before)
+	testutil.CheckNoLeaks(t, before)
 }
 
 // Identical requests must produce byte-identical placements — across
@@ -234,7 +216,7 @@ func TestChaosIdenticalRequestsByteIdentical(t *testing.T) {
 // typed draining error when the grace expires; later requests are
 // refused immediately; the server winds down without leaking.
 func TestChaosDrainCancelsInflight(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.Count()
 	s := New(Config{Workers: 1, MaxInflight: 4})
 	h := s.Handler()
 	big := bmark.Generate(bmark.Params{
@@ -285,5 +267,5 @@ func TestChaosDrainCancelsInflight(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("post-drain request = %d, want 503", rec.Code)
 	}
-	waitForGoroutines(t, before)
+	testutil.CheckNoLeaks(t, before)
 }

@@ -4,14 +4,13 @@ import (
 	"context"
 	"errors"
 	"reflect"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
-	"time"
 
 	"mclegal/internal/geom"
 	"mclegal/internal/model"
+	"mclegal/internal/testutil"
 )
 
 // shardParent builds a legal parent design: 8 movables on distinct
@@ -274,7 +273,7 @@ func TestShardedRunCancellation(t *testing.T) {
 // where they were, each ShardResult reports its own outcome, and the
 // worker pool is torn down.
 func TestShardedRunMidRunCancelMergesFinishedShards(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.Count()
 	d := shardParent(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -341,18 +340,7 @@ func TestShardedRunMidRunCancelMergesFinishedShards(t *testing.T) {
 		t.Errorf("aggregate report = %+v, want clean legal", report)
 	}
 
-	if after := settledShardGoroutines(before); after > before {
-		t.Errorf("%d goroutines before Run, %d after — shard pool leaked", before, after)
-	}
-}
-
-func settledShardGoroutines(base int) int {
-	n := runtime.NumGoroutine()
-	for i := 0; i < 50 && n > base; i++ {
-		time.Sleep(2 * time.Millisecond)
-		n = runtime.NumGoroutine()
-	}
-	return n
+	testutil.CheckNoLeaks(t, before)
 }
 
 // The shard worker pool must be torn down on every Run return path:
@@ -360,7 +348,7 @@ func settledShardGoroutines(base int) int {
 func TestShardedRunNoGoroutineLeak(t *testing.T) {
 	check := func(name string, run func(t *testing.T) error, wantErr bool) {
 		t.Helper()
-		before := runtime.NumGoroutine()
+		before := testutil.Count()
 		err := run(t)
 		if wantErr && err == nil {
 			t.Fatalf("%s: expected an error", name)
@@ -368,10 +356,7 @@ func TestShardedRunNoGoroutineLeak(t *testing.T) {
 		if !wantErr && err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if after := settledShardGoroutines(before); after > before {
-			t.Errorf("%s: %d goroutines before Run, %d after — shard pool leaked",
-				name, before, after)
-		}
+		testutil.CheckNoLeaks(t, before)
 	}
 
 	check("normal", func(t *testing.T) error {

@@ -1,0 +1,81 @@
+// Package testutil holds helpers shared across the package test
+// suites. The goroutine-leak checker here is the single dynamic
+// counterpart to the static goleak analyzer: every spawn site the
+// analyzer inventories is exercised by a test that brackets the
+// spawn/join cycle with Count/CheckNoLeaks (see
+// internal/analysis/conc_roots_test.go, which pins that pairing).
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Count returns the number of live goroutines attributable to the code
+// under test. It parses a full runtime.Stack dump and drops goroutines
+// whose top frame is runtime or testing bookkeeping (GC workers,
+// finalizers, parked parallel tests), so the baseline is stable across
+// -race, -cpu and parallel siblings in a way a raw
+// runtime.NumGoroutine() comparison is not.
+func Count() int {
+	return len(liveStacks())
+}
+
+// CheckNoLeaks polls until the filtered goroutine count falls back to
+// base, then returns; timer and AfterFunc goroutines take a moment to
+// unwind, so a single snapshot would flake. If the count has not
+// settled within 10 seconds the test fails with the stacks of every
+// surviving goroutine.
+func CheckNoLeaks(tb testing.TB, base int) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		live := liveStacks()
+		if len(live) <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Errorf("goroutine leak: %d live test goroutines, want <= %d\n\n%s",
+				len(live), base, strings.Join(live, "\n\n"))
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// liveStacks captures one stack block per goroutine that survives the
+// bookkeeping filter.
+func liveStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var live []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if countsAsLive(block) {
+			live = append(live, block)
+		}
+	}
+	return live
+}
+
+// countsAsLive reports whether one "goroutine N [state]:" block belongs
+// to the code under test. The top function frame (the line under the
+// header) decides: runtime.* and testing.* tops are scheduler, GC,
+// finalizer and test-harness goroutines, not products of the package
+// being tested.
+func countsAsLive(block string) bool {
+	lines := strings.Split(block, "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return false
+	}
+	top := strings.TrimSpace(lines[1])
+	return !strings.HasPrefix(top, "runtime.") && !strings.HasPrefix(top, "testing.")
+}
