@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vet-json vet-concurrency race check bench bench-smoke bench-json clean fuzz faults chaos
+.PHONY: all build test vet lint vet-json vet-concurrency vet-effects race check bench bench-smoke bench-json clean fuzz faults chaos
 
 all: check
 
@@ -13,8 +13,9 @@ vet:
 # Static analysis gate: go vet, staticcheck when installed (offline
 # sandboxes have no module proxy, so it is only mandatory in CI where
 # the lint job installs it), and the in-tree mclegal-vet analyzer suite
-# enforcing the determinism/aliasing/numeric/allocation/exhaustiveness
-# and concurrency (goleak, lockguard, sharedwrite) invariants
+# enforcing the determinism/aliasing/numeric/allocation/exhaustiveness,
+# concurrency (goleak, lockguard, sharedwrite) and write-effect
+# (writeset, snapshotsafe, aliasleak) invariants
 # (docs/STATIC_ANALYSIS.md). Any diagnostic fails the target. The
 # second mclegal-vet run is the self-check: the analysis machinery is
 # held to its own rules.
@@ -44,6 +45,19 @@ vet-concurrency:
 		./internal/serve ./internal/faults ./cmd/mclegald \
 		> vet-concurrency.json; \
 	status=$$?; cat vet-concurrency.json; exit $$status
+
+# The write-effect analyzers alone, as JSON, over the whole module (the
+# analyzers scope themselves: writeset to the deterministic core,
+# snapshotsafe to the gated stages, aliasleak to the serve layer, each
+# pulling in its closure). The CI vet-effects job runs this and
+# archives the report, so the rollback-completeness and resident-state
+# isolation proofs of every push are inspectable. A clean run writes []
+# to vet-effects.json; any finding fails the target after the file is
+# written.
+vet-effects:
+	$(GO) run ./cmd/mclegal-vet -run writeset,snapshotsafe,aliasleak -json \
+		./... > vet-effects.json; \
+	status=$$?; cat vet-effects.json; exit $$status
 
 test:
 	$(GO) test ./...
@@ -103,13 +117,16 @@ bench-smoke:
 # wall-clock breakdown, speedup vs shards=1), server latencies into
 # BENCH_serve.json, and the min-cost-flow solver layer (pivot rules,
 # solver reuse, warm-start resolves, cross-solver validation) into
-# BENCH_mcf.json. Compare the committed baselines against a fresh run
+# BENCH_mcf.json, and the mclegal-vet analyzer suite itself (one shared
+# program load plus each analyzer's incremental cost) into
+# BENCH_vet.json. Compare the committed baselines against a fresh run
 # to judge a perf change; see docs/PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -mode mgl -out BENCH_mgl.json
 	$(GO) run ./cmd/benchjson -mode shard -out BENCH_shard.json
 	$(GO) run ./cmd/benchjson -mode serve -out BENCH_serve.json
 	$(GO) run ./cmd/benchjson -mode mcf -out BENCH_mcf.json
+	$(GO) run ./cmd/benchjson -mode vet -out BENCH_vet.json
 
 clean:
 	$(GO) clean ./...

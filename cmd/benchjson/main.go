@@ -9,6 +9,7 @@
 //	benchjson -mode shard [-out BENCH_shard.json] [-shards 1,2,4]
 //	benchjson -mode serve [-out BENCH_serve.json]
 //	benchjson -mode mcf [-out BENCH_mcf.json] [-smoke]
+//	benchjson -mode vet [-out BENCH_vet.json]
 //
 // The default mode sweeps MGL worker counts on a fixed instance; the
 // shard mode sweeps the shard concurrency of the fence/slab-sharded
@@ -18,7 +19,10 @@
 // records per-endpoint request-latency percentiles (p50/p90/p99/max);
 // the mcf mode sweeps the min-cost-flow solver layer (pivot rules,
 // solver reuse, warm-start resolves) over the benchmark graph families
-// with cross-solver validation (see mcf.go).
+// with cross-solver validation (see mcf.go); the vet mode times the
+// full fourteen-analyzer mclegal-vet suite over the scoped program and
+// records each analyzer's incremental wall time and diagnostic count
+// (see vet.go).
 //
 // The recorded environment (numcpu, per-run gomaxprocs, goversion)
 // travels with the numbers: speedup figures are only meaningful
@@ -158,8 +162,15 @@ func run(args []string, stdout io.Writer) int {
 		rep := sweepMCF(*smoke)
 		buf = marshal(rep)
 		summary = fmt.Sprintf("%d families, %d CPUs", len(rep.Families), rep.NumCPU)
+	case "vet":
+		if *out == "" {
+			*out = "BENCH_vet.json"
+		}
+		rep := sweepVet()
+		buf = marshal(rep)
+		summary = fmt.Sprintf("%d analyzers over %d packages, %d CPUs", len(rep.Runs), rep.Packages, rep.NumCPU)
 	default:
-		log.Printf("-mode must be mgl, shard, serve or mcf, got %q", *mode)
+		log.Printf("-mode must be mgl, shard, serve, mcf or vet, got %q", *mode)
 		return 2
 	}
 

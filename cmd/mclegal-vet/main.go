@@ -1,14 +1,16 @@
 // Command mclegal-vet runs the in-tree analyzer suite
 // (internal/analysis) over the module: cancellation plumbing (ctxflow),
 // enum coverage (exhaustive), determinism (maporder, nowallclock),
-// aliasing (scratchescape), numeric (floatcmp), hot-path allocation
-// (noalloc), error-taxonomy (typederr), and concurrency (goleak,
-// lockguard, sharedwrite) invariants. See docs/STATIC_ANALYSIS.md.
+// aliasing (scratchescape, aliasleak), numeric (floatcmp), hot-path
+// allocation (noalloc), error-taxonomy (typederr), concurrency (goleak,
+// lockguard, sharedwrite), and write-effect (writeset, snapshotsafe)
+// invariants. See docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
 //	mclegal-vet [-json] [-run analyzer,...] [packages]
 //	mclegal-vet -list
+//	mclegal-vet -explain analyzer
 //
 // Package arguments are import paths of this module or the ./... and
 // ./dir/... wildcard forms; with no arguments it checks ./... from the
@@ -20,7 +22,9 @@
 // unknown name is a usage error), so CI jobs and golden tests can
 // target one analyzer without paying for the rest; exit-code and -json
 // behavior are unchanged. -list prints each analyzer's name and
-// one-line doc and exits 0.
+// one-line doc and exits 0. -explain prints one analyzer's invariant,
+// the package scope it applies to, and its suppression/declaration
+// directive with a justified example, then exits 0.
 //
 // With -json, diagnostics are emitted as a single JSON array of
 // {file, line, column, analyzer, message} objects in the same stable
@@ -63,6 +67,7 @@ func run(args []string, stdout io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	runFilter := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "print the analyzer names and docs, then exit")
+	explain := fs.String("explain", "", "print one analyzer's invariant, scope and directive, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,6 +83,16 @@ func run(args []string, stdout io.Writer) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, doc)
 		}
 		return 0
+	}
+	if *explain != "" {
+		for _, a := range analyzers {
+			if a.Name == *explain {
+				explainAnalyzer(stdout, a)
+				return 0
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mclegal-vet: unknown analyzer %q (run mclegal-vet -list)\n", *explain)
+		return 2
 	}
 	if *runFilter != "" {
 		byName := make(map[string]*framework.Analyzer, len(analyzers))
@@ -149,6 +164,27 @@ func run(args []string, stdout io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// explainAnalyzer prints one analyzer's contract from its metadata:
+// the invariant it enforces, the package scope the invariant applies
+// to, and the //mclegal directive it honours, with one justified use.
+func explainAnalyzer(w io.Writer, a *framework.Analyzer) {
+	fmt.Fprintf(w, "%s\n\nInvariant:\n  %s\n", a.Name, a.Doc)
+	fmt.Fprintf(w, "\nScope:\n")
+	if len(a.Scope) == 0 {
+		fmt.Fprintf(w, "  every package mclegal-vet loads\n")
+	} else {
+		for _, p := range a.Scope {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
+	}
+	if a.Directive != "" {
+		fmt.Fprintf(w, "\nDirective:\n  //mclegal:%s <why>  (a bare directive is itself a finding)\n", a.Directive)
+	}
+	if a.Example != "" {
+		fmt.Fprintf(w, "\nExample:\n  %s\n", a.Example)
+	}
 }
 
 // findModule walks up from the working directory to the enclosing

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,16 +129,50 @@ func TestRunList(t *testing.T) {
 	}
 	out := buf.String()
 	for _, name := range []string{
-		"ctxflow", "exhaustive", "floatcmp", "goleak", "lockguard",
-		"maporder", "noalloc", "nowallclock", "scratchescape", "sharedwrite", "typederr",
+		"aliasleak", "ctxflow", "exhaustive", "floatcmp", "goleak", "lockguard",
+		"maporder", "noalloc", "nowallclock", "scratchescape", "sharedwrite",
+		"snapshotsafe", "typederr", "writeset",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 11 {
-		t.Errorf("-list printed %d lines, want 11:\n%s", len(lines), out)
+	if len(lines) != 14 {
+		t.Errorf("-list printed %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	t.Chdir(root)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-explain", "writeset"}, &buf); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Invariant:", "Scope:", "internal/mgl", "internal/serve",
+		"Directive:", "//mclegal:writeset", "Example:",
+		"a bare directive is itself a finding",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain writeset output missing %q:\n%s", want, out)
+		}
+	}
+
+	// An analyzer with no Scope list explains as applying everywhere.
+	buf.Reset()
+	if code := run([]string{"-explain", "exhaustive"}, &buf); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "every package mclegal-vet loads") {
+		t.Errorf("-explain exhaustive did not describe its universal scope:\n%s", buf.String())
+	}
+
+	if code := run([]string{"-explain", "nonesuch"}, io.Discard); code != 2 {
+		t.Errorf("-explain nonesuch exit code = %d, want 2", code)
 	}
 }
 

@@ -1,0 +1,481 @@
+// Package aliasleak enforces the serving layer's clone boundary
+// statically: a store-resident design (internal/serve holds parsed
+// designs immutable and shared across concurrent requests) may be read
+// freely, but no interior pointer of one may escape the boundary. The
+// analyzer taints every value read out of a store — an index or range
+// over a field-held (or package-level) map whose element type can
+// reach resident state under the internal/analysis/writeloc vocabulary
+// — propagates the taint through selectors, indexing, reslicing,
+// address-of and derived calls, launders it through Clone() calls, and
+// reports four escape channels:
+//
+//   - returning a tainted value (an interior pointer crosses the
+//     function boundary un-cloned);
+//   - storing a tainted value into a struct field or package-level
+//     variable (the pointer outlives the request);
+//   - capturing a tainted value in a go statement (the goroutine may
+//     outlive the request's read window);
+//   - passing a tainted value to a callee that mutates it (a
+//     parameter- or receiver-rooted write effect in the callee's
+//     summary), to one whose write set is unprovable, or through a
+//     dynamic call.
+//
+// The last channel is why the module's scoped program loads
+// internal/bmark: proving writeDesignBody harmless requires
+// bmark.Write's summary, not trust. A justified exception takes
+// //mclegal:aliasleak <why> on the flagged line.
+package aliasleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/scope"
+	"mclegal/internal/analysis/writeloc"
+)
+
+// ServeScope lists the packages holding store-resident designs behind
+// a clone boundary.
+var ServeScope = []string{"internal/serve"}
+
+// Analyzer proves resident-design isolation in the serving layer.
+var Analyzer = &framework.Analyzer{
+	Name:      "aliasleak",
+	Doc:       "forbid interior pointers of store-resident designs from escaping the serve clone boundary via return, field/global store, goroutine capture, or a mutating callee",
+	Scope:     ServeScope,
+	Directive: "aliasleak",
+	Example:   "//mclegal:aliasleak the callee is the store's own eviction hook and holds the lock",
+	Run:       run,
+}
+
+// Keep scope referenced for -explain consumers building on the shared
+// lists; aliasleak's own scope is the serve layer only.
+var _ = scope.DeterministicCore
+
+type finding struct {
+	pkg *types.Package
+	pos token.Pos
+	msg string
+}
+
+type alState struct {
+	findings []finding
+}
+
+func state(prog *framework.Program) (*alState, error) {
+	v, err := prog.CacheLoad("aliasleak", func() (any, error) { return computeState(prog) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*alState), nil
+}
+
+func computeState(prog *framework.Program) (*alState, error) {
+	effects, vocab, err := writeloc.Effects(prog)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := prog.CallGraph()
+	if err != nil {
+		return nil, err
+	}
+	st := &alState{}
+	for _, pkg := range prog.Pkgs {
+		if !framework.PathMatchesAny(pkg.Path, ServeScope) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ft := &funcTaint{
+					st: st, pkg: pkg, cg: cg, effects: effects, vocab: vocab,
+					tainted: make(map[*types.Var]bool),
+				}
+				ft.analyze(fd)
+			}
+		}
+	}
+	sort.Slice(st.findings, func(i, j int) bool { return st.findings[i].pos < st.findings[j].pos })
+	return st, nil
+}
+
+type funcTaint struct {
+	st      *alState
+	pkg     *framework.Package
+	cg      *framework.CallGraph
+	effects map[*framework.Node]*framework.WriteEffects
+	vocab   *writeloc.Vocab
+	tainted map[*types.Var]bool
+}
+
+func (ft *funcTaint) report(pos token.Pos, format string, args ...any) {
+	ft.st.findings = append(ft.st.findings, finding{
+		pkg: ft.pkg.Types, pos: pos, msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (ft *funcTaint) analyze(fd *ast.FuncDecl) {
+	// Taint fixpoint over bindings, then one sink pass.
+	for i := 0; i < 32; i++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					rhs := pairedRhs(s, i)
+					if rhs == nil {
+						continue
+					}
+					if v := ft.localOf(lhs); v != nil && !ft.tainted[v] && ft.taintedExpr(rhs) {
+						ft.tainted[v] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if s.X != nil && (ft.taintedExpr(s.X) || ft.isStoreMap(s.X)) {
+					for _, e := range []ast.Expr{s.Key, s.Value} {
+						if v := ft.localOf(e); v != nil && !ft.tainted[v] && ft.vocab.Reaches(v.Type()) {
+							ft.tainted[v] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	ft.sinks(fd)
+}
+
+// pairedRhs matches one lhs of an assignment with its rhs: 1:1 for
+// parallel assignment, the single rhs for multi-value binds (a call or
+// map index; the taint of the whole rhs flows to each non-blank lhs).
+func pairedRhs(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	if len(s.Rhs) == 1 {
+		return s.Rhs[0]
+	}
+	return nil
+}
+
+func (ft *funcTaint) localOf(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var obj types.Object
+	if def, ok := ft.pkg.Info.Defs[id]; ok {
+		obj = def
+	} else {
+		obj = ft.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || isPkgLevel(v) {
+		return nil
+	}
+	return v
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// taintedExpr reports whether e denotes (or derives from) a
+// store-resident value. Values whose type cannot reach resident state
+// are never tainted (len(d.Cells) is just an int).
+func (ft *funcTaint) taintedExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t := ft.pkg.Info.TypeOf(e); t != nil && !ft.vocab.Reaches(t) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := ft.pkg.Info.Uses[x].(*types.Var)
+		return ok && ft.tainted[v]
+	case *ast.IndexExpr:
+		return ft.isStoreRead(x) || ft.taintedExpr(x.X)
+	case *ast.SelectorExpr:
+		return ft.taintedExpr(x.X)
+	case *ast.StarExpr:
+		return ft.taintedExpr(x.X)
+	case *ast.ParenExpr:
+		return ft.taintedExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// Taking an address re-enters pointer land: the operand's
+			// own value type (a bare Cell) no longer gates the taint.
+			return ft.taintedPath(x.X)
+		}
+		return ft.taintedExpr(x.X)
+	case *ast.SliceExpr:
+		return ft.taintedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return ft.taintedExpr(x.X)
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+			return false // the clone boundary launders the value
+		}
+		if recv, args := callOperands(x); ft.taintedExpr(recv) {
+			return true
+		} else {
+			for _, a := range args {
+				if ft.taintedExpr(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// taintedPath reports whether the addressable path e is rooted in a
+// tainted or store-resident value, ignoring the value types the path
+// passes through (&d.Cells[0] is an interior pointer into the store
+// even though a bare Cell value could not mutate it).
+func (ft *funcTaint) taintedPath(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := ft.pkg.Info.Uses[x].(*types.Var)
+		return ok && ft.tainted[v]
+	case *ast.SelectorExpr:
+		return ft.taintedPath(x.X)
+	case *ast.IndexExpr:
+		return ft.isStoreRead(x) || ft.taintedPath(x.X)
+	case *ast.StarExpr:
+		return ft.taintedPath(x.X)
+	case *ast.ParenExpr:
+		return ft.taintedPath(x.X)
+	case *ast.SliceExpr:
+		return ft.taintedPath(x.X)
+	}
+	return false
+}
+
+// isStoreRead recognizes the taint source: indexing a field-held or
+// package-level map whose elements reach resident state.
+func (ft *funcTaint) isStoreRead(idx *ast.IndexExpr) bool {
+	return ft.isStoreMap(idx.X)
+}
+
+// isStoreMap recognizes the store itself: a field-held or
+// package-level map whose elements reach resident state.
+func (ft *funcTaint) isStoreMap(e ast.Expr) bool {
+	t := ft.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	mt, ok := t.Underlying().(*types.Map)
+	if !ok || !ft.vocab.Reaches(mt.Elem()) {
+		return false
+	}
+	switch base := e.(type) {
+	case *ast.SelectorExpr:
+		v, ok := ft.pkg.Info.Uses[base.Sel].(*types.Var)
+		return ok && v.IsField()
+	case *ast.Ident:
+		v, ok := ft.pkg.Info.Uses[base].(*types.Var)
+		return ok && isPkgLevel(v)
+	}
+	return false
+}
+
+func callOperands(call *ast.CallExpr) (recv ast.Expr, args []ast.Expr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.X, call.Args
+	}
+	return nil, call.Args
+}
+
+// sinks walks the function once with the converged taint set and
+// reports every escape channel.
+func (ft *funcTaint) sinks(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if ft.taintedExpr(r) {
+					ft.report(r.Pos(), "returns an interior pointer of a store-resident design across the clone boundary; return a Clone() or justify with //mclegal:aliasleak <why>")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				rhs := pairedRhs(s, i)
+				if rhs == nil || !ft.taintedExpr(rhs) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					if v, ok := ft.pkg.Info.Uses[l.Sel].(*types.Var); ok && v.IsField() {
+						ft.report(l.Pos(), "stores a resident design pointer into field %s, where it outlives the request; store a Clone() or justify with //mclegal:aliasleak <why>", v.Name())
+					}
+				case *ast.Ident:
+					if v, ok := ft.pkg.Info.Uses[l].(*types.Var); ok && isPkgLevel(v) {
+						ft.report(l.Pos(), "stores a resident design pointer into package-level %s, where it outlives the request; store a Clone() or justify with //mclegal:aliasleak <why>", v.Name())
+					}
+				}
+			}
+		case *ast.GoStmt:
+			ft.goSink(s)
+			return false // goSink walks the spawned call itself
+		case *ast.CallExpr:
+			ft.callSink(s)
+		}
+		return true
+	})
+}
+
+// goSink reports tainted values crossing into a spawned goroutine:
+// tainted call arguments, and tainted locals captured by a function
+// literal body.
+func (ft *funcTaint) goSink(g *ast.GoStmt) {
+	for _, a := range g.Call.Args {
+		if ft.taintedExpr(a) {
+			ft.report(a.Pos(), "passes a resident design pointer to a goroutine, which may outlive the request's read window; pass a Clone() or justify with //mclegal:aliasleak <why>")
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := ft.pkg.Info.Uses[id].(*types.Var); ok && ft.tainted[v] {
+				ft.report(id.Pos(), "goroutine captures resident design pointer %s, which may outlive the request's read window; capture a Clone() or justify with //mclegal:aliasleak <why>", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// callSink screens calls that receive a tainted value: the callee must
+// be static, in-program or known-safe external, with a provable write
+// set that has no effect rooted at the tainted operand.
+func (ft *funcTaint) callSink(call *ast.CallExpr) {
+	if tv, ok := ft.pkg.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		// Conversions pass the value through (taintedExpr tracks that);
+		// builtins read or write only what their spelled-out operands
+		// already show.
+		return
+	}
+	recv, args := callOperands(call)
+	recvTainted := ft.taintedExpr(recv)
+	var taintedIdx []int
+	for i, a := range args {
+		if ft.taintedExpr(a) {
+			taintedIdx = append(taintedIdx, i)
+		}
+	}
+	if !recvTainted && len(taintedIdx) == 0 {
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+		return
+	}
+	fn := ft.callee(call)
+	if fn == nil {
+		if _, isLit := call.Fun.(*ast.FuncLit); isLit {
+			return // the literal's body is screened by this same walk
+		}
+		ft.report(call.Pos(), "passes a resident design through a dynamic call, which cannot be proven read-only; clone first or justify with //mclegal:aliasleak <why>")
+		return
+	}
+	node := ft.cg.Node(fn)
+	if node == nil || node.Decl == nil {
+		// External or body-less callee: only the known-safe externals
+		// may see resident state.
+		if muts, known := ft.vocab.External(fn); known {
+			for _, m := range muts {
+				for _, ti := range taintedIdx {
+					if m == ti {
+						ft.report(call.Args[ti].Pos(), "passes a resident design to %s, which mutates its argument; resident designs are immutable — clone first", fn.Name())
+					}
+				}
+			}
+			return
+		}
+		ft.report(call.Pos(), "passes a resident design to %s, whose effects are unknown; clone first or justify with //mclegal:aliasleak <why>", calleeName(fn))
+		return
+	}
+	we := ft.effects[node]
+	if we == nil {
+		return
+	}
+	if len(we.Unknown) > 0 {
+		ft.report(call.Pos(), "passes a resident design to %s, whose write set is unprovable (%s); clone first or justify with //mclegal:aliasleak <why>", calleeName(fn), we.Unknown[0].What)
+		return
+	}
+	for _, e := range we.Effects {
+		switch e.Root {
+		case framework.WriteRecv:
+			if recvTainted {
+				ft.report(call.Pos(), "passes a resident design to %s, which writes %s through its receiver; resident designs are immutable — clone first", calleeName(fn), e.Obj.Name())
+				return
+			}
+		case framework.WriteParam:
+			for _, ti := range taintedIdx {
+				if e.Param == ti {
+					ft.report(call.Args[ti].Pos(), "passes a resident design to %s, which writes %s through parameter %d; resident designs are immutable — clone first", calleeName(fn), e.Obj.Name(), ti)
+					return
+				}
+			}
+		default:
+			// WriteFresh is the callee's own storage and WriteShared is
+			// package-level/escaped state — neither reaches the callee
+			// through the tainted argument being screened here.
+		}
+	}
+}
+
+func (ft *funcTaint) callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := ft.pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := ft.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func calleeName(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	st, err := state(pass.Prog)
+	if err != nil {
+		return err
+	}
+	for _, f := range st.findings {
+		if f.pkg != pass.Pkg {
+			continue
+		}
+		if pass.Suppressed("aliasleak", f.pos) {
+			continue
+		}
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package aliasleak_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/aliasleak"
+	"mclegal/internal/analysis/analysistest"
+)
+
+// One program: the clone boundary shapes live in the serve fixture,
+// the tracked Design (with its Clone/Count methods) in the model
+// fixture so callee write sets are provable.
+func TestAliasleak(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", aliasleak.Analyzer,
+		"aliasleak/internal/model", "aliasleak/internal/serve")
+}

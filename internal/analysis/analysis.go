@@ -4,6 +4,7 @@
 package analysis
 
 import (
+	"mclegal/internal/analysis/aliasleak"
 	"mclegal/internal/analysis/ctxflow"
 	"mclegal/internal/analysis/exhaustive"
 	"mclegal/internal/analysis/floatcmp"
@@ -15,12 +16,15 @@ import (
 	"mclegal/internal/analysis/nowallclock"
 	"mclegal/internal/analysis/scratchescape"
 	"mclegal/internal/analysis/sharedwrite"
+	"mclegal/internal/analysis/snapshotsafe"
 	"mclegal/internal/analysis/typederr"
+	"mclegal/internal/analysis/writeset"
 )
 
 // All returns the full analyzer suite in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		aliasleak.Analyzer,
 		ctxflow.Analyzer,
 		exhaustive.Analyzer,
 		floatcmp.Analyzer,
@@ -31,6 +35,8 @@ func All() []*framework.Analyzer {
 		nowallclock.Analyzer,
 		scratchescape.Analyzer,
 		sharedwrite.Analyzer,
+		snapshotsafe.Analyzer,
 		typederr.Analyzer,
+		writeset.Analyzer,
 	}
 }

@@ -36,9 +36,12 @@ import (
 
 // Analyzer is the ctxflow check.
 var Analyzer = &framework.Analyzer{
-	Name: "ctxflow",
-	Doc:  "thread received contexts into every context-capable callee; no fresh Background/TODO in the core (suppress with //mclegal:ctx)",
-	Run:  run,
+	Name:      "ctxflow",
+	Doc:       "thread received contexts into every context-capable callee; no fresh Background/TODO in the core (suppress with //mclegal:ctx)",
+	Run:       run,
+	Scope:     scope.CancellationAware,
+	Directive: "ctx",
+	Example:   "//mclegal:ctx this helper is documented as detach-on-return; its work outlives the request on purpose",
 }
 
 func run(pass *framework.Pass) error {

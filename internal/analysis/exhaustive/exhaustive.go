@@ -36,9 +36,11 @@ import (
 
 // Analyzer is the exhaustive check.
 var Analyzer = &framework.Analyzer{
-	Name: "exhaustive",
-	Doc:  "switches over enum-like constant sets must cover all members or carry a default (suppress with //mclegal:exhaustive)",
-	Run:  run,
+	Name:      "exhaustive",
+	Doc:       "switches over enum-like constant sets must cover all members or carry a default (suppress with //mclegal:exhaustive)",
+	Run:       run,
+	Directive: "exhaustive",
+	Example:   "//mclegal:exhaustive the remaining members are wire-only states this switch can never receive",
 }
 
 // member is one enum constant: the declared object plus its value for

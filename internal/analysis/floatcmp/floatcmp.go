@@ -22,9 +22,12 @@ import (
 
 // Analyzer is the floatcmp check.
 var Analyzer = &framework.Analyzer{
-	Name: "floatcmp",
-	Doc:  "flag ==/!= on float operands outside Approx* epsilon helpers (suppress with //mclegal:floatcmp)",
-	Run:  run,
+	Name:      "floatcmp",
+	Doc:       "flag ==/!= on float operands outside Approx* epsilon helpers (suppress with //mclegal:floatcmp)",
+	Run:       run,
+	Scope:     scope.FloatCritical,
+	Directive: "floatcmp",
+	Example:   "//mclegal:floatcmp comparing against the exact sentinel value the same function stored",
 }
 
 func run(pass *framework.Pass) error {

@@ -37,6 +37,18 @@ type Analyzer struct {
 	// Run applies the analyzer to one package, reporting findings
 	// through the Pass.
 	Run func(*Pass) error
+
+	// Scope lists the package-path suffixes the analyzer's invariant
+	// applies to (nil means every package). It is metadata for
+	// mclegal-vet's -explain output; the analyzer's Run remains the
+	// source of truth for actual scoping.
+	Scope []string
+	// Directive is the //mclegal:<name> directive the analyzer honours
+	// (suppression or declaration), and Example is one justified use of
+	// it. mclegal-vet -explain prints both, so the documented
+	// suppression story cannot drift from the code.
+	Directive string
+	Example   string
 }
 
 // A Pass is the interface between one analyzer and one package. Prog

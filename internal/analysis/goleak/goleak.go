@@ -43,9 +43,12 @@ import (
 
 // Analyzer is the goroutine-lifetime check.
 var Analyzer = &framework.Analyzer{
-	Name: "goleak",
-	Doc:  "prove every spawned goroutine terminates and is joined (suppress daemons with //mclegal:daemon)",
-	Run:  run,
+	Name:      "goleak",
+	Doc:       "prove every spawned goroutine terminates and is joined (suppress daemons with //mclegal:daemon)",
+	Run:       run,
+	Scope:     scope.ConcurrencyScope,
+	Directive: "daemon",
+	Example:   "//mclegal:daemon process-lifetime signal listener; the kernel reaps it at exit",
 }
 
 // A SpawnInfo describes one in-scope spawn site of the program; the

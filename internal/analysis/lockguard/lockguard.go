@@ -44,9 +44,12 @@ import (
 
 // Analyzer is the lock-discipline check.
 var Analyzer = &framework.Analyzer{
-	Name: "lockguard",
-	Doc:  "infer each field's guarding mutex and enforce it everywhere; forbid blocking ops under a lock (suppress with //mclegal:lockguard)",
-	Run:  run,
+	Name:      "lockguard",
+	Doc:       "infer each field's guarding mutex and enforce it everywhere; forbid blocking ops under a lock (suppress with //mclegal:lockguard)",
+	Run:       run,
+	Scope:     scope.ConcurrencyScope,
+	Directive: "lockguard",
+	Example:   "//mclegal:lockguard read is of an atomic counter; the mutex guards only the map",
 }
 
 // A finding is one pre-computed diagnostic, attributed to the package

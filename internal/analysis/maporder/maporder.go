@@ -32,9 +32,12 @@ import (
 
 // Analyzer is the maporder check.
 var Analyzer = &framework.Analyzer{
-	Name: "maporder",
-	Doc:  "flag range-over-map in deterministic packages unless it collects-then-sorts or is a provably order-insensitive reduction (or justified with //mclegal:ordered)",
-	Run:  run,
+	Name:      "maporder",
+	Doc:       "flag range-over-map in deterministic packages unless it collects-then-sorts or is a provably order-insensitive reduction (or justified with //mclegal:ordered)",
+	Run:       run,
+	Scope:     scope.DeterministicCore,
+	Directive: "ordered",
+	Example:   "//mclegal:ordered map-to-map copy; the copy's insertion order is never observed",
 }
 
 func run(pass *framework.Pass) error {

@@ -38,13 +38,17 @@ import (
 	"sort"
 
 	"mclegal/internal/analysis/framework"
+	"mclegal/internal/analysis/scope"
 )
 
 // Analyzer is the noalloc check.
 var Analyzer = &framework.Analyzer{
-	Name: "noalloc",
-	Doc:  "prove the //mclegal:hotpath call tree allocation-free (suppress sites with //mclegal:alloc)",
-	Run:  run,
+	Name:      "noalloc",
+	Doc:       "prove the //mclegal:hotpath call tree allocation-free (suppress sites with //mclegal:alloc)",
+	Run:       run,
+	Scope:     scope.HotPathClosure,
+	Directive: "alloc",
+	Example:   "//mclegal:alloc one-time warm-up growth; steady state reuses the buffer (see the 0 allocs/op benchmark)",
 }
 
 // allowedExternals are dependency functions without analyzable bodies

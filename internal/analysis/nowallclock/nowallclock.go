@@ -20,9 +20,12 @@ import (
 
 // Analyzer is the nowallclock check.
 var Analyzer = &framework.Analyzer{
-	Name: "nowallclock",
-	Doc:  "forbid time.Now/time.Since, math/rand, and multi-case selects in deterministic packages (suppress with //mclegal:wallclock)",
-	Run:  run,
+	Name:      "nowallclock",
+	Doc:       "forbid time.Now/time.Since, math/rand, and multi-case selects in deterministic packages (suppress with //mclegal:wallclock)",
+	Run:       run,
+	Scope:     scope.DeterministicCore,
+	Directive: "wallclock",
+	Example:   "//mclegal:wallclock total-runtime reporting only, never influences placement",
 }
 
 func run(pass *framework.Pass) error {

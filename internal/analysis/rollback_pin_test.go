@@ -1,0 +1,103 @@
+package analysis_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mclegal/internal/analysis/snapshotsafe"
+)
+
+// TestStageWriteSetsMatchRollbackProof pins the static and dynamic
+// halves of the rollback-completeness proof to each other, in both
+// directions (the same shape as TestGoleakRootsMatchLeakTests):
+//
+//   - every stage implementation the snapshotsafe analyzer proves
+//     against the gate's //mclegal:restores declaration must have a
+//     subtest in stage.TestGateRollbackRestoresDesignAndArtifacts that
+//     demonstrates the restore at runtime, and
+//   - every anchor listed here must correspond to a proof, so a stage
+//     deleted or renamed out of the pipeline fails this test instead of
+//     leaving a stale rollback subtest behind.
+//
+// A new Stage implementation therefore cannot ship without both a
+// provable write set (or it fails snapshotsafe) and a dynamic rollback
+// demonstration (or it fails here).
+func TestStageWriteSetsMatchRollbackProof(t *testing.T) {
+	prog := loadScopedProgram(t)
+	proofs, err := snapshotsafe.StageProofs(prog)
+	if err != nil {
+		t.Fatalf("collecting stage proofs: %v", err)
+	}
+	if len(proofs) == 0 {
+		t.Fatal("no stage proofs collected; the snapshotsafe analyzer is proving nothing")
+	}
+
+	// Stage type (as StageProof.Type names it) -> subtest of
+	// stage.TestGateRollbackRestoresDesignAndArtifacts witnessing the
+	// restore dynamically. mutates lists locations the stage must
+	// provably write (the dynamic test is only meaningful if the static
+	// proof shows the stage writes something the gate restores).
+	anchors := map[string]struct {
+		subtest string
+		mutates []string
+	}{
+		"stage.MGLStage":     {subtest: "MGLStage", mutates: []string{"design.xy", "stagectx"}},
+		"stage.MaxDispStage": {subtest: "MaxDispStage", mutates: []string{"design.xy", "stagectx"}},
+		"stage.RefineStage":  {subtest: "RefineStage", mutates: []string{"design.xy", "stagectx"}},
+		// FuncStage's body is the composer's; its provable write set is
+		// empty (the dynamic subtest exercises a concrete Fn instead).
+		"stage.FuncStage": {subtest: "FuncStage"},
+	}
+
+	src, err := os.ReadFile("../stage/rollback_test.go")
+	if err != nil {
+		t.Fatalf("reading the dynamic rollback test: %v", err)
+	}
+	text := string(src)
+	if !strings.Contains(text, "func TestGateRollbackRestoresDesignAndArtifacts(") {
+		t.Fatal("stage.TestGateRollbackRestoresDesignAndArtifacts not found; the pin has nothing to pin to")
+	}
+
+	seen := make(map[string]bool)
+	for _, p := range proofs {
+		if seen[p.Type] {
+			t.Errorf("duplicate proof for %s", p.Type)
+		}
+		seen[p.Type] = true
+
+		a, ok := anchors[p.Type]
+		if !ok {
+			t.Errorf("stage %s is proven by snapshotsafe but has no dynamic rollback subtest; add one to stage.TestGateRollbackRestoresDesignAndArtifacts and anchor it here", p.Type)
+			continue
+		}
+		if p.Gate != "stage.runGated" {
+			t.Errorf("%s is gated by %s, want stage.runGated", p.Type, p.Gate)
+		}
+		if len(p.Uncovered) != 0 {
+			t.Errorf("%s has uncovered writes %v; the suite test should have failed first", p.Type, p.Uncovered)
+		}
+		for _, loc := range a.mutates {
+			if !containsLoc(p.Writes, loc) {
+				t.Errorf("%s: static write set %v does not include %s; the dynamic subtest %q would be rolling back nothing", p.Type, p.Writes, loc, a.subtest)
+			}
+		}
+		if !strings.Contains(text, `"`+a.subtest+`"`) {
+			t.Errorf("%s: subtest %q not found in rollback_test.go", p.Type, a.subtest)
+		}
+	}
+	for typ, a := range anchors {
+		if !seen[typ] {
+			t.Errorf("anchor %s (subtest %q) has no snapshotsafe proof; if the stage is gone, delete its subtest and this anchor", typ, a.subtest)
+		}
+	}
+}
+
+func containsLoc(locs []string, want string) bool {
+	for _, l := range locs {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}

@@ -79,6 +79,25 @@ var ConcurrencyScope = []string{
 	"cmd/mclegald",
 }
 
+// WriteEffectClosure lists the packages the write-effect proofs
+// (writeset, snapshotsafe, aliasleak) need full bodies for beyond the
+// other lists' union. The serving layer hands resident designs to the
+// .mcl serializer, so aliasleak can only prove the clone boundary if
+// bmark's bodies are in the program; eval's audit/measure functions
+// sit inside every gated stage tree the same way.
+var WriteEffectClosure = []string{
+	"internal/bmark",
+	"internal/eval",
+	"internal/model",
+	"internal/seg",
+	"internal/route",
+	"internal/faults",
+	// The flow package's greedy fallback stage calls straight into the
+	// baseline package; its body must be loaded for that stage's write
+	// set to stay provable.
+	"internal/baseline",
+}
+
 // HotPathClosure lists every package the //mclegal:hotpath call trees
 // reach (mgl.bestInWindow, the mcf warm-start resolve path, and the
 // matching augment phase): the noalloc proof needs full bodies for all

@@ -36,9 +36,11 @@ import (
 
 // Analyzer is the scratchescape check.
 var Analyzer = &framework.Analyzer{
-	Name: "scratchescape",
-	Doc:  "flag pooled scratch-buffer slices escaping the evaluation boundary (suppress with //mclegal:escape)",
-	Run:  run,
+	Name:      "scratchescape",
+	Doc:       "flag pooled scratch-buffer slices escaping the evaluation boundary (suppress with //mclegal:escape)",
+	Run:       run,
+	Directive: "escape",
+	Example:   "//mclegal:escape the slice is copied before the pool reclaims it; see the append below",
 }
 
 func run(pass *framework.Pass) error {

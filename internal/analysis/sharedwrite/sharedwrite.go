@@ -45,9 +45,12 @@ import (
 
 // Analyzer is the static race screen.
 var Analyzer = &framework.Analyzer{
-	Name: "sharedwrite",
-	Doc:  "flag unguarded continuation accesses to locations a live spawned goroutine writes (suppress with //mclegal:sharedwrite)",
-	Run:  run,
+	Name:      "sharedwrite",
+	Doc:       "flag unguarded continuation accesses to locations a live spawned goroutine writes (suppress with //mclegal:sharedwrite)",
+	Run:       run,
+	Scope:     scope.ConcurrencyScope,
+	Directive: "sharedwrite",
+	Example:   "//mclegal:sharedwrite the workers write disjoint index ranges; the race detector runs this path in CI",
 }
 
 type finding struct {

@@ -1,0 +1,16 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/snapshotsafe"
+)
+
+// One program: the gate and its stages live in the stage fixture, the
+// tracked types (and their //mclegal:ephemeral declarations) in the
+// model/seg fixtures.
+func TestSnapshotsafe(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", snapshotsafe.Analyzer,
+		"snapshotsafe/internal/model", "snapshotsafe/internal/seg", "snapshotsafe/internal/stage")
+}

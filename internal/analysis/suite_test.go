@@ -30,6 +30,7 @@ func loadScopedProgram(t *testing.T) *framework.Program {
 		scope.CancellationAware,
 		scope.HotPathClosure,
 		scope.ConcurrencyScope,
+		scope.WriteEffectClosure,
 	} {
 		for _, p := range set {
 			full := "mclegal/" + p

@@ -1,0 +1,22 @@
+// Fixture twin of internal/model for the aliasleak analyzer: Design
+// reaches resident state, and Clone is the laundering boundary.
+package model
+
+type Cell struct {
+	X, Y int
+	Name string
+}
+
+type Design struct {
+	Cells []Cell
+}
+
+// Clone returns a deep private copy of d.
+func (d *Design) Clone() *Design {
+	c := &Design{Cells: make([]Cell, len(d.Cells))}
+	copy(c.Cells, d.Cells)
+	return c
+}
+
+// Count is a provably read-only helper.
+func (d *Design) Count() int { return len(d.Cells) }

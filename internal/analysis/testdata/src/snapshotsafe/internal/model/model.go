@@ -1,0 +1,21 @@
+// Fixture twin of internal/model for the snapshotsafe analyzer. The
+// vocabulary tracks Cell/Design (design.xy, design.meta) and HotCells
+// (hotcells); HotCells carries the justified //mclegal:ephemeral the
+// covered-scratch stage relies on.
+package model
+
+type Cell struct {
+	X, Y int
+	Name string
+}
+
+type Design struct {
+	Cells []Cell
+}
+
+// HotCells is the per-run struct-of-arrays scratch mirror.
+//
+//mclegal:ephemeral rebuilt from the design at the start of every run
+type HotCells struct {
+	X []int32
+}

@@ -1,0 +1,11 @@
+// Fixture twin of internal/seg: Grid is tracked as the grid location
+// and carries a BARE //mclegal:ephemeral, which snapshotsafe must
+// report as missing its justification.
+package seg
+
+// Grid is the row segmentation.
+//
+//mclegal:ephemeral
+type Grid struct { // want "missing a justification"
+	NumRows int
+}

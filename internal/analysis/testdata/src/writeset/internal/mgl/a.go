@@ -1,0 +1,91 @@
+// Fixture for the writeset analyzer: correctly declared entrypoints,
+// a missing declaration, a stale one, a bare justification, an unknown
+// location name, an unprovable dynamic call with its justified and
+// bare-suppression twins, and non-entrypoints the analyzer must skip.
+package mgl
+
+import "writeset/internal/model"
+
+// Legalize commits new positions for every cell.
+//
+//mclegal:writes design.xy legalization moves cells to legal sites
+func Legalize(d *model.Design) {
+	for i := range d.Cells {
+		d.Cells[i].X++
+	}
+}
+
+// Engine mutates the design it was built around through its receiver.
+type Engine struct{ d *model.Design }
+
+// Run commits positions through the engine's design.
+//
+//mclegal:writes design.xy the engine owns the design it legalizes
+func (e *Engine) Run() {
+	e.d.Cells[0].X = 1
+}
+
+// Rename mutates cell metadata but declares nothing.
+func Rename(d *model.Design) { // want "carries no //mclegal:writes declaration"
+	d.Cells[0].Name = "renamed"
+}
+
+// Stale declares coordinates but nowadays only touches metadata.
+//
+//mclegal:writes design.xy justification rotted along with the code
+func Stale(d *model.Design) { // want "stale //mclegal:writes"
+	d.Cells[0].Name = "renamed"
+}
+
+// Gone declares a write set but provably writes nothing.
+//
+//mclegal:writes design.xy leftover from a removed mutation
+func Gone(d *model.Design) {} // want "provable write set is nothing"
+
+// NoWhy declares the right locations without saying why.
+//
+//mclegal:writes design.meta
+func NoWhy(d *model.Design) { // want "missing a justification"
+	d.Cells[0].Name = "renamed"
+}
+
+// BadLoc declares a location the vocabulary does not define.
+//
+//mclegal:writes design.zz typo for design.xy
+func BadLoc(d *model.Design) { // want "unknown location"
+	d.Cells[0].X = 1
+}
+
+// Hook hands control to an opaque caller hook: unprovable.
+func Hook(d *model.Design, f func()) {
+	f() // want "unprovable"
+}
+
+// HookJustified is the same shape with its why on record.
+func HookJustified(d *model.Design, f func()) {
+	//mclegal:writeset the hook receives no resident state to mutate
+	f()
+}
+
+// HookBare suppresses without a justification.
+func HookBare(d *model.Design, f func()) {
+	//mclegal:writeset
+	f() // want "missing a justification"
+}
+
+// fresh builds and fills its own design: unexported helpers are not
+// entrypoints, and constructor writes drop from summaries anyway.
+func fresh() *model.Design {
+	d := &model.Design{Cells: make([]model.Cell, 2)}
+	d.Cells[0].X = 4
+	return d
+}
+
+// Build is an exported entrypoint with a provably empty write set: no
+// declaration required.
+func Build() *model.Design { return fresh() }
+
+// helper is unexported, so its exported method is not an entrypoint.
+type helper struct{}
+
+func (h helper) Mutate(d *model.Design) { d.Cells[0].Y = 2 }

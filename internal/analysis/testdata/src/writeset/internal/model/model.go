@@ -1,0 +1,14 @@
+// Fixture twin of internal/model: the writeloc vocabulary tracks Cell
+// (X/Y -> design.xy, the rest -> design.meta) and Design (Cells ->
+// design.meta+design.xy) by package-path suffix, so this package is
+// resolved exactly like the real one.
+package model
+
+type Cell struct {
+	X, Y int
+	Name string
+}
+
+type Design struct {
+	Cells []Cell
+}

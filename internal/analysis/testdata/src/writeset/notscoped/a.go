@@ -1,0 +1,9 @@
+// An exported undeclared mutator outside scope.DeterministicCore:
+// writeset must stay silent here.
+package notscoped
+
+import "writeset/internal/model"
+
+func Shuffle(d *model.Design) {
+	d.Cells[0].X = 9
+}

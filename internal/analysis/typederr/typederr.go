@@ -22,9 +22,12 @@ import (
 
 // Analyzer is the typederr check.
 var Analyzer = &framework.Analyzer{
-	Name: "typederr",
-	Doc:  "require typed errors (or %w wrapping) at the stage gate boundary (suppress with //mclegal:typederr)",
-	Run:  run,
+	Name:      "typederr",
+	Doc:       "require typed errors (or %w wrapping) at the stage gate boundary (suppress with //mclegal:typederr)",
+	Run:       run,
+	Scope:     scope.GateBoundary,
+	Directive: "typederr",
+	Example:   "//mclegal:typederr this error never crosses the gate; it is consumed by the retry loop above",
 }
 
 func run(pass *framework.Pass) error {

@@ -1,0 +1,16 @@
+package writeset_test
+
+import (
+	"testing"
+
+	"mclegal/internal/analysis/analysistest"
+	"mclegal/internal/analysis/writeset"
+)
+
+// The fixture model package must be in the same program so the
+// writeloc vocabulary resolves its tracked types; the notscoped
+// package proves the analyzer respects scope.DeterministicCore.
+func TestWriteset(t *testing.T) {
+	analysistest.RunGroup(t, "../testdata", writeset.Analyzer,
+		"writeset/internal/model", "writeset/internal/mgl", "writeset/notscoped")
+}

@@ -260,6 +260,8 @@ func Stages(d *model.Design, opt Options) []stage.Stage {
 }
 
 // Run legalizes d in place and returns the evaluation of the result.
+//
+//mclegal:writes design.meta,design.xy,hotcells,occupancy,routememo,stagectx the flow runs the full pipeline: stages write positions, artifacts and scratch views, and sharding splits/merges the design's cell tables
 func Run(d *model.Design, opt Options) (Result, error) {
 	return RunContext(context.Background(), d, opt)
 }
@@ -271,6 +273,8 @@ func Run(d *model.Design, opt Options) (Result, error) {
 // On error the returned Result still carries everything gathered up to
 // the failure — per-stage timings and the artifacts of completed and
 // partially-run stages — so operators can see where the time went.
+//
+//mclegal:writes design.meta,design.xy,hotcells,occupancy,routememo,stagectx the flow runs the full pipeline: stages write positions, artifacts and scratch views, and sharding splits/merges the design's cell tables
 func RunContext(ctx context.Context, d *model.Design, opt Options) (Result, error) {
 	var res Result
 	if err := opt.Validate(); err != nil {

@@ -153,7 +153,7 @@ func (sv *Solver) grow(n int) {
 func (sv *Solver) dualsFeasible(n int, cost func(i, j int) int64) bool {
 	for i := 1; i <= n; i++ {
 		for j := 1; j <= n; j++ {
-			if cost(i-1, j-1)-sv.u[i]-sv.v[j] < 0 {
+			if cost(i-1, j-1)-sv.u[i]-sv.v[j] < 0 { //mclegal:writeset cost is a caller-supplied pure pricing closure; it receives indices by value and no resident state
 				return false
 			}
 		}
@@ -206,7 +206,7 @@ func (sv *Solver) solve(ctx context.Context, n int, cost func(i, j int) int64, w
 	}
 	for j := 1; j <= n; j++ {
 		sv.assign[sv.p[j]-1] = j - 1
-		c := cost(sv.p[j]-1, j-1)
+		c := cost(sv.p[j]-1, j-1) //mclegal:writeset cost is a caller-supplied pure pricing closure; it receives indices by value and no resident state
 		if c >= Forbidden {
 			return nil, 0, false, nil
 		}
@@ -236,7 +236,7 @@ func (sv *Solver) augmentRow(i, n int, cost func(i, j int) int64) bool {
 				continue
 			}
 			//mclegal:alloc cost is a caller-supplied closure; its own allocation behaviour is the caller's
-			cur := cost(i0-1, j-1) - sv.u[i0] - sv.v[j]
+			cur := cost(i0-1, j-1) - sv.u[i0] - sv.v[j] //mclegal:writeset cost is a caller-supplied pure pricing closure; it receives indices by value and no resident state
 			if cur < sv.minv[j] {
 				sv.minv[j] = cur
 				sv.way[j] = j0

@@ -87,6 +87,8 @@ func Phi(deltaDBU, delta0DBU int64) int64 {
 
 // Optimize runs the matching for every (type, fence) group of movable
 // cells and applies the optimal assignment.
+//
+//mclegal:writes design.xy the optimal assignment permutes cell positions within each matching group
 func Optimize(d *model.Design, opt Options) Stats {
 	st, _ := OptimizeContext(context.Background(), d, opt)
 	return st
@@ -96,6 +98,8 @@ func Optimize(d *model.Design, opt Options) Stats {
 // between group matchings (each already-applied matching leaves the
 // design legal, so an aborted run is always consistent) and the
 // partial Stats are returned alongside ctx.Err().
+//
+//mclegal:writes design.xy the optimal assignment permutes cell positions within each matching group
 func OptimizeContext(ctx context.Context, d *model.Design, opt Options) (Stats, error) {
 	opt = opt.withDefaults()
 	var st Stats

@@ -44,6 +44,8 @@ type Legalizer struct {
 }
 
 // New builds a legalizer for d over the prebuilt segmentation grid.
+//
+//mclegal:writes hotcells construction materializes the hot view of the design's cells
 func New(d *model.Design, grid *seg.Grid, opt Options) *Legalizer {
 	hot := model.NewHotCells(d)
 	return &Legalizer{
@@ -488,6 +490,8 @@ func (p *evalPool) stop() {
 }
 
 // Run legalizes every movable cell (see RunContext).
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo MGL commits legal positions through both the design and its hot view, maintains the occupancy index, and warms the route-rule memo
 func (l *Legalizer) Run() error { return l.RunContext(context.Background()) }
 
 // RunContext legalizes every movable cell using the deterministic
@@ -502,6 +506,8 @@ func (l *Legalizer) Run() error { return l.RunContext(context.Background()) }
 // ctx.Err(): cells already committed keep their legal positions and
 // the remainder stay at their GP positions, so the design remains
 // consistent and auditable (though not legal).
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo MGL commits legal positions through both the design and its hot view, maintains the occupancy index, and warms the route-rule memo
 func (l *Legalizer) RunContext(ctx context.Context) error {
 	queue := l.Order()
 	rs := &l.rs
@@ -605,6 +611,7 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 			}
 		}
 		queue = next
+		//mclegal:writeset the debug hook is wired only by tests and receives the committed count by value
 		if l.opt.DebugAfterBatch != nil && !l.opt.DebugAfterBatch(rs.committed) {
 			return fmt.Errorf("mgl: aborted by debug hook")
 		}
@@ -613,12 +620,16 @@ func (l *Legalizer) RunContext(ctx context.Context) error {
 }
 
 // Legalize builds the segmentation of d and runs MGL with opt.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo MGL commits legal positions through both the design and its hot view, maintains the occupancy index, and warms the route-rule memo
 func Legalize(d *model.Design, opt Options) (*Legalizer, error) {
 	return LegalizeContext(context.Background(), d, opt)
 }
 
 // LegalizeContext builds the segmentation of d and runs MGL with opt
 // under ctx.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo MGL commits legal positions through both the design and its hot view, maintains the occupancy index, and warms the route-rule memo
 func LegalizeContext(ctx context.Context, d *model.Design, opt Options) (*Legalizer, error) {
 	grid, err := seg.Build(d)
 	if err != nil {

@@ -25,6 +25,8 @@ import (
 // with the owning Legalizer): the occupancy queries run inside the
 // bestInWindow hot path, where chasing Design.Cells→Design.Types per
 // cell costs a dependent load the flat arrays avoid.
+//
+//mclegal:ephemeral the index is rebuilt from the design's positions for every legalizer; it never outlives the run that built it
 type occupancy struct {
 	d    *model.Design
 	hot  *model.HotCells

@@ -234,31 +234,36 @@ func (d *Design) Validate() error {
 }
 
 // Clone returns a deep copy of the design. Experiments use clones so
-// that several legalizers can run on the same instance.
+// that several legalizers can run on the same instance. The copy is
+// faithful down to slice nil-ness, so a clone is deep-equal to its
+// original (the gate rollback tests compare against one).
 func (d *Design) Clone() *Design {
 	nd := &Design{
-		Name:  d.Name,
-		Tech:  d.Tech,
-		Types: make([]CellType, len(d.Types)),
-		Cells: append([]Cell(nil), d.Cells...),
-		Nets:  make([]Net, len(d.Nets)),
-		Fences: func() []Fence {
-			fs := make([]Fence, len(d.Fences))
-			for i := range d.Fences {
-				fs[i] = Fence{Name: d.Fences[i].Name, Rects: append([]geom.Rect(nil), d.Fences[i].Rects...)}
-			}
-			return fs
-		}(),
+		Name:      d.Name,
+		Tech:      d.Tech,
+		Cells:     append([]Cell(nil), d.Cells...),
 		IOPins:    append([]IOPin(nil), d.IOPins...),
 		Blockages: append([]geom.Rect(nil), d.Blockages...),
 	}
-	for i := range d.Types {
-		ct := d.Types[i]
-		ct.Pins = append([]PinShape(nil), d.Types[i].Pins...)
-		nd.Types[i] = ct
+	if d.Types != nil {
+		nd.Types = make([]CellType, len(d.Types))
+		for i := range d.Types {
+			ct := d.Types[i]
+			ct.Pins = append([]PinShape(nil), d.Types[i].Pins...)
+			nd.Types[i] = ct
+		}
 	}
-	for i := range d.Nets {
-		nd.Nets[i] = Net{Name: d.Nets[i].Name, Pins: append([]NetPin(nil), d.Nets[i].Pins...)}
+	if d.Nets != nil {
+		nd.Nets = make([]Net, len(d.Nets))
+		for i := range d.Nets {
+			nd.Nets[i] = Net{Name: d.Nets[i].Name, Pins: append([]NetPin(nil), d.Nets[i].Pins...)}
+		}
+	}
+	if d.Fences != nil {
+		nd.Fences = make([]Fence, len(d.Fences))
+		for i := range d.Fences {
+			nd.Fences[i] = Fence{Name: d.Fences[i].Name, Rects: append([]geom.Rect(nil), d.Fences[i].Rects...)}
+		}
 	}
 	return nd
 }

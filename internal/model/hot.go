@@ -14,6 +14,8 @@ package model
 // mutate positions through the Design must call SetXY (or Reload) to
 // keep the arrays coherent. The MGL legalizer owns one view per run and
 // writes every commit through both representations.
+//
+//mclegal:ephemeral the view is rebuilt from the design at the start of every run (model.NewHotCells); restoring the design and rebuilding reproduces it exactly
 type HotCells struct {
 	// X, Y is the current position (site,row) of each cell; GX, GY the
 	// global-placement position displacement is measured from.

@@ -89,6 +89,8 @@ type Report struct {
 // Optimize shifts cells horizontally (rows and order unchanged) to the
 // optimum of the configured objective. The design must be legal on
 // entry and stays legal on success.
+//
+//mclegal:writes design.xy refinement rewrites x coordinates from the completed flow solution
 func Optimize(d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
 	return OptimizeContext(context.Background(), d, grid, opt)
 }
@@ -97,6 +99,8 @@ func Optimize(d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
 // before the network is built and again before the simplex solve; cell
 // positions are only written after a completed solve, so a cancelled
 // run leaves the design exactly as it was (legal) on entry.
+//
+//mclegal:writes design.xy refinement rewrites x coordinates from the completed flow solution
 func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt Options) (Report, error) {
 	var rep Report
 	if err := ctx.Err(); err != nil {
@@ -204,6 +208,7 @@ func OptimizeContext(ctx context.Context, d *model.Design, grid *seg.Grid, opt O
 		}
 		l, r := int64(span.Lo), int64(span.Hi-ct.Width)
 		if opt.Ranges != nil {
+			//mclegal:writeset the only wired provider is route.Rules.RangeProvider, a per-cell interval lookup whose rail-memo writes are declared ephemeral on the memo field
 			if rl, rh, ok := opt.Ranges(id); ok {
 				if int64(rl) > l {
 					l = int64(rl)

@@ -15,7 +15,8 @@ type Rules struct {
 	C            *Checker
 	IOPenaltyDBU int64
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//mclegal:ephemeral the memo caches answers derived purely from the immutable tech and type tables; dropping it never changes an answer, only recomputes it
 	rowMemo map[rowKey]bool
 }
 

@@ -126,6 +126,12 @@ type GateReport struct {
 	// RolledBack reports whether cell positions were restored to the
 	// pre-stage snapshot.
 	RolledBack bool
+	// Counters carries the failing attempt's stage counters (when the
+	// stage implements CounterProvider), captured before the rollback
+	// restored the context artifacts the counters are derived from.
+	// They are how far the failed attempt got — the rolled-back context
+	// no longer shows it.
+	Counters map[string]int64
 	// Action is one of the Action* constants; for ActionFallback,
 	// Fallback names the substitute stage that repaired the run.
 	Action   string
@@ -248,21 +254,37 @@ func runIsolated(ctx context.Context, s Stage, pc *PipelineContext) (err error) 
 
 // gateOutcome is the result of one gated stage execution.
 type gateOutcome struct {
-	err    error  // nil = stage passed its gate
-	reason string // Reason* constant when err != nil
-	numV   int
-	sample []eval.Violation
+	err      error  // nil = stage passed its gate
+	reason   string // Reason* constant when err != nil
+	numV     int
+	sample   []eval.Violation
+	counters map[string]int64 // failing attempt's counters, pre-rollback
 }
 
 // runGated executes one stage with the resilience wrapper: snapshot,
 // isolated run (with the stage-error injection point), then — when
 // verify is on — the post-stage legality audit (with the illegal-move
 // injection point) and the stage's metric-regression check. On any
-// failure the placement is rolled back to the snapshot unless the
-// failure is a context cancellation (cancelled runs keep their partial
-// progress, matching the engine's documented semantics).
+// failure both the placement and the context artifacts are rolled back
+// to their snapshots unless the failure is a context cancellation
+// (cancelled runs keep their partial progress, matching the engine's
+// documented semantics). The failing attempt's counters are captured
+// into the outcome first, so the GateReport still shows how far the
+// attempt got after its artifacts are gone.
+//
+//mclegal:restores design.xy,stagectx every gate failure restores the XY snapshot and the artifact snapshot; hotcells, occupancy and route memos are per-run scratch rebuilt from the design (see their //mclegal:ephemeral declarations)
 func (p *Pipeline) runGated(ctx context.Context, pc *PipelineContext, s Stage, verify bool) gateOutcome {
 	snap := pc.Design.SnapshotXY()
+	arts := pc.snapshotArtifacts()
+	rollback := func() map[string]int64 {
+		var counters map[string]int64
+		if cp, ok := s.(CounterProvider); ok {
+			counters = cp.Counters(pc)
+		}
+		pc.Design.RestoreXY(snap)
+		pc.restoreArtifacts(arts)
+		return counters
+	}
 	var before eval.Metrics
 	check := p.MetricChecks[s.Name()]
 	if verify && check != nil {
@@ -277,13 +299,13 @@ func (p *Pipeline) runGated(ctx context.Context, pc *PipelineContext, s Stage, v
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			return gateOutcome{err: err, reason: ""} // cancellation: no rollback
 		}
-		pc.Design.RestoreXY(snap)
+		counters := rollback()
 		reason := ReasonStageError
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			reason = ReasonPanic
 		}
-		return gateOutcome{err: err, reason: reason}
+		return gateOutcome{err: err, reason: reason, counters: counters}
 	}
 	if !verify {
 		return gateOutcome{}
@@ -293,22 +315,24 @@ func (p *Pipeline) runGated(ctx context.Context, pc *PipelineContext, s Stage, v
 		injectIllegalMove(pc)
 	}
 	if vs := eval.Audit(pc.Design, pc.Grid); len(vs) > 0 {
-		pc.Design.RestoreXY(snap)
+		counters := rollback()
 		sample := vs
 		if len(sample) > maxViolationSample {
 			sample = sample[:maxViolationSample]
 		}
 		return gateOutcome{
-			err:    &AuditError{Stage: s.Name(), NumViolations: len(vs), First: vs[0]},
-			reason: ReasonAudit,
-			numV:   len(vs),
-			sample: sample,
+			err:      &AuditError{Stage: s.Name(), NumViolations: len(vs), First: vs[0]},
+			reason:   ReasonAudit,
+			numV:     len(vs),
+			sample:   sample,
+			counters: counters,
 		}
 	}
 	if check != nil {
+		//mclegal:writeset metric checks are pure predicates over two eval.Metrics value copies
 		if merr := check(before, eval.Measure(pc.Design)); merr != nil {
-			pc.Design.RestoreXY(snap)
-			return gateOutcome{err: fmt.Errorf("stage %s: %w", s.Name(), merr), reason: ReasonMetric}
+			counters := rollback()
+			return gateOutcome{err: fmt.Errorf("stage %s: %w", s.Name(), merr), reason: ReasonMetric, counters: counters}
 		}
 	}
 	return gateOutcome{}
@@ -354,7 +378,10 @@ type FuncStage struct {
 
 func (f *FuncStage) Name() string { return f.StageName }
 
-func (f *FuncStage) Run(ctx context.Context, pc *PipelineContext) error { return f.Fn(ctx, pc) }
+func (f *FuncStage) Run(ctx context.Context, pc *PipelineContext) error {
+	//mclegal:writeset Fn is the composer's own stage body; the gate audits and rolls back whatever it writes
+	return f.Fn(ctx, pc)
+}
 
 // CriticalStage marks stages the pipeline cannot recover from by
 // skipping: without their output a legal result is unreachable (MGL is

@@ -16,6 +16,10 @@ type MaxDispStage struct{ Opt maxdisp.Options }
 
 func (s *MaxDispStage) Name() string { return NameMaxDisp }
 
+// Run swaps cell positions within matching groups and deposits the
+// matching stats as the stage artifact.
+//
+//mclegal:writes design.xy,stagectx matching permutes positions among already-legal sites and deposits its stats
 func (s *MaxDispStage) Run(ctx context.Context, pc *PipelineContext) error {
 	opt := s.Opt
 	if opt.Faults == nil {

@@ -30,6 +30,10 @@ func (s *MGLStage) Name() string { return NameMGL }
 // pipeline cannot end legal.
 func (s *MGLStage) Critical() bool { return true }
 
+// Run legalizes the context's design in place and deposits the run's
+// stats as the stage artifact.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo,stagectx MGL commits legal positions and deposits its stats; the hot view, occupancy index and route memos are per-run scratch
 func (s *MGLStage) Run(ctx context.Context, pc *PipelineContext) error {
 	opt := s.Opt
 	if pc.Rules != nil {
@@ -40,8 +44,10 @@ func (s *MGLStage) Run(ctx context.Context, pc *PipelineContext) error {
 	}
 	l := mgl.New(pc.Design, pc.Grid, opt)
 	err := l.RunContext(ctx)
-	// Keep partial stats on failure or cancellation: they tell the
-	// operator how far legalization got.
+	// Keep partial stats on failure or cancellation: on an ungated run
+	// they tell the operator how far legalization got. A gate rolls
+	// them back with the rest of the context, but captures the counters
+	// into its GateReport first, so the information survives either way.
 	pc.MGLStats = l.Stats
 	return err
 }

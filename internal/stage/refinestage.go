@@ -31,6 +31,10 @@ type RefineStage struct {
 
 func (s *RefineStage) Name() string { return NameRefine }
 
+// Run re-spaces cells within their rows by min-cost flow and deposits
+// the flow report as the stage artifact.
+//
+//mclegal:writes design.xy,stagectx refinement moves cells only along their rows and deposits its flow report
 func (s *RefineStage) Run(ctx context.Context, pc *PipelineContext) error {
 	opt := s.Opt
 	if s.UseRanges && pc.Rules != nil {

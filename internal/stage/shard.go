@@ -60,6 +60,8 @@ type ShardedPipeline struct {
 // the shard name; cancellation is reported as the context error. The
 // per-shard results are returned even on error so callers can see
 // partial progress.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo,stagectx each shard runs a full pipeline over its subdesign and the merge writes the parent's positions
 func (sp *ShardedPipeline) Run(ctx context.Context, parent *model.Design, shards []Shard) ([]ShardResult, RunReport, error) {
 	results := make([]ShardResult, len(shards))
 	workers := sp.Workers
@@ -123,7 +125,7 @@ func (sp *ShardedPipeline) Run(ctx context.Context, parent *model.Design, shards
 
 func (sp *ShardedPipeline) runOne(ctx context.Context, sh Shard, obsMu *sync.Mutex) ShardResult {
 	res := ShardResult{Shard: sh}
-	p, pc, err := sp.Make(sh)
+	p, pc, err := sp.Make(sh) //mclegal:writeset Make is the composer's shard-pipeline factory; it builds fresh state per shard and its product runs under the shard's own gates
 	if err != nil {
 		res.Err = fmt.Errorf("build pipeline: %w", err)
 		return res

@@ -88,7 +88,50 @@ func NewContext(d *model.Design, routability bool) (*PipelineContext, error) {
 	return pc, nil
 }
 
+// artifactSnapshot captures the per-stage artifact state of a
+// PipelineContext — the typed built-in artifacts by value and the
+// custom-artifact map by key — so a gate can roll a failed stage's
+// context writes back alongside its position writes. Custom artifact
+// values are restored by reference: a stage that mutates a value it
+// deposited in an earlier run owns that aliasing.
+type artifactSnapshot struct {
+	mglStats     mgl.Stats
+	maxDispStats maxdisp.Stats
+	refineReport refine.Report
+	artifacts    map[string]any
+}
+
+// snapshotArtifacts copies the context's artifact state for a later
+// restoreArtifacts. The typed artifacts are plain value structs; the
+// custom map is copied shallowly.
+func (pc *PipelineContext) snapshotArtifacts() artifactSnapshot {
+	snap := artifactSnapshot{
+		mglStats:     pc.MGLStats,
+		maxDispStats: pc.MaxDispStats,
+		refineReport: pc.RefineReport,
+	}
+	if pc.artifacts != nil {
+		snap.artifacts = make(map[string]any, len(pc.artifacts))
+		//mclegal:ordered map-to-map copy; the snapshot's insertion order is never observed
+		for k, v := range pc.artifacts {
+			snap.artifacts[k] = v
+		}
+	}
+	return snap
+}
+
+// restoreArtifacts rolls the context's artifact state back to a
+// snapshot taken before a failed stage ran.
+func (pc *PipelineContext) restoreArtifacts(snap artifactSnapshot) {
+	pc.MGLStats = snap.mglStats
+	pc.MaxDispStats = snap.maxDispStats
+	pc.RefineReport = snap.refineReport
+	pc.artifacts = snap.artifacts
+}
+
 // PutArtifact stores a custom stage's output under its name.
+//
+//mclegal:writes stagectx custom stages deposit their outputs on the shared context by design
 func (pc *PipelineContext) PutArtifact(stage string, v any) {
 	if pc.artifacts == nil {
 		pc.artifacts = make(map[string]any)
@@ -137,6 +180,8 @@ type Pipeline struct {
 // stage that started — including a failed or cancelled one — so a
 // partial run remains attributable; the error is wrapped with the
 // failing stage's name.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo,stagectx the pipeline mutates exactly what its stages mutate: positions, artifacts, and the per-run scratch views
 func (p *Pipeline) Run(ctx context.Context, pc *PipelineContext) ([]Timing, error) {
 	timings, _, err := p.RunWithReport(ctx, pc)
 	return timings, err
@@ -147,6 +192,8 @@ func (p *Pipeline) Run(ctx context.Context, pc *PipelineContext) ([]Timing, erro
 // (Verify off, strict recovery) stages still run under panic
 // isolation, so a panicking stage fails the run with a *PanicError
 // instead of crashing the process.
+//
+//mclegal:writes design.xy,hotcells,occupancy,routememo,stagectx the pipeline mutates exactly what its stages mutate: positions, artifacts, and the per-run scratch views
 func (p *Pipeline) RunWithReport(ctx context.Context, pc *PipelineContext) ([]Timing, RunReport, error) {
 	report := RunReport{Status: StatusLegal}
 	timings := make([]Timing, 0, len(p.Stages))
@@ -172,6 +219,7 @@ func (p *Pipeline) RunWithReport(ctx context.Context, pc *PipelineContext) ([]Ti
 		rep := GateReport{
 			Stage: s.Name(), Reason: out.reason, Err: out.err,
 			NumViolations: out.numV, Violations: out.sample, RolledBack: true,
+			Counters: out.counters,
 		}
 		if p.Recovery == RecoverStrict {
 			rep.Action = ActionFailed
@@ -196,6 +244,7 @@ func (p *Pipeline) RunWithReport(ctx context.Context, pc *PipelineContext) ([]Ti
 				Stage: fb.Name(), Reason: fbOut.reason, Err: fbOut.err,
 				NumViolations: fbOut.numV, Violations: fbOut.sample,
 				RolledBack: true, Action: ActionFailed,
+				Counters: fbOut.counters,
 			})
 		}
 		if !isCritical(s) {
